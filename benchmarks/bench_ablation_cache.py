@@ -1,0 +1,82 @@
+"""Ablation: the merged-synopsis cache (Algorithm 2's fast path).
+
+Ingests under NoMerge so dozens of per-component synopses accumulate,
+then measures estimator latency cold (cache cleared before every query,
+i.e. the per-component combination path) vs. warm (cache retained).
+For mergeable types the warm path must be much cheaper; equi-height
+histograms cannot be merged, so caching cannot help them -- exactly the
+trade-off of Section 3.5.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments.common import make_distribution, make_query_generator
+from repro.eval.lab import AccuracyLab
+from repro.eval.reporting import format_table
+from repro.synopses import SynopsisType
+from repro.workloads.distributions import FrequencyDistribution, SpreadDistribution
+from repro.workloads.queries import QueryType
+
+NUM_FLUSHES = 32
+
+
+def _run(scale):
+    distribution = make_distribution(
+        scale, SpreadDistribution.ZIPF, FrequencyDistribution.ZIPF
+    )
+    lab = AccuracyLab(
+        distribution,
+        memtable_capacity=-(-scale.total_records // NUM_FLUSHES),
+        seed=scale.seed,
+    )
+    setups = {
+        synopsis_type: lab.add_config(synopsis_type, 256)
+        for synopsis_type in (
+            SynopsisType.EQUI_WIDTH,
+            SynopsisType.EQUI_HEIGHT,
+            SynopsisType.WAVELET,
+        )
+    }
+    lab.ingest()
+    queries = list(
+        make_query_generator(scale).generate(
+            QueryType.FIXED_LENGTH, scale.queries_per_cell, 128
+        )
+    )
+    rows = []
+    for synopsis_type, setup in setups.items():
+        cold = lab.estimation_overhead(setup, queries, cold=True)
+        warm = lab.estimation_overhead(setup, queries, cold=False)
+        rows.append(
+            {
+                "synopsis": synopsis_type.value,
+                "components": lab.component_count,
+                "cold_ms": cold * 1e3,
+                "warm_ms": warm * 1e3,
+            }
+        )
+    return rows
+
+
+def bench_ablation_cache(benchmark, bench_scale, results_dir):
+    rows = run_once(benchmark, lambda: _run(bench_scale))
+    by_type = {r["synopsis"]: r for r in rows}
+    # Mergeable types answer from the cached merged synopsis: much cheaper.
+    for mergeable in ("equi_width", "wavelet"):
+        assert by_type[mergeable]["warm_ms"] * 2 < by_type[mergeable]["cold_ms"]
+    # Equi-height cannot merge, so the cache cannot shortcut it.
+    equi_height = by_type["equi_height"]
+    assert equi_height["warm_ms"] > equi_height["cold_ms"] * 0.5
+
+    (results_dir / "ablation_cache.txt").write_text(
+        format_table(
+            ["synopsis", "components", "cold (ms/query)", "warm (ms/query)"],
+            [
+                [r["synopsis"], r["components"], r["cold_ms"], r["warm_ms"]]
+                for r in rows
+            ],
+            title="Ablation — merged-synopsis cache (Algorithm 2 fast path)",
+        )
+    )

@@ -1,0 +1,90 @@
+"""Ablation: streaming (Algorithm 1) vs. classic wavelet decomposition.
+
+The classic algorithm allocates and processes arrays as long as the
+domain; Algorithm 1 is O(n logM) in the number of *distinct values*.
+On sparse signals over growing domains the classic transform's cost
+explodes while the streaming transform's stays flat -- the reason the
+paper's framework can summarise 64-bit key domains at all.  Both must
+produce identical coefficients, which is asserted on every run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.eval.reporting import format_table
+from repro.synopses.wavelet.classic import classic_decompose, prefix_sum_signal
+from repro.synopses.wavelet.streaming import StreamingWaveletTransform
+
+NUM_TUPLES = 500
+DOMAIN_LEVELS = [12, 16, 20]
+
+
+def _sparse_tuples(levels, count=NUM_TUPLES):
+    length = 1 << levels
+    step = max(1, length // count)
+    return [(position, float(position % 7 + 1)) for position in range(0, length, step)]
+
+
+def _run():
+    rows = []
+    for levels in DOMAIN_LEVELS:
+        tuples = _sparse_tuples(levels)
+
+        started = time.perf_counter()
+        transform = StreamingWaveletTransform(levels)
+        for position, frequency in tuples:
+            transform.add(position, frequency)
+        streaming_coefficients = {c.index: c.value for c in transform.finish()}
+        streaming_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        frequencies = [0.0] * (1 << levels)
+        for position, frequency in tuples:
+            frequencies[position] = frequency
+        classic_coefficients = classic_decompose(
+            prefix_sum_signal(frequencies, 1 << levels)
+        )
+        classic_seconds = time.perf_counter() - started
+
+        # Bit-for-bit agreement between the two algorithms.
+        assert streaming_coefficients.keys() == classic_coefficients.keys()
+        for index, value in streaming_coefficients.items():
+            assert abs(value - classic_coefficients[index]) < 1e-6 * max(
+                1.0, abs(value)
+            )
+        rows.append(
+            {
+                "domain": 1 << levels,
+                "tuples": len(tuples),
+                "streaming_ms": streaming_seconds * 1e3,
+                "classic_ms": classic_seconds * 1e3,
+            }
+        )
+    return rows
+
+
+def bench_ablation_streaming_wavelet(benchmark, results_dir):
+    rows = run_once(benchmark, _run)
+    # Classic cost grows ~linearly with the domain (256x here); the
+    # streaming cost must grow far slower (O(n logM), so < ~2x ideally;
+    # allow generous scheduler noise).
+    classic_growth = rows[-1]["classic_ms"] / rows[0]["classic_ms"]
+    streaming_growth = rows[-1]["streaming_ms"] / max(rows[0]["streaming_ms"], 0.1)
+    assert classic_growth > 10
+    assert streaming_growth < classic_growth / 3
+    # At the largest domain the streaming transform must win outright.
+    assert rows[-1]["streaming_ms"] < rows[-1]["classic_ms"]
+
+    (results_dir / "ablation_streaming_wavelet.txt").write_text(
+        format_table(
+            ["domain size", "distinct tuples", "streaming (ms)", "classic (ms)"],
+            [
+                [r["domain"], r["tuples"], r["streaming_ms"], r["classic_ms"]]
+                for r in rows
+            ],
+            title="Ablation — Algorithm 1 vs. classic full-array decomposition",
+        )
+    )

@@ -1,0 +1,42 @@
+"""Extension bench: 2-D synopses vs. the attribute-independence assumption.
+
+The paper's Section 5 defers composite-key (multidimensional)
+statistics to future work, citing the multidimensional histogram/
+wavelet literature.  The driver lives in
+``repro.eval.experiments.extensions``; this bench runs it under timing
+and asserts the shape: at zero correlation all methods agree, and as
+correlation grows the independence assumption's error explodes while
+the 2-D synopses stay accurate.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments.extensions import (
+    format_multidim_results,
+    run_multidim,
+)
+
+
+def bench_extension_multidim(benchmark, bench_scale, results_dir):
+    rows = run_once(benchmark, lambda: run_multidim(bench_scale))
+
+    def error(method, correlation):
+        (row,) = [
+            r
+            for r in rows
+            if r["method"] == method and r["correlation"] == correlation
+        ]
+        return row["l1_error"]
+
+    # Fully correlated attributes: the independence assumption must be
+    # far worse than both 2-D synopses.
+    for method in ("grid_2d", "wavelet_2d"):
+        assert error(method, 1.0) * 3 < error("independence", 1.0)
+    # And the independence error grows with correlation.
+    assert error("independence", 1.0) > error("independence", 0.0)
+
+    (results_dir / "extension_multidim.txt").write_text(
+        format_multidim_results(rows)
+    )

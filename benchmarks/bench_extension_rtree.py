@@ -1,0 +1,24 @@
+"""Extension bench: the LSM-ified R-tree index (paper §5 future work).
+
+The driver lives in ``repro.eval.experiments.extensions``; this bench
+runs it under timing and asserts the two properties the spatial index
+exists for: MBR descent prunes the vast majority of pages a full scan
+touches, and 2-D statistics piggybacked on the R-tree's component
+streams stay accurate through flushes and merges.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments.extensions import format_rtree_results, run_rtree
+
+
+def bench_extension_rtree(benchmark, bench_scale, results_dir):
+    row = run_once(benchmark, lambda: run_rtree(bench_scale))
+    # MBR descent must prune the vast majority of pages.
+    assert row["search_pages_per_query"] * 5 < row["full_scan_pages_per_query"]
+    # And the piggybacked 2-D statistics stay accurate.
+    assert row["stats_l1_error"] < 0.01
+
+    (results_dir / "extension_rtree.txt").write_text(format_rtree_results(row))

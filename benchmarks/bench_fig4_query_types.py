@@ -1,0 +1,36 @@
+"""Figure 4: estimation accuracy across the four query types.
+
+Zipf frequencies, budget 256.  Shape assertion: averaged over spreads
+and synopsis types, errors order Point <= FixedLength <= max(HalfOpen,
+Random) -- wider ranges return a larger fraction of the dataset, which
+the normalised L1 metric emphasises (the paper plots this on a log
+scale for the same reason).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments import fig4
+
+
+def _mean_error(rows, query_type):
+    subset = [r for r in rows if r["query_type"] == query_type]
+    return sum(r["l1_error"] for r in subset) / len(subset)
+
+
+def bench_fig4_query_types(benchmark, bench_scale, results_dir):
+    rows = run_once(benchmark, lambda: fig4.run(bench_scale))
+    assert len(rows) == 6 * 3 * 4  # spreads x synopses x query types
+
+    point = _mean_error(rows, "Point")
+    fixed = _mean_error(rows, "FixedLength")
+    half_open = _mean_error(rows, "HalfOpen")
+    random_error = _mean_error(rows, "Random")
+    wide = max(half_open, random_error)
+    assert point <= fixed + 1e-9
+    assert fixed <= wide + 1e-9
+    # The gap is orders of magnitude (log-scale in the paper).
+    assert point * 10 < wide
+
+    (results_dir / "fig4_query_types.txt").write_text(fig4.format_results(rows))

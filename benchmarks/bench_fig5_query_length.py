@@ -1,0 +1,32 @@
+"""Figure 5: FixedLength-query accuracy as the range length grows.
+
+Zipf frequencies, budget 256, lengths 8 -> 256.  Shape assertion: the
+mean normalised error over all spreads and synopsis types grows
+monotonically (modulo noise) with the query length.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments import fig5
+
+
+def bench_fig5_query_length(benchmark, bench_scale, results_dir):
+    rows = run_once(benchmark, lambda: fig5.run(bench_scale))
+    lengths = sorted({r["length"] for r in rows})
+    assert lengths == fig5.DEFAULT_LENGTHS
+    assert len(rows) == 6 * 3 * len(lengths)
+
+    mean_by_length = {
+        length: sum(r["l1_error"] for r in rows if r["length"] == length)
+        / sum(1 for r in rows if r["length"] == length)
+        for length in lengths
+    }
+    # Error grows with the range; endpoints must be clearly ordered.
+    assert mean_by_length[lengths[0]] < mean_by_length[lengths[-1]]
+    # And the overall trend is non-decreasing within 20% slack per step.
+    for shorter, longer in zip(lengths, lengths[1:]):
+        assert mean_by_length[longer] >= 0.8 * mean_by_length[shorter]
+
+    (results_dir / "fig5_query_length.txt").write_text(fig5.format_results(rows))

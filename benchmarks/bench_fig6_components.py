@@ -1,0 +1,44 @@
+"""Figure 6: accuracy (6a) and estimation overhead (6b) vs. the number
+of LSM components, at fixed total statistics space.
+
+Uniform frequencies; component counts 8 -> 128; per-component budget =
+total budget / K.  Shape assertions: (a) accuracy degrades only mildly
+as K grows -- the mean error at K=128 stays within a small multiple of
+K=8 rather than exploding; (b) estimation overhead grows with K (more
+synopses consulted) but stays sub-millisecond.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments import fig6
+
+
+def _mean(rows, key, **filters):
+    subset = [
+        r for r in rows if all(r[k] == v for k, v in filters.items())
+    ]
+    return sum(r[key] for r in subset) / len(subset)
+
+
+def bench_fig6_components(benchmark, bench_scale, results_dir):
+    rows = run_once(benchmark, lambda: fig6.run(bench_scale))
+    counts = sorted({r["target_components"] for r in rows})
+    assert counts == fig6.DEFAULT_COMPONENT_COUNTS
+    # The memtable sizing realises the target count to within one flush.
+    for row in rows:
+        assert abs(row["components"] - row["target_components"]) <= 1
+
+    # (b) More components -> more per-query combination work.
+    overhead_few = _mean(rows, "overhead_ms", target_components=counts[0])
+    overhead_many = _mean(rows, "overhead_ms", target_components=counts[-1])
+    assert overhead_many > overhead_few
+    assert overhead_many < 50.0  # still cheap in absolute terms
+
+    # (a) Accuracy degrades gracefully, not catastrophically.
+    error_few = _mean(rows, "l1_error", target_components=counts[0])
+    error_many = _mean(rows, "l1_error", target_components=counts[-1])
+    assert error_many < max(error_few * 20, 0.05)
+
+    (results_dir / "fig6_components.txt").write_text(fig6.format_results(rows))

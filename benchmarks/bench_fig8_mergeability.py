@@ -1,0 +1,38 @@
+"""Figure 8: query-time overhead, Bulkload vs. NoMerge ingestion.
+
+Zipf frequencies, budget 256.  Shape assertions: (1) the NoMerge
+configuration answers from many per-component synopses and costs
+consistently more estimator time than Bulkload's single synopsis;
+(2) both stay sub-millisecond-scale; (3) the bigger effect of
+(non-)mergeability is catalog *space* -- NoMerge's catalog is larger by
+roughly the component ratio (Section 4.3.5's conclusion).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments import fig8
+
+
+def bench_fig8_mergeability(benchmark, bench_scale, results_dir):
+    rows = run_once(benchmark, lambda: fig8.run(bench_scale))
+    synopses = sorted({r["synopsis"] for r in rows})
+    assert synopses == ["equi_height", "equi_width", "wavelet"]
+
+    for synopsis in synopses:
+        subset = [r for r in rows if r["synopsis"] == synopsis]
+        bulk = [r for r in subset if r["mode"] == "Bulkload"]
+        nomerge = [r for r in subset if r["mode"] == "NoMerge"]
+        mean = lambda rows_, key: sum(r[key] for r in rows_) / len(rows_)
+        # (1) More components -> more estimator work.
+        assert all(r["components"] == 1 for r in bulk)
+        assert all(r["components"] > 1 for r in nomerge)
+        assert mean(nomerge, "overhead_ms") > mean(bulk, "overhead_ms")
+        # (2) Still cheap in absolute terms.
+        assert mean(nomerge, "overhead_ms") < 50.0
+        # (3) The space effect dominates: catalog grows ~linearly with
+        # the component count.
+        assert mean(nomerge, "catalog_bytes") > 5 * mean(bulk, "catalog_bytes")
+
+    (results_dir / "fig8_mergeability.txt").write_text(fig8.format_results(rows))

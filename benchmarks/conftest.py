@@ -1,0 +1,54 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every figure benchmark runs its experiment once under pytest-benchmark
+timing, asserts the result *shape* the paper reports, and writes the
+formatted result table to ``benchmarks/results/`` so EXPERIMENTS.md can
+reference concrete numbers.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (default, minutes for the whole directory) or ``medium``
+(closer to the paper's ratios).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments.common import (
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    ExperimentScale,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The experiment scale selected via REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name == "medium":
+        return MEDIUM_SCALE
+    if name == "small":
+        return SMALL_SCALE
+    raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r} (small|medium)")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the formatted result tables are written into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under benchmark timing.
+
+    The experiments are full pipelines (ingest + evaluate), so a single
+    timed round is the meaningful measurement -- pytest-benchmark's
+    default multi-round calibration would re-ingest dozens of times.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,163 @@
+"""Command-line harness for the reproduction experiments.
+
+Regenerates any (or every) figure of the paper's evaluation section and
+prints/saves the result tables::
+
+    python -m repro list
+    python -m repro run fig3 --scale small
+    python -m repro run-all --scale medium --out results/
+
+Scales: ``small`` (default; the whole suite takes a couple of minutes)
+and ``medium`` (closer to the paper's ratios).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.eval.experiments import (
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+)
+from repro.eval.experiments import extensions
+from repro.eval.experiments.common import ExperimentScale
+
+__all__ = ["main", "EXPERIMENTS"]
+
+_Descriptor = tuple[str, Callable[[ExperimentScale], Any], Callable[[Any], str]]
+
+EXPERIMENTS: dict[str, _Descriptor] = {
+    "fig2": (
+        "Ingestion overhead: NoStats vs EquiWidth/EquiHeight/Wavelet "
+        "(bulkload + feeds)",
+        lambda scale: fig2.run(scale),
+        fig2.format_results,
+    ),
+    "fig3": (
+        "Accuracy vs synopsis size (16..1024), 3 frequency x 6 spread dists",
+        lambda scale: fig3.run(scale),
+        fig3.format_results,
+    ),
+    "fig4": (
+        "Accuracy vs query type (Point/FixedLength/HalfOpen/Random)",
+        lambda scale: fig4.run(scale),
+        fig4.format_results,
+    ),
+    "fig5": (
+        "Accuracy vs FixedLength query length (8..256)",
+        lambda scale: fig5.run(scale),
+        fig5.format_results,
+    ),
+    "fig6": (
+        "Accuracy + query overhead vs number of LSM components (8..128)",
+        lambda scale: fig6.run(scale),
+        fig6.format_results,
+    ),
+    "fig7": (
+        "Accuracy vs update/delete (anti-matter) ratio (0..0.3)",
+        lambda scale: fig7.run(scale),
+        fig7.format_results,
+    ),
+    "fig8": (
+        "Query overhead: Bulkload (1 component) vs NoMerge (many)",
+        lambda scale: fig8.run(scale),
+        fig8.format_results,
+    ),
+    "fig9": (
+        "Accuracy on the WorldCup-like dataset, 6 fields x budgets 16..256",
+        lambda scale: fig9.run(scale),
+        fig9.format_results,
+    ),
+    "ext-multidim": (
+        "[extension] 2-D synopses vs the independence assumption on "
+        "correlated attributes",
+        lambda scale: extensions.run_multidim(scale),
+        extensions.format_multidim_results,
+    ),
+    "ext-rtree": (
+        "[extension] LSM-ified R-tree: MBR pruning + piggybacked 2-D stats",
+        lambda scale: extensions.run_rtree(scale),
+        extensions.format_rtree_results,
+    ),
+}
+
+_SCALES = {"small": SMALL_SCALE, "medium": MEDIUM_SCALE}
+
+
+def _run_experiment(
+    name: str, scale: ExperimentScale, out_dir: Path | None
+) -> str:
+    description, run, render = EXPERIMENTS[name]
+    print(f"== {name}: {description}", file=sys.stderr)
+    started = time.perf_counter()
+    results = run(scale)
+    elapsed = time.perf_counter() - started
+    print(f"   done in {elapsed:.1f}s", file=sys.stderr)
+    text = render(results)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_common(run_parser)
+
+    all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    _add_common(all_parser)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (description, _run, _render) in sorted(EXPERIMENTS.items()):
+            print(f"{name}: {description}")
+        return 0
+
+    scale = _SCALES[args.scale]
+    out_dir = Path(args.out) if args.out else None
+    names = [args.experiment] if args.command == "run" else sorted(EXPERIMENTS)
+    for name in names:
+        print(_run_experiment(name, scale, out_dir))
+        print()
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write the result tables into",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

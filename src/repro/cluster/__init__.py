@@ -1,0 +1,34 @@
+"""Simulated shared-nothing cluster (the paper's 4+1-node testbed)."""
+
+from repro.cluster.cluster import LSMCluster
+from repro.cluster.feeds import (
+    ChangeableFeed,
+    DatasetFeedAdapter,
+    FeedOperation,
+    FeedRecord,
+    FileFeed,
+    SocketFeed,
+)
+from repro.cluster.master import ClusterController
+from repro.cluster.network import Network, NetworkStats
+from repro.cluster.node import NetworkStatisticsSink, StorageNode
+from repro.cluster.partitioner import HashPartitioner
+from repro.cluster.query import DistributedQueryExecutor, DistributedQueryResult
+
+__all__ = [
+    "LSMCluster",
+    "ClusterController",
+    "StorageNode",
+    "NetworkStatisticsSink",
+    "Network",
+    "NetworkStats",
+    "HashPartitioner",
+    "DistributedQueryExecutor",
+    "DistributedQueryResult",
+    "SocketFeed",
+    "FileFeed",
+    "ChangeableFeed",
+    "DatasetFeedAdapter",
+    "FeedOperation",
+    "FeedRecord",
+]

@@ -1,0 +1,202 @@
+"""The cluster facade: the paper's 4+1-node testbed in miniature.
+
+``LSMCluster`` wires a master (:class:`ClusterController`) to a set of
+storage nodes over the simulated network, hash-partitions records by
+primary key, and exposes dataset DDL/DML plus both ground-truth counts
+(fanned out to every partition) and statistics-based estimates
+(answered from the master's catalog alone -- the whole point of the
+framework is that estimation touches no data nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.config import StatisticsConfig
+from repro.cluster.master import ClusterController
+from repro.cluster.network import Network
+from repro.cluster.node import StorageNode
+from repro.cluster.partitioner import HashPartitioner
+from repro.core.estimator import EstimateResult
+from repro.errors import ClusterError
+from repro.lsm.dataset import IndexSpec, secondary_index_name
+from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
+from repro.types import Domain
+
+__all__ = ["LSMCluster"]
+
+
+class LSMCluster:
+    """A shared-nothing cluster of storage nodes plus one master.
+
+    Defaults mirror the paper's setup: 4 slave nodes with 2 data
+    partitions each (8 partitions total) and one master.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        partitions_per_node: int = 2,
+        stats_config: StatisticsConfig | None = None,
+    ) -> None:
+        if num_nodes < 1 or partitions_per_node < 1:
+            raise ClusterError("cluster needs at least one node and partition")
+        self.stats_config = (
+            stats_config if stats_config is not None else StatisticsConfig()
+        )
+        self.network = Network()
+        self.master = ClusterController(
+            self.network, cache_merged=self.stats_config.cache_merged
+        )
+        self.nodes: list[StorageNode] = []
+        self._partition_owner: dict[int, StorageNode] = {}
+        partition_id = 0
+        for node_index in range(num_nodes):
+            partition_ids = list(
+                range(partition_id, partition_id + partitions_per_node)
+            )
+            partition_id += partitions_per_node
+            node = StorageNode(
+                f"nc{node_index + 1}",
+                self.network,
+                self.master.node_id,
+                partition_ids,
+                self.stats_config,
+            )
+            self.nodes.append(node)
+            for owned in partition_ids:
+                self._partition_owner[owned] = node
+        self.partitioner = HashPartitioner(len(self._partition_owner))
+        self._dataset_names: set[str] = set()
+        self._primary_keys: dict[str, str] = {}
+        self._index_specs: dict[str, list] = {}
+
+    @property
+    def num_partitions(self) -> int:
+        """Total data partitions across all nodes."""
+        return len(self._partition_owner)
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_dataset(
+        self,
+        name: str,
+        primary_key: str,
+        primary_domain: Domain,
+        indexes: Iterable[IndexSpec] = (),
+        memtable_capacity: int = DEFAULT_MEMTABLE_CAPACITY,
+        merge_policy_factory: Callable[[], MergePolicy] | None = None,
+    ) -> None:
+        """Create the dataset on every partition of every node."""
+        if name in self._dataset_names:
+            raise ClusterError(f"dataset {name!r} already exists")
+        index_specs = list(indexes)
+        for node in self.nodes:
+            node.create_dataset(
+                name,
+                primary_key,
+                primary_domain,
+                index_specs,
+                memtable_capacity=memtable_capacity,
+                merge_policy_factory=merge_policy_factory,
+            )
+        self._dataset_names.add(name)
+        self._primary_keys[name] = primary_key
+        self._index_specs[name] = index_specs
+
+    # -- DML (routed by primary key hash) ------------------------------------
+
+    def insert(self, name: str, document: dict[str, Any]) -> None:
+        node, partition_id = self._route(name, document)
+        node.insert(name, partition_id, document)
+
+    def update(self, name: str, document: dict[str, Any]) -> bool:
+        node, partition_id = self._route(name, document)
+        return node.update(name, partition_id, document)
+
+    def delete(self, name: str, pk: Any) -> bool:
+        partition_id = self.partitioner.partition_of(pk)
+        return self._partition_owner[partition_id].delete(name, partition_id, pk)
+
+    def bulkload(self, name: str, documents: Iterable[dict[str, Any]]) -> None:
+        """Partitioned parallel load: split by PK hash, one bulkload per
+        partition, each producing a single disk component."""
+        self._check_dataset(name)
+        pk_field = self._primary_keys[name]
+        batches: dict[int, list[dict[str, Any]]] = {
+            p: [] for p in self._partition_owner
+        }
+        for document in documents:
+            batches[self.partitioner.partition_of(document[pk_field])].append(
+                document
+            )
+        for partition_id, batch in batches.items():
+            batch.sort(key=lambda doc: doc[pk_field])
+            self._partition_owner[partition_id].bulkload(name, partition_id, batch)
+
+    def flush_all(self, name: str) -> None:
+        """Force a coordinated flush of the dataset on every partition."""
+        self._check_dataset(name)
+        for node in self.nodes:
+            node.flush(name)
+
+    # -- queries --------------------------------------------------------------
+
+    def count_secondary_range(self, name: str, index_name: str, lo: Any, hi: Any) -> int:
+        """Ground truth: fan the count out to every node and sum."""
+        self._check_dataset(name)
+        return sum(
+            node.count_secondary_range(name, index_name, lo, hi)
+            for node in self.nodes
+        )
+
+    def count_records(self, name: str) -> int:
+        """Cluster-wide live record count."""
+        self._check_dataset(name)
+        return sum(node.count_records(name) for node in self.nodes)
+
+    def estimate(self, name: str, index_name: str, lo: int, hi: int) -> float:
+        """Statistics-based estimate, answered by the master alone."""
+        return self.estimate_detailed(name, index_name, lo, hi).estimate
+
+    def estimate_detailed(
+        self, name: str, index_name: str, lo: int, hi: int
+    ) -> EstimateResult:
+        """Estimate with overhead/caching diagnostics."""
+        self._check_dataset(name)
+        full_name = (
+            secondary_index_name(name, "primary")
+            if index_name == "primary"
+            else secondary_index_name(name, index_name)
+        )
+        return self.master.estimate_detailed(full_name, lo, hi)
+
+    def index_specs(self, name: str) -> list:
+        """The index declarations of a dataset (as created)."""
+        self._check_dataset(name)
+        return list(self._index_specs[name])
+
+    def datasets_of(self, name: str):
+        """Every partition's dataset instance (for physical execution)."""
+        self._check_dataset(name)
+        for node in self.nodes:
+            for partition_id in node.partition_ids:
+                yield node.dataset(name, partition_id)
+
+    def component_count(self, name: str, index_name: str) -> int:
+        """Live disk components of one index across the cluster."""
+        self._check_dataset(name)
+        return sum(node.component_count(name, index_name) for node in self.nodes)
+
+    # -- internals --------------------------------------------------------------
+
+    def _route(self, name: str, document: dict[str, Any]) -> tuple[StorageNode, int]:
+        self._check_dataset(name)
+        pk = document[self._primary_keys[name]]
+        partition_id = self.partitioner.partition_of(pk)
+        return self._partition_owner[partition_id], partition_id
+
+    def _check_dataset(self, name: str) -> None:
+        if name not in self._dataset_names:
+            raise ClusterError(f"unknown dataset {name!r}")

@@ -1,0 +1,80 @@
+"""The cluster controller (master node).
+
+Receives per-component synopses from storage nodes, persists them in
+the system catalog, and serves cardinality estimates to the query
+optimizer -- including the merged-synopsis cache of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.cache import MergedSynopsisCache
+from repro.core.catalog import StatisticsCatalog
+from repro.core.estimator import CardinalityEstimator, EstimateResult
+from repro.cluster.network import Network
+from repro.errors import ClusterError
+from repro.synopses.factory import synopsis_from_payload
+
+__all__ = ["ClusterController"]
+
+
+class ClusterController:
+    """Master node: statistics catalog, cache and estimator."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str = "cc",
+        cache_merged: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.catalog = StatisticsCatalog()
+        self.cache = MergedSynopsisCache() if cache_merged else None
+        self.estimator = CardinalityEstimator(self.catalog, self.cache)
+        self.stats_messages_received = 0
+        network.register(node_id, self._on_message)
+
+    def estimate(self, index_name: str, lo: int, hi: int) -> float:
+        """Cluster-wide cardinality estimate for a key range."""
+        return self.estimator.estimate(index_name, lo, hi)
+
+    def estimate_detailed(self, index_name: str, lo: int, hi: int) -> EstimateResult:
+        """Estimate with overhead/caching diagnostics."""
+        return self.estimator.estimate_detailed(index_name, lo, hi)
+
+    # -- message handling ---------------------------------------------------
+
+    def _on_message(self, source: str, message: dict[str, Any]) -> None:
+        kind = message.get("kind")
+        if kind == "stats.publish":
+            self._handle_publish(source, message)
+        elif kind == "stats.retract":
+            self._handle_retract(source, message)
+        else:
+            raise ClusterError(f"unknown message kind {kind!r} from {source}")
+
+    def _handle_publish(self, source: str, message: dict[str, Any]) -> None:
+        self.stats_messages_received += 1
+        index_name = message["index"]
+        self.catalog.put(
+            index_name,
+            source,
+            message["partition"],
+            message["component_uid"],
+            synopsis_from_payload(message["synopsis"]),
+            synopsis_from_payload(message["anti_synopsis"]),
+        )
+        if self.cache is not None:
+            self.cache.invalidate(index_name)
+
+    def _handle_retract(self, source: str, message: dict[str, Any]) -> None:
+        index_name = message["index"]
+        self.catalog.retract(
+            index_name,
+            source,
+            message["partition"],
+            message["component_uids"],
+        )
+        if self.cache is not None:
+            self.cache.invalidate(index_name)

@@ -1,0 +1,70 @@
+"""A synchronous in-process network with serialisation accounting.
+
+Stands in for the Gigabit Ethernet of the paper's 4+1-node cluster.
+Messages are JSON-serialisable dicts; every send is charged its
+serialised size, so experiments can report how much synopsis traffic
+the statistics framework generates (Section 3.4: each local synopsis
+"is sent over the network to the master node").
+
+Delivery is synchronous and ordered -- adequate for the statistics
+protocol, which tolerates any interleaving anyway because the catalog
+is keyed by component.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ClusterError
+
+__all__ = ["NetworkStats", "Network"]
+
+MessageHandler = Callable[[str, dict[str, Any]], None]
+
+
+@dataclass
+class NetworkStats:
+    """Traffic counters, overall and per destination."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    per_destination: dict[str, int] = field(default_factory=dict)
+
+    def record(self, destination: str, size: int) -> None:
+        """Charge one message of ``size`` bytes to ``destination``."""
+        self.messages += 1
+        self.bytes_sent += size
+        self.per_destination[destination] = (
+            self.per_destination.get(destination, 0) + size
+        )
+
+
+class Network:
+    """Registry of node endpoints with synchronous message delivery."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, MessageHandler] = {}
+        self.stats = NetworkStats()
+
+    def register(self, node_id: str, handler: MessageHandler) -> None:
+        """Attach a node endpoint; one handler per node id."""
+        if node_id in self._handlers:
+            raise ClusterError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def send(self, source: str, destination: str, message: dict[str, Any]) -> int:
+        """Serialise, account and deliver a message; returns its size."""
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise ClusterError(f"unknown destination node {destination!r}")
+        size = len(json.dumps(message, separators=(",", ":")).encode())
+        self.stats.record(destination, size)
+        handler(source, message)
+        return size
+
+    @property
+    def node_ids(self) -> list[str]:
+        """All registered endpoints."""
+        return sorted(self._handlers)

@@ -1,0 +1,193 @@
+"""Storage nodes of the simulated shared-nothing cluster.
+
+Each node owns a set of data partitions; each partition holds an
+independent :class:`~repro.lsm.dataset.Dataset` instance (its own
+memtables, disk components and merge policy), exactly like AsterixDB's
+node controllers with two data partitions per machine.  Statistics
+built on a node are shipped to the cluster controller through the
+network channel rather than written into a local catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.collector import StatisticsCollector
+from repro.core.config import StatisticsConfig
+from repro.cluster.network import Network
+from repro.errors import ClusterError
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
+from repro.synopses.base import Synopsis
+from repro.types import Domain
+
+__all__ = ["NetworkStatisticsSink", "StorageNode"]
+
+
+class NetworkStatisticsSink:
+    """Statistics sink that ships synopses to the master over the wire."""
+
+    def __init__(
+        self, network: Network, node_id: str, master_id: str, partition_id: int
+    ) -> None:
+        self._network = network
+        self._node_id = node_id
+        self._master_id = master_id
+        self._partition_id = partition_id
+
+    def publish(
+        self,
+        index_name: str,
+        component_uid: int,
+        synopsis: Synopsis,
+        anti_synopsis: Synopsis,
+    ) -> None:
+        self._network.send(
+            self._node_id,
+            self._master_id,
+            {
+                "kind": "stats.publish",
+                "index": index_name,
+                "partition": self._partition_id,
+                "component_uid": component_uid,
+                "synopsis": synopsis.to_payload(),
+                "anti_synopsis": anti_synopsis.to_payload(),
+            },
+        )
+
+    def retract(self, index_name: str, component_uids: list[int]) -> None:
+        self._network.send(
+            self._node_id,
+            self._master_id,
+            {
+                "kind": "stats.retract",
+                "index": index_name,
+                "partition": self._partition_id,
+                "component_uids": list(component_uids),
+            },
+        )
+
+
+class StorageNode:
+    """One slave node: local disks, datasets and statistics collectors."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: Network,
+        master_id: str,
+        partition_ids: Iterable[int],
+        stats_config: StatisticsConfig,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.master_id = master_id
+        self.partition_ids = list(partition_ids)
+        if not self.partition_ids:
+            raise ClusterError(f"node {node_id!r} owns no partitions")
+        self.stats_config = stats_config
+        self.disk = SimulatedDisk()
+        # dataset name -> partition id -> Dataset
+        self._datasets: dict[str, dict[int, Dataset]] = {}
+        network.register(node_id, self._on_message)
+
+    def create_dataset(
+        self,
+        name: str,
+        primary_key: str,
+        primary_domain: Domain,
+        indexes: Iterable[IndexSpec] = (),
+        memtable_capacity: int = DEFAULT_MEMTABLE_CAPACITY,
+        merge_policy_factory: Callable[[], MergePolicy] | None = None,
+    ) -> None:
+        """Instantiate the dataset on every partition this node owns."""
+        if name in self._datasets:
+            raise ClusterError(f"dataset {name!r} already exists on {self.node_id}")
+        index_specs = list(indexes)
+        per_partition: dict[int, Dataset] = {}
+        for partition_id in self.partition_ids:
+            dataset = Dataset(
+                name,
+                self.disk,
+                primary_key=primary_key,
+                primary_domain=primary_domain,
+                indexes=index_specs,
+                memtable_capacity=memtable_capacity,
+                merge_policy=(
+                    merge_policy_factory() if merge_policy_factory else None
+                ),
+            )
+            if self.stats_config.enabled:
+                sink = NetworkStatisticsSink(
+                    self.network, self.node_id, self.master_id, partition_id
+                )
+                collector = StatisticsCollector(self.stats_config, sink)
+                collector.register_index(dataset.primary.name, primary_domain)
+                for spec in index_specs:
+                    collector.register_index(
+                        dataset.secondary_tree(spec.name).name, spec.domain
+                    )
+                dataset.event_bus.subscribe(collector)
+            per_partition[partition_id] = dataset
+        self._datasets[name] = per_partition
+
+    def dataset(self, name: str, partition_id: int) -> Dataset:
+        """The dataset instance of one local partition."""
+        try:
+            return self._datasets[name][partition_id]
+        except KeyError:
+            raise ClusterError(
+                f"no dataset {name!r} partition {partition_id} on {self.node_id}"
+            ) from None
+
+    # -- operations routed from the cluster facade --------------------------
+
+    def insert(self, name: str, partition_id: int, document: dict[str, Any]) -> None:
+        self.dataset(name, partition_id).insert(document)
+
+    def update(self, name: str, partition_id: int, document: dict[str, Any]) -> bool:
+        return self.dataset(name, partition_id).update(document)
+
+    def delete(self, name: str, partition_id: int, pk: Any) -> bool:
+        return self.dataset(name, partition_id).delete(pk)
+
+    def bulkload(
+        self, name: str, partition_id: int, documents: list[dict[str, Any]]
+    ) -> None:
+        self.dataset(name, partition_id).bulkload(documents)
+
+    def flush(self, name: str) -> None:
+        """Force-flush the dataset on all local partitions."""
+        for dataset in self._datasets.get(name, {}).values():
+            dataset.flush()
+
+    def count_secondary_range(
+        self, name: str, index_name: str, lo: Any, hi: Any
+    ) -> int:
+        """Local ground-truth contribution to a cluster-wide count."""
+        return sum(
+            dataset.count_secondary_range(index_name, lo, hi)
+            for dataset in self._datasets.get(name, {}).values()
+        )
+
+    def count_records(self, name: str) -> int:
+        """Local live record count."""
+        return sum(
+            dataset.count_records()
+            for dataset in self._datasets.get(name, {}).values()
+        )
+
+    def component_count(self, name: str, index_name: str) -> int:
+        """Total live components across local partitions of one index."""
+        return sum(
+            len(dataset.secondary_tree(index_name).components)
+            for dataset in self._datasets.get(name, {}).values()
+        )
+
+    def _on_message(self, source: str, message: dict[str, Any]) -> None:
+        raise ClusterError(
+            f"storage node {self.node_id} received unexpected message "
+            f"{message.get('kind')!r} from {source}"
+        )

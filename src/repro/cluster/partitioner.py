@@ -1,0 +1,41 @@
+"""Hash partitioning of primary keys across cluster partitions.
+
+AsterixDB hash-partitions datasets across the data partitions of its
+shared-nothing cluster (the paper's testbed exposes 8 partitions over 4
+nodes).  The hash is deterministic across processes -- Python's builtin
+``hash`` is salted for strings, so integers use Knuth's multiplicative
+hash and everything else a digest of its repr.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.errors import ClusterError
+
+__all__ = ["HashPartitioner"]
+
+_KNUTH = 2654435761
+_MASK = (1 << 32) - 1
+
+
+class HashPartitioner:
+    """Maps primary keys to partition numbers ``0 .. n-1``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ClusterError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key: Any) -> int:
+        """The partition that owns ``key``."""
+        if isinstance(key, int):
+            hashed = (key * _KNUTH) & _MASK
+            hashed ^= hashed >> 16
+        else:
+            digest = hashlib.md5(repr(key).encode()).digest()
+            hashed = int.from_bytes(digest[:4], "little")
+        return hashed % self.num_partitions

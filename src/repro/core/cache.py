@@ -1,0 +1,81 @@
+"""The merged-synopsis cache (Algorithm 2's fast path).
+
+"To amortize the cost of computing estimates during query optimization,
+we periodically merge appropriate synopses (i.e., wavelets and
+equi-width histograms) and cache the produced synopsis on the Cluster
+Controller side ... we recompute a whole combined synopsis whenever a
+new piece of statistics is received from a storage node rather than
+maintaining it incrementally, and we invalidate the previous merged
+version at that time." (Section 3.5)
+
+Staleness is detected by comparing the cached catalog version against
+the catalog's current per-index version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synopses.base import Synopsis
+
+__all__ = ["CachedMergedSynopsis", "MergedSynopsisCache"]
+
+
+@dataclass(frozen=True)
+class CachedMergedSynopsis:
+    """A merged synopsis pair plus the catalog version it was built at."""
+
+    synopsis: Synopsis
+    anti_synopsis: Synopsis
+    version: int
+
+
+class MergedSynopsisCache:
+    """Per-index cache of merged (regular, anti-matter) synopses."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, CachedMergedSynopsis] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, index_name: str, current_version: int) -> CachedMergedSynopsis | None:
+        """The cached merge, or ``None`` when absent or stale.
+
+        A stale entry is invalidated on sight (Algorithm 2 lines 6-8).
+        """
+        cached = self._cache.get(index_name)
+        if cached is None:
+            self.misses += 1
+            return None
+        if cached.version != current_version:
+            del self._cache[index_name]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cached
+
+    def put(
+        self,
+        index_name: str,
+        synopsis: Synopsis,
+        anti_synopsis: Synopsis,
+        version: int,
+    ) -> None:
+        """Cache the merged pair computed at catalog ``version``."""
+        self._cache[index_name] = CachedMergedSynopsis(
+            synopsis, anti_synopsis, version
+        )
+
+    def invalidate(self, index_name: str) -> None:
+        """Explicitly drop a cached merge."""
+        if self._cache.pop(index_name, None) is not None:
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop everything (does not reset counters)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

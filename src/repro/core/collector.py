@@ -1,0 +1,303 @@
+"""The statistics collector: the LSM event observer.
+
+This is the heart of the paper's framework.  The collector subscribes
+to an LSM event bus; every time a disk component is written (flush,
+merge or bulkload) it taps the key-sorted bulkload stream and feeds two
+streaming builders -- one for matter records, one for anti-matter
+(Section 3.3's synopsis-agnostic "anti"-twin).  When the component is
+sealed, both synopses are handed to a :class:`StatisticsSink` --
+a local catalog in single-node setups, a network shipper in the
+cluster simulation.
+
+Merges publish a fresh synopsis built from the merge cursor's stream
+and retract the inputs' entries: "when computing local statistics
+during an LSM-merge we choose to create new synopses from scratch
+directly on the newly merged component, discarding earlier statistics
+altogether" (Section 3.5).
+
+Two kinds of registration:
+
+* :meth:`StatisticsCollector.register_index` -- statistics on the
+  index's own key (PK or SK), the paper's shipped scope; the sorted
+  order comes for free from the index.
+* :meth:`StatisticsCollector.register_attribute` -- statistics on an
+  arbitrary record attribute observed through an index's stream, in
+  which the attribute's values arrive *unsorted*.  Only order-
+  insensitive synopsis families (GK sketches, reservoir samples) can
+  serve this, which is exactly the paper's Section 5 future-work
+  scenario ("relax the condition of relying on a sorted order ...
+  methods based on sketches seem to be a promising data summary").
+  Known limitation, inherited from the mechanism itself: primary-index
+  tombstones carry no attribute values, so attribute-level anti-matter
+  cannot be summarised -- deletes are invisible to attribute statistics
+  until a merge reconciles them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.core.config import StatisticsConfig
+from repro.errors import ConfigurationError
+from repro.lsm.component import DiskComponent
+from repro.lsm.events import ComponentWriteContext, RecordSink
+from repro.lsm.record import Record
+from repro.synopses.base import Synopsis, SynopsisBuilder
+from repro.synopses.factory import create_builder
+from repro.types import Domain
+
+__all__ = [
+    "StatisticsSink",
+    "StatisticsCollector",
+    "CollectorMetrics",
+    "attribute_statistics_key",
+]
+
+
+@dataclass
+class CollectorMetrics:
+    """Observability counters of one collector.
+
+    The paper's overhead argument is made in wall-clock and I/O terms;
+    these counters expose the collector's own share of the work so
+    operators (and the fig2 harness) can attribute it precisely.
+    """
+
+    component_writes: int = 0
+    synopses_published: int = 0
+    matter_records_observed: int = 0
+    antimatter_records_observed: int = 0
+    values_skipped: int = 0
+    finalize_seconds: float = 0.0
+    writes_by_event: dict[str, int] = field(default_factory=dict)
+
+    def record_event(self, event_name: str) -> None:
+        """Count one component write by its lifecycle event."""
+        self.component_writes += 1
+        self.writes_by_event[event_name] = (
+            self.writes_by_event.get(event_name, 0) + 1
+        )
+
+
+def attribute_statistics_key(index_name: str, attribute: str) -> str:
+    """Catalog key for attribute-level statistics tapped off an index."""
+    return f"{index_name}#{attribute}"
+
+
+class StatisticsSink(Protocol):
+    """Destination for freshly built per-component synopses."""
+
+    def publish(
+        self,
+        index_name: str,
+        component_uid: int,
+        synopsis: Synopsis,
+        anti_synopsis: Synopsis,
+    ) -> None:
+        """Deliver the statistics of a newly written component."""
+
+    def retract(self, index_name: str, component_uids: list[int]) -> None:
+        """Drop the statistics of components superseded by a merge."""
+
+
+@dataclass(frozen=True)
+class _Registration:
+    """One statistics target riding on an index's component stream."""
+
+    statistics_key: str
+    index_name: str
+    domain: Domain
+    value_extractor: Callable[[Record], Any] | None  # None -> index key
+
+
+class _RegistrationSink:
+    """Per-registration tap feeding the matter/anti-matter builders."""
+
+    def __init__(
+        self,
+        registration: _Registration,
+        context: ComponentWriteContext,
+        builder: SynopsisBuilder,
+        anti_builder: SynopsisBuilder,
+        sink: StatisticsSink,
+        metrics: CollectorMetrics,
+    ) -> None:
+        self._registration = registration
+        self._extractor = (
+            registration.value_extractor
+            if registration.value_extractor is not None
+            else context.key_extractor
+        )
+        self._builder = builder
+        self._anti_builder = anti_builder
+        self._sink = sink
+        self._metrics = metrics
+
+    def accept(self, record: Record) -> None:
+        value = self._extractor(record)
+        if value is None:
+            # Attribute extractors return None for tombstones (no
+            # payload) or records missing the attribute.
+            self._metrics.values_skipped += 1
+            return
+        if record.antimatter:
+            self._metrics.antimatter_records_observed += 1
+            self._anti_builder.add(value)
+        else:
+            self._metrics.matter_records_observed += 1
+            self._builder.add(value)
+
+    def finish(self, component: DiskComponent) -> None:
+        started = time.perf_counter()
+        synopsis = self._builder.build()
+        anti_synopsis = self._anti_builder.build()
+        self._metrics.finalize_seconds += time.perf_counter() - started
+        self._sink.publish(
+            self._registration.statistics_key,
+            component.uid,
+            synopsis,
+            anti_synopsis,
+        )
+        self._metrics.synopses_published += 2
+
+
+class _CompositeSink:
+    """Fans one component write out to several registration sinks."""
+
+    def __init__(self, sinks: list[_RegistrationSink]) -> None:
+        self._sinks = sinks
+
+    def accept(self, record: Record) -> None:
+        for sink in self._sinks:
+            sink.accept(record)
+
+    def finish(self, component: DiskComponent) -> None:
+        for sink in self._sinks:
+            sink.finish(component)
+
+
+class StatisticsCollector:
+    """LSM event observer building synopses for registered targets."""
+
+    def __init__(self, config: StatisticsConfig, sink: StatisticsSink) -> None:
+        if not config.enabled:
+            raise ConfigurationError(
+                "StatisticsCollector requires an enabled configuration; "
+                "for the NoStats baseline simply do not attach a collector"
+            )
+        self.config = config
+        self.sink = sink
+        self.metrics = CollectorMetrics()
+        # index name -> registrations tapping that index's stream
+        self._registrations: dict[str, list[_Registration]] = {}
+
+    def register_index(self, index_name: str, domain: Domain) -> None:
+        """Enable statistics on one LSM index's key over ``domain``."""
+        self._register(
+            _Registration(index_name, index_name, domain, None)
+        )
+
+    def register_attribute(
+        self,
+        index_name: str,
+        attribute: str,
+        domain: Domain,
+        value_extractor: Callable[[Record], Any] | None = None,
+    ) -> str:
+        """Enable statistics on an arbitrary (unsorted) record attribute.
+
+        The attribute's values are read off ``index_name``'s component
+        stream (normally the primary index, whose records carry the full
+        payload).  Requires an order-insensitive synopsis family; the
+        default extractor reads ``record.value[attribute]``.
+
+        Returns the statistics key to query the estimator with.
+        """
+        synopsis_type = self.config.synopsis_type
+        assert synopsis_type is not None
+        if synopsis_type.requires_sorted_input:
+            raise ConfigurationError(
+                f"synopsis type {synopsis_type.value} requires sorted input "
+                "and cannot summarise a non-indexed attribute; use a "
+                "gk_sketch or reservoir_sample configuration"
+            )
+        if value_extractor is None:
+            def value_extractor(record: Record) -> Any:
+                payload = record.value
+                if not isinstance(payload, dict):
+                    return None
+                return payload.get(attribute)
+
+        key = attribute_statistics_key(index_name, attribute)
+        self._register(_Registration(key, index_name, domain, value_extractor))
+        return key
+
+    def _register(self, registration: _Registration) -> None:
+        bucket = self._registrations.setdefault(registration.index_name, [])
+        bucket[:] = [
+            existing
+            for existing in bucket
+            if existing.statistics_key != registration.statistics_key
+        ]
+        bucket.append(registration)
+
+    def registered_keys(self) -> list[str]:
+        """All statistics keys with collection enabled."""
+        return sorted(
+            registration.statistics_key
+            for bucket in self._registrations.values()
+            for registration in bucket
+        )
+
+    # Backwards-compatible alias: index registrations keyed by name.
+    def registered_indexes(self) -> list[str]:
+        """All statistics keys (index names and attribute keys)."""
+        return self.registered_keys()
+
+    # -- LSMEventObserver ----------------------------------------------------
+
+    def begin_component_write(
+        self, context: ComponentWriteContext
+    ) -> RecordSink | None:
+        registrations = self._registrations.get(context.index_name)
+        if not registrations:
+            return None
+        synopsis_type = self.config.synopsis_type
+        assert synopsis_type is not None
+        self.metrics.record_event(context.event_type.value)
+        sinks = [
+            _RegistrationSink(
+                registration,
+                context,
+                create_builder(
+                    synopsis_type,
+                    registration.domain,
+                    self.config.budget,
+                    context.expected_records,
+                ),
+                create_builder(
+                    synopsis_type,
+                    registration.domain,
+                    self.config.budget,
+                    context.expected_records,
+                ),
+                self.sink,
+                self.metrics,
+            )
+            for registration in registrations
+        ]
+        if len(sinks) == 1:
+            return sinks[0]
+        return _CompositeSink(sinks)
+
+    def component_replaced(
+        self,
+        index_name: str,
+        old_components: tuple[DiskComponent, ...],
+        new_component: DiskComponent,
+    ) -> None:
+        uids = [c.uid for c in old_components]
+        for registration in self._registrations.get(index_name, ()):
+            self.sink.retract(registration.statistics_key, uids)

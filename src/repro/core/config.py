@@ -1,0 +1,53 @@
+"""Statistics framework configuration.
+
+Mirrors the paper's system configuration: the synopsis type and the
+per-synopsis element budget ("The construction algorithms each produce
+a synopsis with a predefined number of elements (bucket/coefficient
+budget) that is specified in the system's configuration file",
+Section 3.2).  A ``synopsis_type`` of ``None`` is the evaluation's
+*NoStats* baseline: the collector is disabled entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.synopses.base import SynopsisType
+
+__all__ = ["StatisticsConfig", "DEFAULT_BUDGET"]
+
+DEFAULT_BUDGET = 256
+"""The budget the paper fixes after Section 4.3.1 ("the synopsis with
+256 elements provides excellent accuracy")."""
+
+
+@dataclass(frozen=True)
+class StatisticsConfig:
+    """Immutable configuration of the statistics-collection framework.
+
+    Attributes:
+        synopsis_type: Which synopsis family to build, or ``None`` to
+            disable statistics collection (the NoStats baseline).
+        budget: Elements (buckets or coefficients) per synopsis.
+        cache_merged: Whether the cluster controller caches merged
+            synopses for mergeable types (Algorithm 2's fast path).
+    """
+
+    synopsis_type: SynopsisType | None = SynopsisType.EQUI_WIDTH
+    budget: int = DEFAULT_BUDGET
+    cache_merged: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {self.budget}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether statistics collection is active."""
+        return self.synopsis_type is not None
+
+    @classmethod
+    def disabled(cls) -> "StatisticsConfig":
+        """The NoStats baseline configuration."""
+        return cls(synopsis_type=None)

@@ -1,0 +1,74 @@
+"""Catalog persistence.
+
+The paper persists synopses "in the system catalog, so that [they] can
+be used during query optimization" (Section 3.4) -- surviving restarts
+is the point of a catalog.  This module serialises a
+:class:`~repro.core.catalog.StatisticsCatalog` to a JSON file and
+restores it, re-inserting entries in their original version order so
+relative freshness (which the merged-synopsis cache's staleness check
+relies on) is preserved.  Absolute version numbers restart from the
+entry count, which is harmless: caches are empty after a restart.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.catalog import StatisticsCatalog
+from repro.errors import CatalogError
+from repro.synopses.factory import synopsis_from_payload
+
+__all__ = ["save_catalog", "load_catalog", "CATALOG_FORMAT_VERSION"]
+
+CATALOG_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: StatisticsCatalog, path: str | Path) -> int:
+    """Serialise every live entry; returns the number written."""
+    entries: list[dict[str, Any]] = []
+    for index_name in catalog.index_names():
+        for entry in catalog.entries_for(index_name):
+            entries.append(
+                {
+                    "index": entry.index_name,
+                    "node": entry.node_id,
+                    "partition": entry.partition_id,
+                    "component_uid": entry.component_uid,
+                    "version": entry.version,
+                    "synopsis": entry.synopsis.to_payload(),
+                    "anti_synopsis": entry.anti_synopsis.to_payload(),
+                }
+            )
+    entries.sort(key=lambda e: e["version"])
+    document = {"format": CATALOG_FORMAT_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(document))
+    return len(entries)
+
+
+def load_catalog(path: str | Path) -> StatisticsCatalog:
+    """Restore a catalog saved by :func:`save_catalog`."""
+    path = Path(path)
+    if not path.exists():
+        raise CatalogError(f"no catalog file at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CatalogError(f"corrupt catalog file {path}: {exc}") from exc
+    if document.get("format") != CATALOG_FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported catalog format {document.get('format')!r} "
+            f"(expected {CATALOG_FORMAT_VERSION})"
+        )
+    catalog = StatisticsCatalog()
+    for entry in document["entries"]:
+        catalog.put(
+            entry["index"],
+            entry["node"],
+            entry["partition"],
+            entry["component_uid"],
+            synopsis_from_payload(entry["synopsis"]),
+            synopsis_from_payload(entry["anti_synopsis"]),
+        )
+    return catalog

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DomainError(ReproError):
+    """A value fell outside its declared fixed-width integer domain."""
+
+
+class StorageError(ReproError):
+    """The simulated storage layer was used incorrectly."""
+
+
+class ComponentStateError(StorageError):
+    """An LSM component was used in an illegal lifecycle state."""
+
+
+class BulkloadError(StorageError):
+    """A bulkload stream violated its contract (e.g. unsorted input)."""
+
+
+class SynopsisError(ReproError):
+    """A statistical synopsis was built or queried incorrectly."""
+
+
+class MergeabilityError(SynopsisError):
+    """A merge was attempted on synopses that cannot be combined."""
+
+
+class CatalogError(ReproError):
+    """The statistics catalog was queried for missing/invalid entries."""
+
+
+class ClusterError(ReproError):
+    """A simulated cluster operation failed."""
+
+
+class QueryError(ReproError):
+    """A query or predicate was malformed."""

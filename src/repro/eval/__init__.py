@@ -1,0 +1,25 @@
+"""Evaluation harness: metrics, labs, pipelines and figure drivers."""
+
+from repro.eval.lab import AccuracyLab, ChangeableWorkloadLab, SynopsisSetup
+from repro.eval.metrics import (
+    ErrorAccumulator,
+    ErrorMetrics,
+    normalized_absolute_error,
+)
+from repro.eval.pipeline import IngestionBenchmark, IngestionMode, IngestionReport
+from repro.eval.reporting import format_table
+from repro.eval.truth import FrequencyIndex
+
+__all__ = [
+    "normalized_absolute_error",
+    "ErrorAccumulator",
+    "ErrorMetrics",
+    "FrequencyIndex",
+    "AccuracyLab",
+    "ChangeableWorkloadLab",
+    "SynopsisSetup",
+    "IngestionBenchmark",
+    "IngestionMode",
+    "IngestionReport",
+    "format_table",
+]

@@ -1,0 +1,39 @@
+"""One driver per figure of the paper's evaluation section."""
+
+from repro.eval.experiments import (
+    extensions,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+)
+from repro.eval.experiments.common import (
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    STANDARD_SYNOPSIS_TYPES,
+    ExperimentScale,
+    make_distribution,
+    make_query_generator,
+)
+
+__all__ = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "extensions",
+    "ExperimentScale",
+    "SMALL_SCALE",
+    "MEDIUM_SCALE",
+    "STANDARD_SYNOPSIS_TYPES",
+    "make_distribution",
+    "make_query_generator",
+]

@@ -1,0 +1,107 @@
+"""Shared configuration of the reproduction experiments.
+
+The paper's testbed ingests 50M ~1KB tweets into a 4-node AsterixDB
+cluster over an int32 domain and answers 1000 queries per cell; the
+pure-Python reproduction scales those constants down while preserving
+every *ratio* that the result shapes depend on (synopsis budget vs.
+distinct values, query length vs. spread, component counts).  Two
+presets are provided; every experiment driver takes the scale as a
+parameter, so the full-size run is one argument away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.synopses.base import SynopsisType
+from repro.types import Domain
+from repro.workloads.distributions import (
+    DistributionSpec,
+    FrequencyDistribution,
+    SpreadDistribution,
+    SyntheticDistribution,
+    generate_distribution,
+)
+from repro.workloads.queries import QueryWorkloadGenerator
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL_SCALE",
+    "MEDIUM_SCALE",
+    "STANDARD_SYNOPSIS_TYPES",
+    "make_distribution",
+    "make_query_generator",
+]
+
+STANDARD_SYNOPSIS_TYPES = [
+    SynopsisType.EQUI_HEIGHT,
+    SynopsisType.EQUI_WIDTH,
+    SynopsisType.WAVELET,
+]
+"""The three synopsis families every figure compares."""
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs every experiment driver respects.
+
+    Attributes:
+        domain_length: Length of the secondary-key domain.
+        num_values: Distinct secondary-key values.
+        total_records: Records per synthetic dataset.
+        queries_per_cell: Queries evaluated per result cell.
+        seed: Base RNG seed (each cell derives its own).
+    """
+
+    domain_length: int = 2**16
+    num_values: int = 500
+    total_records: int = 10_000
+    queries_per_cell: int = 200
+    seed: int = 42
+
+    @property
+    def domain(self) -> Domain:
+        """The secondary-key domain."""
+        return Domain(0, self.domain_length - 1)
+
+    def scaled(self, **overrides) -> "ExperimentScale":
+        """A copy with some knobs overridden."""
+        return replace(self, **overrides)
+
+
+SMALL_SCALE = ExperimentScale()
+"""Quick preset: minutes for the whole suite."""
+
+MEDIUM_SCALE = ExperimentScale(
+    domain_length=2**20,
+    num_values=2_000,
+    total_records=50_000,
+    queries_per_cell=500,
+)
+"""Closer to the paper's ratios; tens of minutes for the whole suite."""
+
+
+def make_distribution(
+    scale: ExperimentScale,
+    spread: SpreadDistribution,
+    frequency: FrequencyDistribution,
+    seed_offset: int = 0,
+) -> SyntheticDistribution:
+    """The synthetic dataset of one experiment cell."""
+    return generate_distribution(
+        DistributionSpec(
+            spread=spread,
+            frequency=frequency,
+            domain=scale.domain,
+            num_values=scale.num_values,
+            total_records=scale.total_records,
+            seed=scale.seed + seed_offset,
+        )
+    )
+
+
+def make_query_generator(
+    scale: ExperimentScale, seed_offset: int = 0
+) -> QueryWorkloadGenerator:
+    """A deterministic query generator for one experiment cell."""
+    return QueryWorkloadGenerator(scale.domain, seed=scale.seed + 1_000 + seed_offset)

@@ -1,0 +1,110 @@
+"""Figure 6: accuracy (6a) and query-time overhead (6b) as the number
+of LSM components grows.
+
+The component count is controlled by sizing the memtable so the
+ingestion produces exactly K flushed components (the paper uses the
+Constant merge policy to pin the count).  The *total* space allocated
+to statistics stays fixed: each of the K per-component synopses gets
+``total_budget / K`` elements.  Expected shapes: accuracy degrades
+mildly with K (each synopsis holds fewer elements) and the estimation
+overhead rises mildly (more synopses consulted per query).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import (
+    STANDARD_SYNOPSIS_TYPES,
+    ExperimentScale,
+    SMALL_SCALE,
+    make_distribution,
+    make_query_generator,
+)
+from repro.eval.experiments.fig3 import QUERY_LENGTH
+from repro.eval.lab import AccuracyLab
+from repro.eval.reporting import format_table
+from repro.workloads.distributions import FrequencyDistribution, SpreadDistribution
+from repro.workloads.queries import QueryType
+
+__all__ = ["DEFAULT_COMPONENT_COUNTS", "DEFAULT_TOTAL_BUDGET", "run", "format_results"]
+
+DEFAULT_COMPONENT_COUNTS = [8, 16, 32, 64, 128]
+DEFAULT_TOTAL_BUDGET = 2048
+"""Fixed total statistics space: per-component budget = total / K."""
+
+
+def run(
+    scale: ExperimentScale = SMALL_SCALE,
+    component_counts: list[int] | None = None,
+    total_budget: int = DEFAULT_TOTAL_BUDGET,
+    frequency: FrequencyDistribution = FrequencyDistribution.UNIFORM,
+    spreads: list[SpreadDistribution] | None = None,
+) -> list[dict]:
+    """One row per (spread, synopsis, component count) cell, carrying
+    both the accuracy and the per-query estimation overhead."""
+    component_counts = (
+        component_counts
+        if component_counts is not None
+        else DEFAULT_COMPONENT_COUNTS
+    )
+    spreads = spreads if spreads is not None else list(SpreadDistribution)
+    rows = []
+    cell = 0
+    for spread in spreads:
+        for num_components in component_counts:
+            cell += 1
+            per_component_budget = max(1, total_budget // num_components)
+            distribution = make_distribution(scale, spread, frequency, cell)
+            # Memtable sized for exactly `num_components` flushes.
+            memtable_capacity = -(-scale.total_records // num_components)
+            lab = AccuracyLab(
+                distribution,
+                memtable_capacity=memtable_capacity,
+                seed=scale.seed + cell,
+            )
+            setups = {
+                synopsis_type: lab.add_config(synopsis_type, per_component_budget)
+                for synopsis_type in STANDARD_SYNOPSIS_TYPES
+            }
+            lab.ingest()
+            queries = list(
+                make_query_generator(scale, cell).generate(
+                    QueryType.FIXED_LENGTH, scale.queries_per_cell, QUERY_LENGTH
+                )
+            )
+            for synopsis_type, setup in setups.items():
+                metrics = lab.evaluate(setup, queries)
+                overhead = lab.estimation_overhead(setup, queries, cold=True)
+                rows.append(
+                    {
+                        "spread": spread.value,
+                        "synopsis": synopsis_type.value,
+                        "target_components": num_components,
+                        "components": lab.component_count,
+                        "budget_per_component": per_component_budget,
+                        "l1_error": metrics.l1_error,
+                        "overhead_ms": overhead * 1e3,
+                    }
+                )
+    return rows
+
+
+def format_results(rows: list[dict]) -> str:
+    """Render accuracy (6a) and overhead (6b) tables per synopsis."""
+    sections = []
+    for synopsis in sorted({r["synopsis"] for r in rows}):
+        subset = [r for r in rows if r["synopsis"] == synopsis]
+        sections.append(
+            format_table(
+                ["spread", "components", "normalized L1 error"],
+                [[r["spread"], r["components"], r["l1_error"]] for r in subset],
+                title=f"Figure 6a — {synopsis}: accuracy vs. #components",
+            )
+        )
+        sections.append(
+            format_table(
+                ["spread", "components", "query overhead (ms)"],
+                [[r["spread"], r["components"], r["overhead_ms"]] for r in subset],
+                title=f"Figure 6b — {synopsis}: estimation overhead vs. #components",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,103 @@
+"""Figure 8: query-time overhead, Bulkload vs. NoMerge ingestion.
+
+Bulkload creates a single LSM component (one synopsis to consult);
+feed-based ingestion under the NoMerge policy creates the maximum
+number of components (one synopsis per flush).  Expected shape: the
+NoMerge overhead is consistently higher than Bulkload's, but the
+difference stays sub-millisecond and is similar across synopsis types
+-- mergeability matters for *space*, not per-query latency
+(Section 4.3.5); the companion space numbers make that visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DEFAULT_BUDGET
+from repro.eval.experiments.common import (
+    STANDARD_SYNOPSIS_TYPES,
+    ExperimentScale,
+    SMALL_SCALE,
+    make_distribution,
+    make_query_generator,
+)
+from repro.eval.experiments.fig3 import QUERY_LENGTH
+from repro.eval.lab import AccuracyLab
+from repro.eval.reporting import format_table
+from repro.workloads.distributions import FrequencyDistribution, SpreadDistribution
+from repro.workloads.queries import QueryType
+
+__all__ = ["DEFAULT_NOMERGE_FLUSHES", "run", "format_results"]
+
+DEFAULT_NOMERGE_FLUSHES = 32
+"""Flushed components the NoMerge side accumulates."""
+
+
+def run(
+    scale: ExperimentScale = SMALL_SCALE,
+    budget: int = DEFAULT_BUDGET,
+    nomerge_flushes: int = DEFAULT_NOMERGE_FLUSHES,
+    frequency: FrequencyDistribution = FrequencyDistribution.ZIPF,
+    spreads: list[SpreadDistribution] | None = None,
+) -> list[dict]:
+    """One row per (spread, synopsis, ingestion mode) cell."""
+    spreads = spreads if spreads is not None else list(SpreadDistribution)
+    rows = []
+    cell = 0
+    for spread in spreads:
+        for mode, memtable_capacity in [
+            ("Bulkload", None),
+            ("NoMerge", -(-scale.total_records // nomerge_flushes)),
+        ]:
+            cell += 1
+            distribution = make_distribution(scale, spread, frequency, cell)
+            lab = AccuracyLab(
+                distribution,
+                memtable_capacity=memtable_capacity,
+                seed=scale.seed + cell,
+            )
+            setups = {
+                synopsis_type: lab.add_config(synopsis_type, budget)
+                for synopsis_type in STANDARD_SYNOPSIS_TYPES
+            }
+            lab.ingest()
+            queries = list(
+                make_query_generator(scale, cell).generate(
+                    QueryType.FIXED_LENGTH, scale.queries_per_cell, QUERY_LENGTH
+                )
+            )
+            for synopsis_type, setup in setups.items():
+                overhead = lab.estimation_overhead(setup, queries, cold=True)
+                rows.append(
+                    {
+                        "spread": spread.value,
+                        "synopsis": synopsis_type.value,
+                        "mode": mode,
+                        "components": lab.component_count,
+                        "overhead_ms": overhead * 1e3,
+                        "catalog_bytes": lab.catalog_bytes(setup),
+                    }
+                )
+    return rows
+
+
+def format_results(rows: list[dict]) -> str:
+    """Render as one table per synopsis type."""
+    sections = []
+    for synopsis in sorted({r["synopsis"] for r in rows}):
+        subset = [r for r in rows if r["synopsis"] == synopsis]
+        sections.append(
+            format_table(
+                ["spread", "mode", "components", "overhead (ms)", "catalog bytes"],
+                [
+                    [
+                        r["spread"],
+                        r["mode"],
+                        r["components"],
+                        r["overhead_ms"],
+                        r["catalog_bytes"],
+                    ]
+                    for r in subset
+                ],
+                title=f"Figure 8 — {synopsis}: NoMerge vs. Bulkload query overhead",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,370 @@
+"""Accuracy laboratories: ingest once, evaluate many synopsis configs.
+
+Because the collection framework piggybacks on LSM events, any number
+of collectors can observe the *same* ingestion -- each synopsis
+configuration (type x budget) gets its own collector, catalog, cache
+and estimator, all fed by one pass over the data.  The accuracy
+experiments (Figures 3-7, 9) exploit this: one ingest per distribution,
+a dozen synopsis configurations measured on it.
+
+Two labs:
+
+* :class:`AccuracyLab` -- insert-only workloads realised from a
+  :class:`~repro.workloads.distributions.SyntheticDistribution` (or any
+  document stream), bulkloaded or fed through the flush lifecycle;
+* :class:`ChangeableWorkloadLab` -- the Section 4.3.4 workload with a
+  configurable update/delete ratio and staged forced flushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core import (
+    CardinalityEstimator,
+    LocalStatisticsSink,
+    MergedSynopsisCache,
+    StatisticsCatalog,
+    StatisticsCollector,
+    StatisticsConfig,
+)
+from repro.errors import ConfigurationError
+from repro.eval.metrics import ErrorAccumulator, ErrorMetrics
+from repro.eval.truth import FrequencyIndex
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.storage import SimulatedDisk
+from repro.synopses.base import SynopsisType
+from repro.types import Domain
+from repro.workloads.distributions import SyntheticDistribution
+from repro.workloads.queries import RangeQuery
+from repro.workloads.tweets import VALUE_FIELD, TweetGenerator
+
+__all__ = ["SynopsisSetup", "AccuracyLab", "ChangeableWorkloadLab"]
+
+
+@dataclass(frozen=True)
+class SynopsisSetup:
+    """One synopsis configuration under evaluation."""
+
+    synopsis_type: SynopsisType
+    budget: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.synopsis_type.value, self.budget)
+
+
+class _ConfigSlot:
+    """Catalog/cache/estimator triple of one configuration."""
+
+    def __init__(self, setup: SynopsisSetup) -> None:
+        self.setup = setup
+        self.catalog = StatisticsCatalog()
+        self.cache = MergedSynopsisCache()
+        self.collector = StatisticsCollector(
+            StatisticsConfig(setup.synopsis_type, setup.budget),
+            LocalStatisticsSink(self.catalog, self.cache),
+        )
+        self.estimator = CardinalityEstimator(self.catalog, self.cache)
+
+
+class _MultiConfigDataset:
+    """A local dataset with one collector attached per configuration."""
+
+    def __init__(
+        self,
+        value_domain: Domain,
+        memtable_capacity: int | None,
+        merge_policy: MergePolicy | None,
+    ) -> None:
+        self.value_domain = value_domain
+        self.dataset = Dataset(
+            "lab",
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 2**62),
+            indexes=[IndexSpec("value_idx", VALUE_FIELD, value_domain)],
+            memtable_capacity=memtable_capacity or 2**30,
+            merge_policy=merge_policy,
+        )
+        self.index_name = self.dataset.secondary_tree("value_idx").name
+        self._slots: dict[tuple[str, int], _ConfigSlot] = {}
+
+    def add_config(self, setup: SynopsisSetup) -> None:
+        if setup.key in self._slots:
+            return
+        slot = _ConfigSlot(setup)
+        slot.collector.register_index(self.index_name, self.value_domain)
+        self.dataset.event_bus.subscribe(slot.collector)
+        self._slots[setup.key] = slot
+
+    def slot(self, setup: SynopsisSetup) -> _ConfigSlot:
+        try:
+            return self._slots[setup.key]
+        except KeyError:
+            raise ConfigurationError(
+                f"configuration {setup} was not added before ingest"
+            ) from None
+
+    @property
+    def component_count(self) -> int:
+        return len(self.dataset.secondary_tree("value_idx").components)
+
+
+class AccuracyLab:
+    """Insert-only accuracy experiments over one synthetic distribution.
+
+    Args:
+        distribution: The value/frequency sets the indexed field realises.
+        memtable_capacity: ``None`` bulkloads the whole dataset into a
+            single component; an integer drives incremental ingestion
+            through flushes of that size.
+        merge_policy: Optional merge policy for incremental ingestion.
+        seed: Ingestion-order shuffle seed.
+    """
+
+    def __init__(
+        self,
+        distribution: SyntheticDistribution,
+        memtable_capacity: int | None = None,
+        merge_policy: MergePolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.distribution = distribution
+        self._multi = _MultiConfigDataset(
+            distribution.spec.domain, memtable_capacity, merge_policy
+        )
+        self._seed = seed
+        self._ingested = False
+
+    def add_config(self, synopsis_type: SynopsisType, budget: int) -> SynopsisSetup:
+        """Register a synopsis configuration before ingestion."""
+        if self._ingested:
+            raise ConfigurationError("cannot add configurations after ingest")
+        setup = SynopsisSetup(synopsis_type, budget)
+        self._multi.add_config(setup)
+        return setup
+
+    def ingest(self) -> None:
+        """Realise the distribution into the dataset exactly once."""
+        if self._ingested:
+            raise ConfigurationError("already ingested")
+        self._ingested = True
+        generator = TweetGenerator(self.distribution, seed=self._seed)
+        dataset = self._multi.dataset
+        if dataset.memtable_capacity >= 2**30:
+            dataset.bulkload(generator.generate())
+        else:
+            for document in generator.generate():
+                dataset.insert(document)
+            dataset.flush()
+
+    @property
+    def component_count(self) -> int:
+        """Live components of the value index."""
+        return self._multi.component_count
+
+    @property
+    def total_records(self) -> int:
+        """Records the distribution realises."""
+        return self.distribution.total_records
+
+    def estimate(self, setup: SynopsisSetup, query: RangeQuery) -> float:
+        """One estimate through the configured estimator."""
+        slot = self._multi.slot(setup)
+        return slot.estimator.estimate(self._multi.index_name, query.lo, query.hi)
+
+    def evaluate(
+        self, setup: SynopsisSetup, queries: Iterable[RangeQuery]
+    ) -> ErrorMetrics:
+        """Normalised-L1 accuracy of one configuration over a workload."""
+        self._require_ingested()
+        accumulator = ErrorAccumulator(self.total_records)
+        for query in queries:
+            true_count = self.distribution.true_range_count(query.lo, query.hi)
+            accumulator.add(true_count, self.estimate(setup, query))
+        return accumulator.metrics()
+
+    def estimation_overhead(
+        self, setup: SynopsisSetup, queries: Iterable[RangeQuery], cold: bool = True
+    ) -> float:
+        """Mean estimator wall-clock seconds per query.
+
+        ``cold=True`` clears the merged-synopsis cache before every
+        query, isolating the per-component combination cost that
+        Figures 6b and 8 measure; ``cold=False`` measures the cached
+        steady state.
+        """
+        self._require_ingested()
+        slot = self._multi.slot(setup)
+        total = 0.0
+        count = 0
+        for query in queries:
+            if cold:
+                slot.cache.clear()
+            result = slot.estimator.estimate_detailed(
+                self._multi.index_name, query.lo, query.hi
+            )
+            total += result.overhead_seconds
+            count += 1
+        if count == 0:
+            raise ConfigurationError("no queries supplied")
+        return total / count
+
+    def catalog_bytes(self, setup: SynopsisSetup) -> int:
+        """Catalog space the configuration's synopses occupy."""
+        return self._multi.slot(setup).catalog.total_bytes()
+
+    def _require_ingested(self) -> None:
+        if not self._ingested:
+            raise ConfigurationError("call ingest() first")
+
+
+class ChangeableWorkloadLab:
+    """The Section 4.3.4 workload: staged inserts + updates + deletes.
+
+    The operation mix is parameterised by ``update_ratio`` and
+    ``delete_ratio`` (each at most 1/3, as in the paper, because every
+    update/delete must reference an existing record).  Ingestion is
+    broken into ``stages`` with a forced flush after each, so later
+    updates/deletes hit disk-resident records and generate anti-matter.
+    """
+
+    def __init__(
+        self,
+        distribution: SyntheticDistribution,
+        update_ratio: float,
+        delete_ratio: float,
+        stages: int = 4,
+        memtable_capacity: int = 2**30,
+        merge_policy: MergePolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= update_ratio <= 1.0 / 3 + 1e-9:
+            raise ConfigurationError("update_ratio must be in [0, 1/3]")
+        if not 0.0 <= delete_ratio <= 1.0 / 3 + 1e-9:
+            raise ConfigurationError("delete_ratio must be in [0, 1/3]")
+        if stages < 1:
+            raise ConfigurationError("stages must be >= 1")
+        self.distribution = distribution
+        self.update_ratio = update_ratio
+        self.delete_ratio = delete_ratio
+        self.stages = stages
+        self._seed = seed
+        self._multi = _MultiConfigDataset(
+            distribution.spec.domain, memtable_capacity, merge_policy
+        )
+        self._ingested = False
+        self._truth: FrequencyIndex | None = None
+
+    def add_config(self, synopsis_type: SynopsisType, budget: int) -> SynopsisSetup:
+        """Register a synopsis configuration before ingestion."""
+        if self._ingested:
+            raise ConfigurationError("cannot add configurations after ingest")
+        setup = SynopsisSetup(synopsis_type, budget)
+        self._multi.add_config(setup)
+        return setup
+
+    def ingest(self) -> None:
+        """Run the staged insert/update/delete workload."""
+        if self._ingested:
+            raise ConfigurationError("already ingested")
+        self._ingested = True
+        rng = np.random.default_rng(self._seed)
+        dataset = self._multi.dataset
+        generator = TweetGenerator(self.distribution, seed=self._seed)
+        documents = list(generator.generate())
+        total = len(documents)
+        live: dict[int, int] = {}
+
+        # Stage the inserts, force-flushing in between so that the
+        # following updates/deletes reference persisted records.
+        stage_size = -(-total // self.stages)
+        for start in range(0, total, stage_size):
+            for document in documents[start : start + stage_size]:
+                dataset.insert(document)
+                live[document["id"]] = document[VALUE_FIELD]
+            dataset.flush()
+
+        num_updates = int(self.update_ratio * total)
+        num_deletes = int(self.delete_ratio * total)
+        pks = np.asarray(sorted(live))
+        # Deletes pick distinct victims; updates may repeat PKs but each
+        # record is updated once at most (paper's assumption).
+        victims = rng.choice(pks, size=num_deletes, replace=False)
+        updatable = np.setdiff1d(pks, victims, assume_unique=False)
+        updated = rng.choice(
+            updatable, size=min(num_updates, len(updatable)), replace=False
+        )
+
+        values = np.asarray(self.distribution.values)
+        weights = np.asarray(self.distribution.frequencies, dtype=np.float64)
+        weights /= weights.sum()
+        new_values = rng.choice(values, size=len(updated), p=weights)
+        for pk, value in zip(updated, new_values):
+            document = dict(dataset.get(int(pk)))
+            document[VALUE_FIELD] = int(value)
+            assert dataset.update(document)
+            live[int(pk)] = int(value)
+        dataset.flush()
+        for pk in victims:
+            assert dataset.delete(int(pk))
+            del live[int(pk)]
+        dataset.flush()
+        self._truth = FrequencyIndex(live.values())
+
+    @property
+    def truth(self) -> FrequencyIndex:
+        """Exact post-workload frequency index of live values."""
+        if self._truth is None:
+            raise ConfigurationError("call ingest() first")
+        return self._truth
+
+    @property
+    def total_records(self) -> int:
+        """Records inserted (the paper's normalisation constant ``N``)."""
+        return self.distribution.total_records
+
+    def antimatter_records_on_disk(self) -> int:
+        """Anti-matter entries across the value index's components."""
+        tree = self._multi.dataset.secondary_tree("value_idx")
+        return sum(c.antimatter_count for c in tree.components)
+
+    def evaluate(
+        self, setup: SynopsisSetup, queries: Iterable[RangeQuery]
+    ) -> ErrorMetrics:
+        """Normalised-L1 accuracy against the post-workload truth."""
+        truth = self.truth
+        accumulator = ErrorAccumulator(self.total_records)
+        slot = self._multi.slot(setup)
+        for query in queries:
+            estimate = slot.estimator.estimate(
+                self._multi.index_name, query.lo, query.hi
+            )
+            accumulator.add(truth.count(query.lo, query.hi), estimate)
+        return accumulator.metrics()
+
+    def evaluate_ignoring_antimatter(
+        self, setup: SynopsisSetup, queries: Iterable[RangeQuery]
+    ) -> ErrorMetrics:
+        """Ablation: estimates summing only the regular synopses.
+
+        Drops the Section 3.3 anti-matter subtraction -- what a naive
+        per-component scheme without the "anti"-twin would report.  The
+        error this produces under churn is exactly what the twin
+        synopsis buys.
+        """
+        truth = self.truth
+        accumulator = ErrorAccumulator(self.total_records)
+        slot = self._multi.slot(setup)
+        entries = slot.catalog.entries_for(self._multi.index_name)
+        for query in queries:
+            estimate = sum(
+                entry.synopsis.estimate(query.lo, query.hi) for entry in entries
+            )
+            accumulator.add(truth.count(query.lo, query.hi), estimate)
+        return accumulator.metrics()

@@ -1,0 +1,68 @@
+"""Accuracy metrics (paper Section 4.1.2).
+
+For each query the paper records the true cardinality ``C`` and the
+estimate ``C_hat``, computes the absolute error normalised by the
+dataset size ``N`` -- ``e_abs = |C - C_hat| / N`` -- and reports the L1
+(average) metric over the query workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["normalized_absolute_error", "ErrorAccumulator", "ErrorMetrics"]
+
+
+def normalized_absolute_error(true_count: float, estimate: float, total_records: int) -> float:
+    """``|C - C_hat| / N`` for one query."""
+    if total_records <= 0:
+        raise ConfigurationError("total_records must be positive")
+    return abs(true_count - estimate) / total_records
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """Aggregated error over one query workload."""
+
+    query_count: int
+    l1_error: float  # mean normalised absolute error
+    max_error: float
+    mean_true_cardinality: float
+
+    def __str__(self) -> str:
+        return (
+            f"L1={self.l1_error:.3e} max={self.max_error:.3e} "
+            f"({self.query_count} queries)"
+        )
+
+
+class ErrorAccumulator:
+    """Accumulates per-query errors into :class:`ErrorMetrics`."""
+
+    def __init__(self, total_records: int) -> None:
+        if total_records <= 0:
+            raise ConfigurationError("total_records must be positive")
+        self.total_records = total_records
+        self._errors: list[float] = []
+        self._true_sum = 0.0
+
+    def add(self, true_count: float, estimate: float) -> float:
+        """Record one query; returns its normalised absolute error."""
+        error = normalized_absolute_error(true_count, estimate, self.total_records)
+        self._errors.append(error)
+        self._true_sum += true_count
+        return error
+
+    def metrics(self) -> ErrorMetrics:
+        """The aggregate over everything recorded so far."""
+        if not self._errors:
+            raise ConfigurationError("no queries recorded")
+        count = len(self._errors)
+        return ErrorMetrics(
+            query_count=count,
+            l1_error=sum(self._errors) / count,
+            max_error=max(self._errors),
+            mean_true_cardinality=self._true_sum / count,
+        )

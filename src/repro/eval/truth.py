@@ -1,0 +1,60 @@
+"""Fast exact ground truth for accuracy experiments.
+
+Accuracy experiments answer hundreds of range queries per cell; asking
+the LSM engine to scan for every one would dominate the runtime without
+adding fidelity (the engine's counts are themselves exercised by the
+integration tests).  A :class:`FrequencyIndex` snapshots the live
+values of a field once and answers true range counts in O(log V).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterable
+
+__all__ = ["FrequencyIndex"]
+
+
+class FrequencyIndex:
+    """Sorted (value, cumulative count) index over a value multiset."""
+
+    def __init__(self, values: Iterable[int]) -> None:
+        counts: dict[int, int] = {}
+        for value in values:
+            counts[value] = counts.get(value, 0) + 1
+        self._values = sorted(counts)
+        self._cumulative = list(
+            itertools.accumulate(counts[v] for v in self._values)
+        )
+
+    @property
+    def total_records(self) -> int:
+        """Number of records indexed."""
+        return self._cumulative[-1] if self._cumulative else 0
+
+    @property
+    def distinct_values(self) -> int:
+        """Number of distinct values."""
+        return len(self._values)
+
+    @property
+    def min_value(self) -> int | None:
+        """Smallest indexed value, or None when empty."""
+        return self._values[0] if self._values else None
+
+    @property
+    def max_value(self) -> int | None:
+        """Largest indexed value, or None when empty."""
+        return self._values[-1] if self._values else None
+
+    def count(self, lo: int, hi: int) -> int:
+        """Exact number of records with value in ``[lo, hi]``."""
+        if lo > hi or not self._values:
+            return 0
+        first = bisect.bisect_left(self._values, lo)
+        last = bisect.bisect_right(self._values, hi) - 1
+        if last < first:
+            return 0
+        below = self._cumulative[first - 1] if first > 0 else 0
+        return self._cumulative[last] - below

@@ -1,0 +1,71 @@
+"""A from-scratch LSM storage engine (the paper's substrate).
+
+Implements the storage model of Appendix A: a mutable in-memory
+component, immutable disk B-tree components created through a unified
+``bulkload()`` routine, flush/merge/bulkload lifecycle events with
+observer taps, anti-matter reconciliation, and pluggable merge policies.
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.btree import DiskBTree, build_btree
+from repro.lsm.component import ComponentId, ComponentState, DiskComponent
+from repro.lsm.cursor import merge_streams, reconcile
+from repro.lsm.dataset import (
+    CompositeIndexSpec,
+    Dataset,
+    IndexSpec,
+    SpatialIndexSpec,
+    secondary_index_name,
+)
+from repro.lsm.rtree import MBR, DiskRTree, build_rtree
+from repro.lsm.events import (
+    ComponentWriteContext,
+    EventBus,
+    LSMEventType,
+    RecordSink,
+)
+from repro.lsm.memtable import MemTable
+from repro.lsm.merge_policy import (
+    ConstantMergePolicy,
+    MergePolicy,
+    NoMergePolicy,
+    PrefixMergePolicy,
+    StackMergePolicy,
+)
+from repro.lsm.record import Record
+from repro.lsm.storage import IOStats, SimulatedDisk
+from repro.lsm.tree import LSMTree, SequenceGenerator
+
+__all__ = [
+    "Record",
+    "BloomFilter",
+    "PrefixMergePolicy",
+    "MemTable",
+    "DiskBTree",
+    "build_btree",
+    "ComponentId",
+    "ComponentState",
+    "DiskComponent",
+    "merge_streams",
+    "reconcile",
+    "EventBus",
+    "LSMEventType",
+    "ComponentWriteContext",
+    "RecordSink",
+    "MergePolicy",
+    "NoMergePolicy",
+    "ConstantMergePolicy",
+    "StackMergePolicy",
+    "LSMTree",
+    "SequenceGenerator",
+    "Dataset",
+    "IndexSpec",
+    "CompositeIndexSpec",
+    "SpatialIndexSpec",
+    "secondary_index_name",
+    "DiskRTree",
+    "build_rtree",
+    "MBR",
+    "SimulatedDisk",
+    "IOStats",
+]

@@ -1,0 +1,249 @@
+"""Immutable disk-resident B-tree components.
+
+Every LSM disk operation is generalised by a single ``bulkload()``
+routine (paper Section 3.1) that receives a stream of records already
+sorted by key and builds an index bottom-up: leaf pages are filled
+left-to-right, then interior levels are stacked on top.  The resulting
+tree is immutable, exactly like an LSM disk component.
+
+Pages live on a :class:`~repro.lsm.storage.SimulatedDisk`, so lookups and
+scans are charged random/sequential I/O.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterable, Iterator
+
+from repro.errors import BulkloadError, StorageError
+from repro.lsm.record import Record
+from repro.lsm.storage import FileHandle, SimulatedDisk
+
+__all__ = ["DiskBTree", "build_btree", "DEFAULT_LEAF_CAPACITY", "DEFAULT_FANOUT"]
+
+DEFAULT_LEAF_CAPACITY = 64
+"""Records per leaf page."""
+
+DEFAULT_FANOUT = 64
+"""Children per interior page."""
+
+
+class _LeafPage:
+    """A leaf holding sorted records plus a next-sibling pointer."""
+
+    __slots__ = ("keys", "records", "next_leaf")
+
+    def __init__(self, records: list[Record]) -> None:
+        self.records = records
+        self.keys = [record.key for record in records]
+        self.next_leaf: int | None = None
+
+
+class _InteriorPage:
+    """An interior node: separator keys and child page numbers.
+
+    ``separators[i]`` is the smallest key reachable under
+    ``children[i + 1]``; a lookup key ``k`` descends into
+    ``children[bisect_right(separators, k)]``.
+    """
+
+    __slots__ = ("separators", "children")
+
+    def __init__(self, separators: list[Any], children: list[int]) -> None:
+        self.separators = separators
+        self.children = children
+
+
+class DiskBTree:
+    """An immutable B-tree over sorted records, backed by disk pages."""
+
+    def __init__(
+        self,
+        file: FileHandle,
+        root_page: int | None,
+        height: int,
+        num_records: int,
+        first_leaf: int | None,
+    ) -> None:
+        self._file = file
+        self._root_page = root_page
+        self.height = height
+        self.num_records = num_records
+        self._first_leaf = first_leaf
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages occupied by the tree."""
+        return self._file.num_pages
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def lookup(self, key: Any) -> Record | None:
+        """Point lookup; returns the record (possibly anti-matter) or None."""
+        if self._root_page is None:
+            return None
+        page = self._descend(key)
+        index = bisect_left(page.keys, key)
+        if index < len(page.keys) and page.keys[index] == key:
+            return page.records[index]
+        return None
+
+    def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
+        """Records with ``lo <= key <= hi`` in key order.
+
+        ``None`` bounds are open.  Sibling leaves are followed via their
+        next pointers, so a long scan is mostly sequential I/O.
+        """
+        if self._root_page is None:
+            return
+        if lo is None:
+            page_no: int | None = self._first_leaf
+            assert page_no is not None
+            page = self._read_page(page_no)
+            start = 0
+        else:
+            page, page_no = self._descend_with_page_no(lo)
+            start = bisect_left(page.keys, lo)
+        while True:
+            for index in range(start, len(page.records)):
+                record = page.records[index]
+                if hi is not None and record.key > hi:
+                    return
+                yield record
+            if page.next_leaf is None:
+                return
+            page = self._read_page(page.next_leaf)
+            start = 0
+
+    def iter_all(self) -> Iterator[Record]:
+        """All records in key order (equivalent to an unbounded scan)."""
+        return self.scan()
+
+    def min_key(self) -> Any:
+        """Smallest key, or ``None`` for an empty tree."""
+        if self._first_leaf is None:
+            return None
+        return self._read_page(self._first_leaf).keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key, or ``None`` for an empty tree."""
+        if self._root_page is None:
+            return None
+        page = self._read_page(self._root_page)
+        for _level in range(self.height):
+            assert isinstance(page, _InteriorPage)
+            page = self._read_page(page.children[-1])
+        assert isinstance(page, _LeafPage)
+        return page.keys[-1]
+
+    def destroy(self) -> None:
+        """Release the backing file (component deleted after a merge)."""
+        self._file.delete()
+
+    # -- internals -------------------------------------------------------
+
+    def _read_page(self, page_no: int) -> Any:
+        return self._file.read_page(page_no)
+
+    def _descend(self, key: Any) -> _LeafPage:
+        page, _page_no = self._descend_with_page_no(key)
+        return page
+
+    def _descend_with_page_no(self, key: Any) -> tuple[_LeafPage, int]:
+        if self._root_page is None:
+            raise StorageError("descend into empty tree")
+        page_no = self._root_page
+        page = self._read_page(page_no)
+        for _level in range(self.height):
+            assert isinstance(page, _InteriorPage)
+            child_index = bisect_right(page.separators, key)
+            page_no = page.children[child_index]
+            page = self._read_page(page_no)
+        assert isinstance(page, _LeafPage)
+        return page, page_no
+
+
+def build_btree(
+    disk: SimulatedDisk,
+    records: Iterable[Record],
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    fanout: int = DEFAULT_FANOUT,
+) -> DiskBTree:
+    """Bulkload an immutable B-tree from a key-sorted record stream.
+
+    Raises :class:`~repro.errors.BulkloadError` when the stream is not
+    strictly sorted by key (LSM components never contain duplicate keys:
+    reconciliation keeps one entry per key).
+    """
+    if leaf_capacity <= 1 or fanout <= 1:
+        raise BulkloadError("leaf_capacity and fanout must both exceed 1")
+
+    file = disk.create_file()
+    leaf_page_nos: list[int] = []
+    leaf_min_keys: list[Any] = []
+    leaves: list[_LeafPage] = []
+
+    buffer: list[Record] = []
+    previous_key: Any = None
+    num_records = 0
+    for record in records:
+        if previous_key is not None and not previous_key < record.key:
+            raise BulkloadError(
+                f"bulkload stream not strictly sorted: {previous_key!r} "
+                f"followed by {record.key!r}"
+            )
+        previous_key = record.key
+        buffer.append(record)
+        num_records += 1
+        if len(buffer) == leaf_capacity:
+            _emit_leaf(file, buffer, leaf_page_nos, leaf_min_keys, leaves)
+            buffer = []
+    if buffer:
+        _emit_leaf(file, buffer, leaf_page_nos, leaf_min_keys, leaves)
+
+    # Chain the sibling pointers now that page numbers are known.
+    for leaf, next_page in zip(leaves, leaf_page_nos[1:]):
+        leaf.next_leaf = next_page
+
+    if not leaf_page_nos:
+        file.seal()
+        return DiskBTree(file, None, 0, 0, None)
+
+    # Stack interior levels until a single root remains.
+    height = 0
+    level_pages = leaf_page_nos
+    level_keys = leaf_min_keys
+    while len(level_pages) > 1:
+        height += 1
+        next_pages: list[int] = []
+        next_keys: list[Any] = []
+        for start in range(0, len(level_pages), fanout):
+            children = level_pages[start : start + fanout]
+            group_keys = level_keys[start : start + fanout]
+            node = _InteriorPage(separators=group_keys[1:], children=children)
+            next_pages.append(file.append_page(node))
+            next_keys.append(group_keys[0])
+        level_pages, level_keys = next_pages, next_keys
+
+    file.seal()
+    return DiskBTree(
+        file,
+        root_page=level_pages[0],
+        height=height,
+        num_records=num_records,
+        first_leaf=leaf_page_nos[0],
+    )
+
+
+def _emit_leaf(
+    file: FileHandle,
+    buffer: list[Record],
+    page_nos: list[int],
+    min_keys: list[Any],
+    leaves: list[_LeafPage],
+) -> None:
+    leaf = _LeafPage(list(buffer))
+    page_nos.append(file.append_page(leaf))
+    min_keys.append(leaf.keys[0])
+    leaves.append(leaf)

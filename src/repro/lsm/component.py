@@ -1,0 +1,139 @@
+"""Disk component metadata and lifecycle.
+
+A disk component is an immutable B-tree plus bookkeeping: the sequence
+number interval it covers (AsterixDB names components by their
+``(min_seq, max_seq)`` timestamp interval -- a merged component covers
+the union of its inputs' intervals), record counts split into matter and
+anti-matter, and a lifecycle state so illegal reuse is caught early.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ComponentStateError
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.btree import DiskBTree
+from repro.lsm.record import Record
+
+__all__ = ["ComponentId", "ComponentState", "DiskComponent"]
+
+
+@dataclass(frozen=True, order=True)
+class ComponentId:
+    """The sequence-number interval ``[min_seq, max_seq]`` of a component.
+
+    Components with larger intervals are more recent; intervals of live
+    components never overlap partially -- they are either disjoint or
+    (after a merge) one contains the other.
+    """
+
+    min_seq: int
+    max_seq: int
+
+    def __post_init__(self) -> None:
+        if self.min_seq > self.max_seq:
+            raise ComponentStateError(
+                f"invalid component id [{self.min_seq}, {self.max_seq}]"
+            )
+
+    @classmethod
+    def merged(cls, ids: "list[ComponentId]") -> "ComponentId":
+        """The covering interval of several component ids."""
+        if not ids:
+            raise ComponentStateError("cannot merge zero component ids")
+        return cls(min(i.min_seq for i in ids), max(i.max_seq for i in ids))
+
+    def __str__(self) -> str:
+        return f"[{self.min_seq},{self.max_seq}]"
+
+
+class ComponentState(enum.Enum):
+    """Lifecycle of a disk component."""
+
+    ACTIVE = "active"
+    MERGED = "merged"  # superseded by a merge, awaiting deletion
+    DELETED = "deleted"
+
+
+_component_counter = itertools.count()
+
+
+class DiskComponent:
+    """An immutable flushed/merged/bulkloaded LSM component."""
+
+    def __init__(
+        self,
+        component_id: ComponentId,
+        btree: DiskBTree,
+        matter_count: int,
+        antimatter_count: int,
+        bloom: BloomFilter | None = None,
+    ) -> None:
+        self.component_id = component_id
+        self.btree = btree
+        self.matter_count = matter_count
+        self.antimatter_count = antimatter_count
+        self.bloom = bloom
+        self.state = ComponentState.ACTIVE
+        self.uid = next(_component_counter)
+        self.bloom_negatives = 0  # lookups the filter short-circuited
+
+    @property
+    def record_count(self) -> int:
+        """Total entries, matter plus anti-matter."""
+        return self.matter_count + self.antimatter_count
+
+    @property
+    def min_key(self) -> Any:
+        """Smallest key stored, or None when empty."""
+        return self.btree.min_key()
+
+    @property
+    def max_key(self) -> Any:
+        """Largest key stored, or None when empty."""
+        return self.btree.max_key()
+
+    def lookup(self, key: Any) -> Record | None:
+        """Point lookup; the Bloom filter short-circuits definite misses
+        before any page is read."""
+        self._check_active()
+        if self.bloom is not None and not self.bloom.might_contain(key):
+            self.bloom_negatives += 1
+            return None
+        return self.btree.lookup(key)
+
+    def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
+        """Range scan within this component."""
+        self._check_active()
+        return self.btree.scan(lo, hi)
+
+    def mark_merged(self) -> None:
+        """Flag the component as superseded by a merge."""
+        self._check_active()
+        self.state = ComponentState.MERGED
+
+    def destroy(self) -> None:
+        """Release disk space; only merged components may be destroyed."""
+        if self.state is not ComponentState.MERGED:
+            raise ComponentStateError(
+                f"cannot destroy component {self.component_id} in state "
+                f"{self.state.value}"
+            )
+        self.btree.destroy()
+        self.state = ComponentState.DELETED
+
+    def _check_active(self) -> None:
+        if self.state is not ComponentState.ACTIVE:
+            raise ComponentStateError(
+                f"component {self.component_id} is {self.state.value}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskComponent(id={self.component_id}, matter={self.matter_count}, "
+            f"anti={self.antimatter_count}, state={self.state.value})"
+        )

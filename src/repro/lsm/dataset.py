@@ -1,0 +1,427 @@
+"""Datasets: a primary LSM index plus LSM-ified secondary indexes.
+
+Mirrors AsterixDB's storage design (paper Section 3): the dataset's
+records live in a primary LSM B-tree keyed by the primary key (PK), and
+each secondary index is its own LSM B-tree whose entries are
+``(SK, PK)`` pairs -- or ``(SK1, SK2, PK)`` triples for composite-key
+indexes (the paper's Section 5 future work, served by the 2-D synopses
+in :mod:`repro.synopses.multidim`).  Updates and deletes write
+anti-matter into the secondary indexes to cancel the entries of older
+record versions, so a reconciled secondary scan always reflects the
+live data.
+
+All indexes of a dataset share one sequence generator and one event bus
+and are flushed together, which keeps their component boundaries (and
+therefore per-component statistics) aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.errors import BulkloadError, QueryError, StorageError
+from repro.lsm.component import DiskComponent
+from repro.lsm.events import EventBus
+from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
+from repro.lsm.record import Record
+from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY, LSMTree, SequenceGenerator
+from repro.lsm.storage import SimulatedDisk
+from repro.types import Domain
+
+__all__ = [
+    "IndexSpec",
+    "CompositeIndexSpec",
+    "SpatialIndexSpec",
+    "Dataset",
+    "secondary_index_name",
+]
+
+_NEG = float("-inf")
+_POS = float("inf")
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Declaration of one single-field secondary B-tree index.
+
+    Attributes:
+        name: Index name (unique within the dataset).
+        field: Record field the index is built on (an integer field).
+        domain: Value domain of the field, used by synopsis builders.
+    """
+
+    name: str
+    field: str
+    domain: Domain
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Indexed fields (length 1)."""
+        return (self.field,)
+
+    def key_of(self, document: dict[str, Any]) -> tuple[Any, ...]:
+        """The secondary-key part of this index's entry for a record."""
+        return (document[self.field],)
+
+
+@dataclass(frozen=True)
+class CompositeIndexSpec:
+    """Declaration of a two-field composite-key B-tree index.
+
+    Entries are ordered lexicographically by ``(field_1, field_2, PK)``,
+    which is exactly the order the 2-D synopsis builders require.
+    """
+
+    name: str
+    fields: tuple[str, str]
+    domains: tuple[Domain, Domain]
+
+    def __post_init__(self) -> None:
+        if len(self.fields) != 2 or len(self.domains) != 2:
+            raise StorageError(
+                "composite indexes support exactly two fields"
+            )
+
+    def key_of(self, document: dict[str, Any]) -> tuple[Any, ...]:
+        """The secondary-key part of this index's entry for a record."""
+        return (document[self.fields[0]], document[self.fields[1]])
+
+
+@dataclass(frozen=True)
+class SpatialIndexSpec:
+    """Declaration of an LSM-ified R-tree index over two point fields.
+
+    Entries are ``(x, y, PK)`` triples; components are
+    :class:`~repro.lsm.rtree.DiskRTree` structures, so rectangle
+    queries descend MBRs while the LSM merge machinery still sees the
+    lexicographically ordered stream it requires (the paper's Section 5
+    R-tree future work).
+    """
+
+    name: str
+    fields: tuple[str, str]
+    domains: tuple[Domain, Domain]
+
+    def __post_init__(self) -> None:
+        if len(self.fields) != 2 or len(self.domains) != 2:
+            raise StorageError("spatial indexes support exactly two fields")
+
+    def key_of(self, document: dict[str, Any]) -> tuple[Any, ...]:
+        """The (x, y) part of this index's entry for a record."""
+        return (document[self.fields[0]], document[self.fields[1]])
+
+
+def secondary_index_name(dataset_name: str, index_name: str) -> str:
+    """Fully qualified LSM index name used on event contexts."""
+    return f"{dataset_name}.{index_name}"
+
+
+def _single_key_extractor(record: Record) -> Any:
+    """Synopsis value of a (SK, PK) entry: the SK."""
+    return record.key[0]
+
+
+def _composite_key_extractor(record: Record) -> Any:
+    """Synopsis value of a (SK1, SK2, PK) entry: the (SK1, SK2) pair."""
+    return (record.key[0], record.key[1])
+
+
+class Dataset:
+    """A collection of records with a primary and secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        disk: SimulatedDisk,
+        primary_key: str,
+        primary_domain: Domain,
+        indexes: Iterable[IndexSpec | CompositeIndexSpec | SpatialIndexSpec] = (),
+        memtable_capacity: int = DEFAULT_MEMTABLE_CAPACITY,
+        merge_policy: MergePolicy | None = None,
+        event_bus: EventBus | None = None,
+    ) -> None:
+        self.name = name
+        self.primary_key = primary_key
+        self.primary_domain = primary_domain
+        self.event_bus = event_bus if event_bus is not None else EventBus()
+        self.sequence = SequenceGenerator()
+        self.memtable_capacity = memtable_capacity
+        self._pending_writes = 0
+        merge_policy = merge_policy if merge_policy is not None else NoMergePolicy()
+
+        self.primary = LSMTree(
+            name=secondary_index_name(name, "primary"),
+            disk=disk,
+            memtable_capacity=memtable_capacity,
+            merge_policy=merge_policy,
+            event_bus=self.event_bus,
+            sequence=self.sequence,
+            auto_flush=False,
+        )
+        self.indexes: dict[str, IndexSpec] = {}
+        self.composite_indexes: dict[str, CompositeIndexSpec] = {}
+        self.spatial_indexes: dict[str, SpatialIndexSpec] = {}
+        self._secondary: dict[str, LSMTree] = {}
+        for spec in indexes:
+            if spec.name in self._secondary:
+                raise StorageError(f"duplicate index name {spec.name!r}")
+            index_builder = None
+            if isinstance(spec, SpatialIndexSpec):
+                from repro.lsm.rtree import build_rtree
+
+                self.spatial_indexes[spec.name] = spec
+                extractor = _composite_key_extractor
+                index_builder = build_rtree
+            elif isinstance(spec, CompositeIndexSpec):
+                self.composite_indexes[spec.name] = spec
+                extractor = _composite_key_extractor
+            else:
+                self.indexes[spec.name] = spec
+                extractor = _single_key_extractor
+            self._secondary[spec.name] = LSMTree(
+                name=secondary_index_name(name, spec.name),
+                disk=disk,
+                memtable_capacity=memtable_capacity,
+                merge_policy=merge_policy,
+                event_bus=self.event_bus,
+                sequence=self.sequence,
+                key_extractor=extractor,
+                auto_flush=False,
+                index_builder=index_builder,
+            )
+
+    def _all_specs(
+        self,
+    ) -> Iterator[IndexSpec | CompositeIndexSpec | SpatialIndexSpec]:
+        yield from self.indexes.values()
+        yield from self.composite_indexes.values()
+        yield from self.spatial_indexes.values()
+
+    # -- write path -------------------------------------------------------
+
+    def insert(self, document: dict[str, Any]) -> None:
+        """Insert a new record (the caller guarantees PK uniqueness)."""
+        pk = self._pk_of(document)
+        seqnum = self.sequence.next()
+        self.primary.write_record(Record.matter(pk, document, seqnum=seqnum))
+        for spec in self._all_specs():
+            self._secondary[spec.name].write_record(
+                Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
+            )
+        self._after_write()
+
+    def update(self, document: dict[str, Any]) -> bool:
+        """Replace the record with the same PK; returns False when the
+        PK does not exist (AsterixDB enforces existence on updates)."""
+        pk = self._pk_of(document)
+        old = self.primary.get(pk)
+        if old is None:
+            return False
+        seqnum = self.sequence.next()
+        self.primary.write_record(Record.matter(pk, document, seqnum=seqnum))
+        for spec in self._all_specs():
+            old_sk, new_sk = spec.key_of(old), spec.key_of(document)
+            if old_sk == new_sk:
+                # The existing secondary entry still points at the live
+                # record; touching it would double-count the record in
+                # per-component statistics.
+                continue
+            tree = self._secondary[spec.name]
+            tree.write_record(Record.anti((*old_sk, pk), seqnum=seqnum))
+            tree.write_record(Record.matter((*new_sk, pk), seqnum=seqnum))
+        self._after_write()
+        return True
+
+    def delete(self, pk: Any) -> bool:
+        """Delete by PK; returns False when the PK does not exist."""
+        old = self.primary.get(pk)
+        if old is None:
+            return False
+        seqnum = self.sequence.next()
+        self.primary.write_record(Record.anti(pk, seqnum=seqnum))
+        for spec in self._all_specs():
+            self._secondary[spec.name].write_record(
+                Record.anti((*spec.key_of(old), pk), seqnum=seqnum)
+            )
+        self._after_write()
+        return True
+
+    def bulkload(self, documents: Iterable[dict[str, Any]]) -> None:
+        """Initial load of PK-sorted documents into an empty dataset.
+
+        The primary component is built directly from the stream; each
+        secondary index is built from its entries sorted in memory
+        (standing in for the sort operator the paper mentions at the
+        bottom of AsterixDB's load plan).
+        """
+        if self.primary.components or self.primary.memtable:
+            raise BulkloadError(f"bulkload into non-empty dataset {self.name!r}")
+        # Materialise: in AsterixDB the sort operator at the bottom of the
+        # load plan has the full input, so the record count is known.
+        documents = list(documents)
+        secondary_entries: dict[str, list[tuple[Any, ...]]] = {
+            spec.name: [] for spec in self._all_specs()
+        }
+
+        def primary_stream() -> Iterator[Record]:
+            for document in documents:
+                pk = self._pk_of(document)
+                for spec in self._all_specs():
+                    secondary_entries[spec.name].append(
+                        (*spec.key_of(document), pk)
+                    )
+                yield Record.matter(pk, document)
+
+        self.primary.bulkload(primary_stream(), expected_records=len(documents))
+        for name, entries in secondary_entries.items():
+            entries.sort()
+            self._secondary[name].bulkload(
+                (Record.matter(key) for key in entries),
+                expected_records=len(entries),
+            )
+
+    def flush(self) -> list[DiskComponent]:
+        """Force-flush all indexes of the dataset together."""
+        self._pending_writes = 0
+        flushed = []
+        for tree in self._all_trees():
+            component = tree.flush()
+            if component is not None:
+                flushed.append(component)
+        return flushed
+
+    def _after_write(self) -> None:
+        self._pending_writes += 1
+        if self._pending_writes >= self.memtable_capacity:
+            self.flush()
+
+    # -- read path ----------------------------------------------------------
+
+    def get(self, pk: Any) -> dict[str, Any] | None:
+        """Fetch the live record stored under ``pk``."""
+        return self.primary.get(pk)
+
+    def secondary_tree(self, index_name: str) -> LSMTree:
+        """The LSM tree backing a secondary index (any arity)."""
+        try:
+            return self._secondary[index_name]
+        except KeyError:
+            raise QueryError(
+                f"dataset {self.name!r} has no index {index_name!r}"
+            ) from None
+
+    def scan_secondary(
+        self, index_name: str, lo: Any = None, hi: Any = None
+    ) -> Iterator[Record]:
+        """Live (SK, PK) entries with ``lo <= SK <= hi``, reconciled."""
+        if index_name not in self.indexes:
+            raise QueryError(
+                f"{index_name!r} is not a single-field index of "
+                f"{self.name!r}; use scan_composite for composite indexes"
+            )
+        tree = self.secondary_tree(index_name)
+        lo_key = None if lo is None else (lo, _NEG)
+        hi_key = None if hi is None else (hi, _POS)
+        return tree.scan(lo_key, hi_key)
+
+    def count_secondary_range(self, index_name: str, lo: Any, hi: Any) -> int:
+        """True cardinality of ``lo <= SK <= hi`` (ground truth)."""
+        return sum(1 for _record in self.scan_secondary(index_name, lo, hi))
+
+    def scan_composite(
+        self,
+        index_name: str,
+        lo_1: Any,
+        hi_1: Any,
+        lo_2: Any = None,
+        hi_2: Any = None,
+    ) -> Iterator[Record]:
+        """Live composite entries inside the rectangle.
+
+        The B-tree range scan covers the first key component; the
+        second component is filtered -- exactly how a composite-key
+        index serves rectangle predicates.
+        """
+        if index_name not in self.composite_indexes:
+            raise QueryError(
+                f"{index_name!r} is not a composite index of {self.name!r}"
+            )
+        tree = self.secondary_tree(index_name)
+        lo_key = None if lo_1 is None else (lo_1, _NEG, _NEG)
+        hi_key = None if hi_1 is None else (hi_1, _POS, _POS)
+        for record in tree.scan(lo_key, hi_key):
+            second = record.key[1]
+            if lo_2 is not None and second < lo_2:
+                continue
+            if hi_2 is not None and second > hi_2:
+                continue
+            yield record
+
+    def count_composite_range(
+        self, index_name: str, lo_1: Any, hi_1: Any, lo_2: Any, hi_2: Any
+    ) -> int:
+        """True cardinality of a rectangle predicate (ground truth)."""
+        return sum(
+            1
+            for _record in self.scan_composite(index_name, lo_1, hi_1, lo_2, hi_2)
+        )
+
+    def search_spatial(
+        self, index_name: str, lo_x: int, hi_x: int, lo_y: int, hi_y: int
+    ) -> Iterator[Record]:
+        """Live R-tree entries inside the rectangle, reconciled.
+
+        Rectangle candidates are gathered MBR-first from every disk
+        component plus the memtable, then reconciled newest-wins with
+        anti-matter cancellation (an entry and its tombstone share the
+        same (x, y, PK) key, hence the same rectangle membership).
+        """
+        if index_name not in self.spatial_indexes:
+            raise QueryError(
+                f"{index_name!r} is not a spatial index of {self.name!r}"
+            )
+        tree = self.secondary_tree(index_name)
+        best: dict[Any, Record] = {}
+
+        def offer(record: Record) -> None:
+            current = best.get(record.key)
+            if current is None or record.seqnum > current.seqnum:
+                best[record.key] = record
+
+        for record in tree.memtable.scan():
+            x, y = record.key[0], record.key[1]
+            if lo_x <= x <= hi_x and lo_y <= y <= hi_y:
+                offer(record)
+        for component in tree.components:
+            for record in component.btree.search(lo_x, hi_x, lo_y, hi_y):
+                offer(record)
+        for key in sorted(best):
+            record = best[key]
+            if not record.antimatter:
+                yield record
+
+    def count_spatial_range(
+        self, index_name: str, lo_x: int, hi_x: int, lo_y: int, hi_y: int
+    ) -> int:
+        """True cardinality of a rectangle predicate on an R-tree index."""
+        return sum(
+            1
+            for _record in self.search_spatial(index_name, lo_x, hi_x, lo_y, hi_y)
+        )
+
+    def count_records(self) -> int:
+        """Number of live records in the dataset."""
+        return self.primary.count_range()
+
+    def _all_trees(self) -> Iterator[LSMTree]:
+        yield self.primary
+        yield from self._secondary.values()
+
+    def _pk_of(self, document: dict[str, Any]) -> Any:
+        try:
+            return document[self.primary_key]
+        except KeyError:
+            raise StorageError(
+                f"document missing primary key field {self.primary_key!r}"
+            ) from None

@@ -1,0 +1,127 @@
+"""LSM lifecycle events and the observer hook for piggybacked work.
+
+The statistics framework "piggybacks on the events (flush and merge) of
+the LSM lifecycle" (paper abstract).  Concretely, every disk component
+is written by a single ``bulkload()`` routine consuming a key-sorted
+record stream, and observers may *tap* that stream: before the write
+starts each registered observer is offered a :class:`ComponentWriteContext`
+and may return a per-record sink; every record flowing to disk is also
+fed to the sink, and when the component is sealed the sink is finished
+with the resulting component.  Observing therefore costs no extra I/O --
+precisely the paper's design.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.lsm.component import DiskComponent
+from repro.lsm.record import Record
+
+__all__ = [
+    "LSMEventType",
+    "ComponentWriteContext",
+    "RecordSink",
+    "LSMEventObserver",
+    "EventBus",
+]
+
+
+class LSMEventType(enum.Enum):
+    """The three LSM lifecycle events that create disk components."""
+
+    FLUSH = "flush"
+    MERGE = "merge"
+    BULKLOAD = "bulkload"
+
+
+@dataclass(frozen=True)
+class ComponentWriteContext:
+    """Everything an observer may need while a component is written.
+
+    Attributes:
+        event_type: Which lifecycle event triggered the write.
+        index_name: Name of the LSM index being written.
+        expected_records: Upper bound on the number of records in the
+            stream.  Exact for flushes (the memtable size) and bulkloads
+            (provided by the loader); for merges it is the sum of the
+            input components' record counts, which reconciliation may
+            reduce -- the paper uses the same approximation for the
+            equi-height bucket-height invariant.
+        key_extractor: Maps a record to the integer value the synopsis
+            summarises (the PK for primary indexes, the SK part of the
+            composite key for secondary indexes).
+        merged_components: Input components of a merge (empty otherwise).
+    """
+
+    event_type: LSMEventType
+    index_name: str
+    expected_records: int
+    key_extractor: Callable[[Record], Any]
+    merged_components: tuple[DiskComponent, ...] = ()
+
+
+class RecordSink(Protocol):
+    """Per-component-write consumer of the bulkload stream."""
+
+    def accept(self, record: Record) -> None:
+        """Observe one record on its way to disk."""
+
+    def finish(self, component: DiskComponent) -> None:
+        """The write completed and produced ``component``."""
+
+
+class LSMEventObserver(Protocol):
+    """Subscriber to component writes on an :class:`EventBus`."""
+
+    def begin_component_write(
+        self, context: ComponentWriteContext
+    ) -> RecordSink | None:
+        """Offered once per component write; return a sink to tap the
+        stream, or ``None`` to ignore this write."""
+
+    def component_replaced(
+        self,
+        index_name: str,
+        old_components: tuple[DiskComponent, ...],
+        new_component: DiskComponent,
+    ) -> None:
+        """A merge superseded ``old_components`` with ``new_component``."""
+
+
+class EventBus:
+    """Fan-out of LSM lifecycle notifications to registered observers."""
+
+    def __init__(self) -> None:
+        self._observers: list[LSMEventObserver] = []
+
+    def subscribe(self, observer: LSMEventObserver) -> None:
+        """Register an observer (idempotent)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer: LSMEventObserver) -> None:
+        """Remove an observer if registered."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def open_sinks(self, context: ComponentWriteContext) -> list[RecordSink]:
+        """Collect sinks from all observers for one component write."""
+        sinks = []
+        for observer in self._observers:
+            sink = observer.begin_component_write(context)
+            if sink is not None:
+                sinks.append(sink)
+        return sinks
+
+    def notify_replaced(
+        self,
+        index_name: str,
+        old_components: tuple[DiskComponent, ...],
+        new_component: DiskComponent,
+    ) -> None:
+        """Broadcast that a merge superseded components."""
+        for observer in self._observers:
+            observer.component_replaced(index_name, old_components, new_component)

@@ -1,0 +1,81 @@
+"""The mutable in-memory LSM component.
+
+All modifications happen here, in place (Appendix A): an insert or
+update stores a matter record, a delete stores an anti-matter record,
+and either replaces any previous entry for the same key -- within the
+in-memory component the latest write simply wins without generating
+extra entries.  When the component fills up its sorted contents are
+flushed through ``bulkload()`` into an immutable disk component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.lsm.record import Record
+from repro.util.sortedmap import SortedMap
+
+__all__ = ["MemTable"]
+
+
+class MemTable:
+    """An order-preserving mutable component (AVL-backed)."""
+
+    def __init__(self) -> None:
+        self._map = SortedMap()
+        self._min_seqnum: int | None = None
+        self._max_seqnum: int | None = None
+        self._antimatter_count = 0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+    @property
+    def antimatter_count(self) -> int:
+        """Number of anti-matter entries currently held."""
+        return self._antimatter_count
+
+    @property
+    def seqnum_range(self) -> tuple[int, int] | None:
+        """(min, max) sequence numbers written, or None when empty."""
+        if self._min_seqnum is None or self._max_seqnum is None:
+            return None
+        return self._min_seqnum, self._max_seqnum
+
+    def write(self, record: Record) -> None:
+        """Apply a write; the newest entry per key replaces older ones."""
+        old = self._map.get(record.key)
+        if old is not None and old.antimatter:
+            self._antimatter_count -= 1
+        if record.antimatter:
+            self._antimatter_count += 1
+        self._map.put(record.key, record)
+        if self._min_seqnum is None:
+            self._min_seqnum = record.seqnum
+        self._max_seqnum = record.seqnum
+
+    def get(self, key: Any) -> Record | None:
+        """The current entry for ``key`` (may be anti-matter), or None."""
+        return self._map.get(key)
+
+    def sorted_records(self) -> Iterator[Record]:
+        """All entries (matter and anti-matter) in key order.
+
+        This is exactly the stream handed to ``bulkload()`` on a flush.
+        """
+        return iter(self._map.values())
+
+    def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
+        """Entries with keys in ``[lo, hi]`` in key order."""
+        for _key, record in self._map.range_items(lo, hi):
+            yield record
+
+    def reset(self) -> None:
+        """Empty the component after its contents were flushed."""
+        self._map.clear()
+        self._min_seqnum = None
+        self._max_seqnum = None
+        self._antimatter_count = 0

@@ -1,0 +1,58 @@
+"""LSM records and anti-matter.
+
+A record carries a key, an optional payload and an *anti-matter* flag.
+Anti-matter records (Appendix A of the paper) are tombstones written to
+newer components to cancel matter records in older, immutable ones: a
+delete inserts an anti-matter record; an update inserts a new matter
+version whose higher sequence number shadows the old one.
+
+Keys are either a primary key (an int) for primary index entries or a
+``(secondary_key, primary_key)`` tuple for secondary index entries --
+both totally ordered, which is all the LSM machinery requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Record"]
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One immutable LSM index entry.
+
+    Attributes:
+        key: Ordering key within the index.
+        value: Payload (the stored document for primary indexes; ``None``
+            for secondary indexes, whose key already carries everything).
+        antimatter: ``True`` for a tombstone that cancels an older entry.
+        seqnum: Monotonic sequence number assigned at write time;
+            reconciliation keeps the entry with the largest ``seqnum``
+            per key ("newest wins").
+    """
+
+    key: Any
+    value: Any = None
+    antimatter: bool = False
+    seqnum: int = 0
+
+    @classmethod
+    def matter(cls, key: Any, value: Any = None, seqnum: int = 0) -> "Record":
+        """A regular (live) record."""
+        return cls(key=key, value=value, antimatter=False, seqnum=seqnum)
+
+    @classmethod
+    def anti(cls, key: Any, seqnum: int = 0) -> "Record":
+        """An anti-matter record cancelling ``key``."""
+        return cls(key=key, value=None, antimatter=True, seqnum=seqnum)
+
+    def cancels(self, other: "Record") -> bool:
+        """Whether this tombstone cancels ``other``."""
+        return (
+            self.antimatter
+            and not other.antimatter
+            and self.key == other.key
+            and self.seqnum > other.seqnum
+        )

@@ -1,0 +1,328 @@
+"""The LSM-tree: one LSM-ified index.
+
+Ties together the mutable in-memory component, the immutable disk
+components, the merge policy and the event bus.  All three component-
+creating operations -- flush, merge and initial bulkload -- funnel
+through one ``_write_component`` routine that consumes a key-sorted
+record stream, which is exactly the paper's unified ``bulkload()``
+abstraction (Section 3.1) and the single place where statistics
+observers tap the data flow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import BulkloadError, StorageError
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.btree import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY, build_btree
+from repro.lsm.component import ComponentId, DiskComponent
+from repro.lsm.cursor import merge_streams, reconcile
+from repro.lsm.events import (
+    ComponentWriteContext,
+    EventBus,
+    LSMEventType,
+    RecordSink,
+)
+from repro.lsm.memtable import MemTable
+from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
+from repro.lsm.record import Record
+from repro.lsm.storage import SimulatedDisk
+
+__all__ = ["LSMTree", "SequenceGenerator", "DEFAULT_MEMTABLE_CAPACITY"]
+
+DEFAULT_MEMTABLE_CAPACITY = 4096
+"""Records buffered in memory before an automatic flush."""
+
+
+class SequenceGenerator:
+    """Monotonic sequence numbers, shareable across a dataset's indexes."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._last = start - 1
+
+    def next(self) -> int:
+        """The next sequence number."""
+        self._last = next(self._counter)
+        return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued sequence number."""
+        return self._last
+
+
+def _default_key_extractor(record: Record) -> Any:
+    """Primary indexes summarise the key itself."""
+    return record.key
+
+
+class LSMTree:
+    """A single LSM index (primary or secondary)."""
+
+    def __init__(
+        self,
+        name: str,
+        disk: SimulatedDisk,
+        memtable_capacity: int = DEFAULT_MEMTABLE_CAPACITY,
+        merge_policy: MergePolicy | None = None,
+        event_bus: EventBus | None = None,
+        sequence: SequenceGenerator | None = None,
+        key_extractor: Callable[[Record], Any] | None = None,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+        auto_flush: bool = True,
+        bloom_fpp: float | None = 0.01,
+        index_builder: Callable[..., Any] | None = None,
+    ) -> None:
+        if memtable_capacity < 1:
+            raise StorageError(
+                f"memtable_capacity must be >= 1, got {memtable_capacity}"
+            )
+        self.name = name
+        self.disk = disk
+        self.memtable = MemTable()
+        self.memtable_capacity = memtable_capacity
+        self.merge_policy = merge_policy if merge_policy is not None else NoMergePolicy()
+        self.event_bus = event_bus if event_bus is not None else EventBus()
+        self.sequence = sequence if sequence is not None else SequenceGenerator()
+        self.key_extractor = key_extractor if key_extractor is not None else _default_key_extractor
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.auto_flush = auto_flush
+        self.bloom_fpp = bloom_fpp
+        # The physical structure of disk components: defaults to the
+        # B-tree; LSM-ified R-trees plug in build_rtree here.  Any
+        # builder must accept (disk, records, leaf_capacity, fanout)
+        # and return the DiskBTree scan/lookup interface.
+        self.index_builder = index_builder if index_builder is not None else build_btree
+        # Newest first, matching lookup order.
+        self._components: list[DiskComponent] = []
+        self.flush_count = 0
+        self.merge_count = 0
+        # Observer taps are fault-isolated: a crashing statistics sink
+        # must never fail ingestion (the framework is a passenger, not
+        # a driver).  Failures are counted here and the sink is dropped
+        # for the remainder of that component write.
+        self.observer_failures = 0
+
+    # -- write path ------------------------------------------------------
+
+    def upsert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` or replace its current version."""
+        self._write(Record.matter(key, value, seqnum=self.sequence.next()))
+
+    insert = upsert
+
+    def delete(self, key: Any) -> None:
+        """Delete ``key`` by writing an anti-matter record."""
+        self._write(Record.anti(key, seqnum=self.sequence.next()))
+
+    def write_record(self, record: Record) -> None:
+        """Apply a pre-built record (used by the dataset layer, which
+        assigns one sequence number to all index entries of an op)."""
+        self._write(record)
+
+    def _write(self, record: Record) -> None:
+        self.memtable.write(record)
+        if self.auto_flush and len(self.memtable) >= self.memtable_capacity:
+            self.flush()
+
+    # -- lifecycle events --------------------------------------------------
+
+    def flush(self) -> DiskComponent | None:
+        """Persist the in-memory component; returns the new disk
+        component, or ``None`` when there was nothing to flush."""
+        if not self.memtable:
+            return None
+        seq_range = self.memtable.seqnum_range
+        assert seq_range is not None
+        component = self._write_component(
+            LSMEventType.FLUSH,
+            ComponentId(*seq_range),
+            self.memtable.sorted_records(),
+            expected_records=len(self.memtable),
+        )
+        self.memtable.reset()
+        self._components.insert(0, component)
+        self.flush_count += 1
+        self._maybe_merge()
+        return component
+
+    def bulkload(
+        self, records: Iterable[Record], expected_records: int
+    ) -> DiskComponent:
+        """Initial load of a sorted matter-record stream into an empty tree.
+
+        The stream must be strictly sorted by key and free of
+        anti-matter (there is nothing on disk to cancel yet).
+        """
+        if self._components or self.memtable:
+            raise BulkloadError(
+                f"bulkload into non-empty LSM tree {self.name!r}"
+            )
+
+        def stamped() -> Iterator[Record]:
+            for record in records:
+                if record.antimatter:
+                    raise BulkloadError("bulkload stream contains anti-matter")
+                yield Record.matter(
+                    record.key, record.value, seqnum=self.sequence.next()
+                )
+
+        start_seq = self.sequence.last + 1
+        component = self._write_component(
+            LSMEventType.BULKLOAD,
+            # Placeholder id; fixed below once seqnums are known.
+            None,
+            stamped(),
+            expected_records=expected_records,
+        )
+        end_seq = self.sequence.last
+        if end_seq < start_seq:  # empty load
+            end_seq = start_seq
+        component.component_id = ComponentId(start_seq, end_seq)
+        self._components.insert(0, component)
+        return component
+
+    def merge(self, components: list[DiskComponent]) -> DiskComponent:
+        """Merge a contiguous (in recency) run of disk components.
+
+        Anti-matter reconciles away only when the run includes the
+        oldest component; otherwise tombstones are carried into the
+        merged component because still-older components may contain the
+        records they cancel.
+        """
+        if not components:
+            raise StorageError("merge of zero components")
+        indices = sorted(self._components.index(c) for c in components)
+        if indices != list(range(indices[0], indices[-1] + 1)):
+            raise StorageError("merged components must be contiguous in recency")
+        includes_oldest = indices[-1] == len(self._components) - 1
+        ordered = [self._components[i] for i in indices]  # newest first
+
+        merged_stream = reconcile(
+            merge_streams([c.scan() for c in ordered]),
+            keep_antimatter=not includes_oldest,
+        )
+        component = self._write_component(
+            LSMEventType.MERGE,
+            ComponentId.merged([c.component_id for c in ordered]),
+            merged_stream,
+            expected_records=sum(c.record_count for c in ordered),
+            merged_components=tuple(ordered),
+        )
+        # Splice the new component in place of the merged run.
+        self._components[indices[0] : indices[-1] + 1] = [component]
+        for old in ordered:
+            old.mark_merged()
+        self.event_bus.notify_replaced(self.name, tuple(ordered), component)
+        for old in ordered:
+            old.destroy()
+        self.merge_count += 1
+        return component
+
+    def _maybe_merge(self) -> None:
+        selected = self.merge_policy.select_merge(self._components)
+        while selected:
+            self.merge(selected)
+            selected = self.merge_policy.select_merge(self._components)
+
+    def _write_component(
+        self,
+        event_type: LSMEventType,
+        component_id: ComponentId | None,
+        stream: Iterable[Record],
+        expected_records: int,
+        merged_components: tuple[DiskComponent, ...] = (),
+    ) -> DiskComponent:
+        context = ComponentWriteContext(
+            event_type=event_type,
+            index_name=self.name,
+            expected_records=expected_records,
+            key_extractor=self.key_extractor,
+            merged_components=merged_components,
+        )
+        sinks = self.event_bus.open_sinks(context)
+        counts = {"matter": 0, "anti": 0}
+        bloom = (
+            BloomFilter.for_capacity(max(1, expected_records), self.bloom_fpp)
+            if self.bloom_fpp is not None
+            else None
+        )
+
+        live_sinks = list(sinks)
+
+        def tapped() -> Iterator[Record]:
+            for record in stream:
+                if record.antimatter:
+                    counts["anti"] += 1
+                else:
+                    counts["matter"] += 1
+                if bloom is not None:
+                    bloom.add(record.key)
+                for sink in list(live_sinks):
+                    try:
+                        sink.accept(record)
+                    except Exception:
+                        live_sinks.remove(sink)
+                        self.observer_failures += 1
+                yield record
+
+        btree = self.index_builder(
+            self.disk, tapped(), leaf_capacity=self.leaf_capacity, fanout=self.fanout
+        )
+        component = DiskComponent(
+            component_id if component_id is not None else ComponentId(0, 0),
+            btree,
+            matter_count=counts["matter"],
+            antimatter_count=counts["anti"],
+            bloom=bloom,
+        )
+        self._finish_sinks(live_sinks, component)
+        return component
+
+    def _finish_sinks(
+        self, sinks: list[RecordSink], component: DiskComponent
+    ) -> None:
+        for sink in sinks:
+            try:
+                sink.finish(component)
+            except Exception:
+                self.observer_failures += 1
+
+    # -- read path ---------------------------------------------------------
+
+    @property
+    def components(self) -> list[DiskComponent]:
+        """Live disk components, newest first (copy; do not mutate)."""
+        return list(self._components)
+
+    def get(self, key: Any) -> Any | None:
+        """Point lookup of the live value under ``key`` (None if absent
+        or deleted)."""
+        record = self.memtable.get(key)
+        if record is None:
+            for component in self._components:
+                record = component.lookup(key)
+                if record is not None:
+                    break
+        if record is None or record.antimatter:
+            return None
+        return record.value
+
+    def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
+        """Live records with keys in ``[lo, hi]``, reconciled across all
+        components (anti-matter cancels)."""
+        streams: list[Iterator[Record]] = [self.memtable.scan(lo, hi)]
+        streams.extend(c.scan(lo, hi) for c in self._components)
+        return reconcile(merge_streams(streams), keep_antimatter=False)
+
+    def count_range(self, lo: Any = None, hi: Any = None) -> int:
+        """True cardinality of a range (the evaluation ground truth)."""
+        return sum(1 for _record in self.scan(lo, hi))
+
+    def __len__(self) -> int:
+        return self.count_range()

@@ -1,0 +1,23 @@
+"""Query layer: predicates, physical execution, cost-based planning."""
+
+from repro.query.executor import AccessMethod, ExecutionResult, QueryExecutor
+from repro.query.optimizer import (
+    AccessPlan,
+    CostModel,
+    JoinMethod,
+    JoinPlan,
+    QueryOptimizer,
+)
+from repro.query.predicate import RangePredicate
+
+__all__ = [
+    "RangePredicate",
+    "AccessMethod",
+    "ExecutionResult",
+    "QueryExecutor",
+    "QueryOptimizer",
+    "CostModel",
+    "AccessPlan",
+    "JoinMethod",
+    "JoinPlan",
+]

@@ -1,0 +1,45 @@
+"""Query predicates.
+
+The statistics framework targets range predicates over indexed fields
+(Section 3.6): ``SELECT * FROM T WHERE T.f >= x AND T.f <= y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = ["RangePredicate"]
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """An inclusive range condition on one field.
+
+    Attributes:
+        field: The record field the predicate constrains.
+        lo: Lower border (inclusive).
+        hi: Upper border (inclusive).
+    """
+
+    field: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise QueryError(
+                f"empty predicate range [{self.lo}, {self.hi}] on "
+                f"{self.field!r}"
+            )
+
+    def matches(self, document: dict) -> bool:
+        """Whether a record satisfies the predicate."""
+        value = document.get(self.field)
+        return value is not None and self.lo <= value <= self.hi
+
+    @property
+    def length(self) -> int:
+        """Number of domain points the range covers."""
+        return self.hi - self.lo + 1

@@ -1,0 +1,56 @@
+"""Statistical synopses: equi-width/equi-height histograms and wavelets.
+
+The synopsis families of Section 3.2, all built by linear-time
+streaming algorithms over the sorted record streams that LSM lifecycle
+events already produce.
+"""
+
+from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
+from repro.synopses.bucket import BucketHistogram
+from repro.synopses.equi_height import EquiHeightBuilder, EquiHeightHistogram
+from repro.synopses.equi_width import EquiWidthBuilder, EquiWidthHistogram
+from repro.synopses.factory import create_builder, synopsis_from_payload
+from repro.synopses.gk import GKSketch, GKSketchBuilder
+from repro.synopses.ground_truth import GroundTruthBuilder, GroundTruthSynopsis
+from repro.synopses.maxdiff import MaxDiffBuilder, MaxDiffHistogram
+from repro.synopses.sampling import ReservoirSample, ReservoirSampleBuilder
+from repro.synopses.voptimal import VOptimalBuilder, VOptimalHistogram
+from repro.synopses.wavelet import (
+    StreamingWaveletTransform,
+    WaveletBuilder,
+    WaveletCoefficient,
+    WaveletSynopsis,
+    classic_decompose,
+    classic_reconstruct,
+    prefix_sum_signal,
+)
+
+__all__ = [
+    "Synopsis",
+    "SynopsisBuilder",
+    "SynopsisType",
+    "EquiWidthHistogram",
+    "EquiWidthBuilder",
+    "EquiHeightHistogram",
+    "EquiHeightBuilder",
+    "WaveletSynopsis",
+    "WaveletBuilder",
+    "WaveletCoefficient",
+    "StreamingWaveletTransform",
+    "classic_decompose",
+    "classic_reconstruct",
+    "prefix_sum_signal",
+    "GroundTruthSynopsis",
+    "GroundTruthBuilder",
+    "BucketHistogram",
+    "VOptimalHistogram",
+    "VOptimalBuilder",
+    "MaxDiffHistogram",
+    "MaxDiffBuilder",
+    "GKSketch",
+    "GKSketchBuilder",
+    "ReservoirSample",
+    "ReservoirSampleBuilder",
+    "create_builder",
+    "synopsis_from_payload",
+]

@@ -1,0 +1,206 @@
+"""The synopsis protocol.
+
+A synopsis is a fixed-budget statistical summary of the values observed
+in one LSM component (paper Section 3.2).  All synopsis types share:
+
+* a construction budget of ``budget`` *elements*, where one element is
+  one histogram bucket or one wavelet coefficient -- by construction
+  each occupies the same space, so storage costs compare directly;
+* a builder consuming a *non-decreasing* stream of integer values (the
+  sorted order is imposed for free by the index being flushed/merged);
+* a range estimator ``estimate(lo, hi)`` answering how many observed
+  values fall into the inclusive range;
+* a ``mergeable`` flag: equi-width histograms and wavelets can be
+  combined into one synopsis, equi-height histograms cannot
+  (Section 3.5).
+
+Synopses serialise to plain payload dicts so the simulated cluster can
+ship them over its byte-counting network channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar
+
+from repro.errors import MergeabilityError, SynopsisError
+from repro.types import Domain
+
+__all__ = ["SynopsisType", "Synopsis", "SynopsisBuilder"]
+
+
+class SynopsisType(enum.Enum):
+    """The synopsis families implemented by the framework.
+
+    The first three are the paper's shipped synopses.  ``V_OPTIMAL``
+    and ``MAX_DIFF`` are the accuracy-superior baselines from Poosala
+    et al. that the paper *excludes* from the ingestion path for their
+    construction cost (Section 1/2) -- implemented here so that
+    trade-off can be measured.  ``GK_SKETCH`` and ``RESERVOIR_SAMPLE``
+    are the paper's named future-work directions (Section 5): both
+    tolerate *unsorted* input, so they extend statistics to
+    non-indexed attributes.
+    """
+
+    EQUI_WIDTH = "equi_width"
+    EQUI_HEIGHT = "equi_height"
+    WAVELET = "wavelet"
+    GROUND_TRUTH = "ground_truth"
+    V_OPTIMAL = "v_optimal"
+    MAX_DIFF = "max_diff"
+    GK_SKETCH = "gk_sketch"
+    RESERVOIR_SAMPLE = "reservoir_sample"
+
+    @property
+    def mergeable(self) -> bool:
+        """Whether two synopses of this type can be combined into one."""
+        return self in (
+            SynopsisType.EQUI_WIDTH,
+            SynopsisType.WAVELET,
+            SynopsisType.GROUND_TRUTH,
+            SynopsisType.GK_SKETCH,
+        )
+
+    @property
+    def requires_sorted_input(self) -> bool:
+        """Whether the builder needs the key-sorted LSM stream.
+
+        Sketches and samples work on any order -- the property the
+        paper's future work needs for non-indexed attributes.
+        """
+        return self not in (
+            SynopsisType.GK_SKETCH,
+            SynopsisType.RESERVOIR_SAMPLE,
+        )
+
+
+class Synopsis(ABC):
+    """An immutable statistical summary of one value stream."""
+
+    synopsis_type: ClassVar[SynopsisType]
+
+    def __init__(self, domain: Domain, budget: int, total_count: int) -> None:
+        if budget < 1:
+            raise SynopsisError(f"budget must be >= 1, got {budget}")
+        if total_count < 0:
+            raise SynopsisError(f"negative total_count {total_count}")
+        self.domain = domain
+        self.budget = budget
+        self.total_count = total_count
+
+    @property
+    def mergeable(self) -> bool:
+        """Whether this synopsis can be merged with a compatible one."""
+        return self.synopsis_type.mergeable
+
+    @property
+    @abstractmethod
+    def element_count(self) -> int:
+        """Number of budget elements actually used (<= budget)."""
+
+    @abstractmethod
+    def estimate(self, lo: int, hi: int) -> float:
+        """Estimated number of observed values in the inclusive range
+        ``[lo, hi]``; never negative."""
+
+    def merge_with(self, other: "Synopsis") -> "Synopsis":
+        """Combine two synopses summarising disjoint record sets.
+
+        Raises :class:`~repro.errors.MergeabilityError` for inherently
+        unmergeable types (equi-height histograms) or incompatible
+        parameters.
+        """
+        self._check_merge_compatible(other)
+        return self._merge(other)
+
+    def _check_merge_compatible(self, other: "Synopsis") -> None:
+        if not self.mergeable:
+            raise MergeabilityError(
+                f"{self.synopsis_type.value} synopses are not mergeable"
+            )
+        if other.synopsis_type is not self.synopsis_type:
+            raise MergeabilityError(
+                f"cannot merge {self.synopsis_type.value} with "
+                f"{other.synopsis_type.value}"
+            )
+        if other.domain != self.domain or other.budget != self.budget:
+            raise MergeabilityError(
+                "cannot merge synopses with different domains or budgets"
+            )
+
+    def _merge(self, other: "Synopsis") -> "Synopsis":
+        raise MergeabilityError(
+            f"{self.synopsis_type.value} does not implement merging"
+        )  # pragma: no cover - overridden by mergeable types
+
+    @abstractmethod
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-able representation (shipped over the network sim)."""
+
+    def payload_bytes(self) -> int:
+        """Approximate serialised size: 16 bytes per element plus a
+        small fixed header (one element = border+count or index+value,
+        i.e. two 8-byte words -- the paper's like-for-like accounting)."""
+        return 32 + 16 * self.element_count
+
+
+class SynopsisBuilder(ABC):
+    """Streaming builder fed by the bulkload record stream.
+
+    When ``requires_sorted_input`` is set (the default -- histograms
+    and wavelets exploit the index order), ``add`` must be called with
+    a non-decreasing sequence of integer values (duplicates allowed --
+    secondary keys repeat).  Sketch/sample builders clear the flag and
+    accept any order.  ``build`` finalises and returns the synopsis;
+    builders are single-use.
+    """
+
+    requires_sorted_input: ClassVar[bool] = True
+
+    def __init__(self, domain: Domain, budget: int) -> None:
+        if budget < 1:
+            raise SynopsisError(f"budget must be >= 1, got {budget}")
+        self.domain = domain
+        self.budget = budget
+        self._last_value: int | None = None
+        self._count = 0
+        self._built = False
+
+    def add(self, value: int) -> None:
+        """Observe one value from the sorted stream."""
+        if self._built:
+            raise SynopsisError("builder already finalised")
+        if value not in self.domain:
+            raise SynopsisError(
+                f"value {value} outside domain "
+                f"[{self.domain.lo}, {self.domain.hi}]"
+            )
+        value = int(value)  # normalise numpy integer scalars
+        if (
+            self.requires_sorted_input
+            and self._last_value is not None
+            and value < self._last_value
+        ):
+            raise SynopsisError(
+                f"builder requires non-decreasing input: {value} after "
+                f"{self._last_value}"
+            )
+        self._last_value = value
+        self._count += 1
+        self._add(value)
+
+    def build(self) -> Synopsis:
+        """Finalise and return the synopsis (single use)."""
+        if self._built:
+            raise SynopsisError("builder already finalised")
+        self._built = True
+        return self._build()
+
+    @abstractmethod
+    def _add(self, value: int) -> None:
+        """Type-specific streaming step."""
+
+    @abstractmethod
+    def _build(self) -> Synopsis:
+        """Type-specific finalisation."""

@@ -1,0 +1,95 @@
+"""Equi-height (equi-depth) histograms.
+
+"Building an equi-height histogram is done in a similar manner [to
+equi-width], but with the exception that it is parameterized with the
+total number of records in the input stream to calculate its invariant
+-- bucket height." (Section 3.2)  The record count is known up front
+for every LSM event: a flush knows its memtable size, a merge sums its
+input components' counts, a bulkload gets the count from the sort
+operator feeding it.
+
+A bucket is stored as its right border plus the number of records that
+fell into it.  Borders adapt to the data, which is why equi-height
+histograms handle clustered real-world values (the paper's WorldCup
+fields) far better than equi-width ones -- but the data-dependent
+borders are also why two equi-height histograms cannot be merged
+(Section 3.5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynopsisError
+from repro.synopses.base import SynopsisBuilder, SynopsisType
+from repro.synopses.bucket import BucketHistogram
+from repro.types import Domain
+
+__all__ = ["EquiHeightHistogram", "EquiHeightBuilder"]
+
+
+class EquiHeightHistogram(BucketHistogram):
+    """A histogram whose buckets each hold roughly the same count."""
+
+    synopsis_type = SynopsisType.EQUI_HEIGHT
+
+
+class EquiHeightBuilder(SynopsisBuilder):
+    """Streams sorted values into buckets closed at the height invariant.
+
+    Args:
+        domain: Value domain of the summarised field.
+        budget: Bucket budget.
+        expected_records: Total number of records in the stream, known
+            up front from the LSM event (see module docstring).  The
+            bucket height is ``ceil(expected_records / budget)``.
+    """
+
+    def __init__(self, domain: Domain, budget: int, expected_records: int) -> None:
+        super().__init__(domain, budget)
+        if expected_records < 0:
+            raise SynopsisError(
+                f"negative expected_records {expected_records}"
+            )
+        self.expected_records = expected_records
+        self._height = max(1, -(-expected_records // budget))
+        self._borders: list[int] = []
+        self._counts: list[int] = []
+        self._current_count = 0
+        self._first_value: int | None = None
+        self._pending_border: int | None = None
+
+    def _add(self, value: int) -> None:
+        if self._first_value is None:
+            self._first_value = value
+        # A bucket whose height invariant was reached closes only once
+        # the value changes, so a run of duplicates never straddles a
+        # border (borders stay strictly increasing).
+        if self._pending_border is not None and value != self._pending_border:
+            self._borders.append(self._pending_border)
+            self._counts.append(self._current_count)
+            self._current_count = 0
+            self._pending_border = None
+        self._current_count += 1
+        # Reaching the invariant marks the bucket for closing -- unless
+        # the budget is nearly exhausted (the stream may hold more
+        # records than expected, e.g. when a merge's expected count was
+        # only an upper bound), in which case the final bucket absorbs
+        # the tail.
+        if (
+            self._current_count >= self._height
+            and len(self._borders) < self.budget - 1
+        ):
+            self._pending_border = value
+
+    def _build(self) -> EquiHeightHistogram:
+        if self._current_count > 0:
+            assert self._last_value is not None
+            self._borders.append(self._last_value)
+            self._counts.append(self._current_count)
+        first_left = (
+            self._first_value - 1
+            if self._first_value is not None
+            else self.domain.lo - 1
+        )
+        return EquiHeightHistogram(
+            self.domain, self.budget, first_left, self._borders, self._counts
+        )

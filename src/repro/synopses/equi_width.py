@@ -1,0 +1,110 @@
+"""Equi-width histograms.
+
+"The algorithm for creating an equi-width histogram is straightforward:
+first we calculate the histogram invariant -- bucket width, depending
+on the total bucket budget and domain size of the indexed field.  After
+that buckets can be populated left-to-right as the records are received
+from the sorted input stream." (Section 3.2)
+
+Equi-width histograms are naturally mergeable: two histograms over the
+same domain with the same budget have identical bucket borders, so a
+merge is an element-wise sum of bucket counts (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SynopsisError
+from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
+from repro.types import Domain
+
+__all__ = ["EquiWidthHistogram", "EquiWidthBuilder"]
+
+
+def _bucket_width(domain: Domain, budget: int) -> int:
+    """The histogram invariant: the fixed width of every bucket."""
+    return -(-domain.length // budget)  # ceil division
+
+
+class EquiWidthHistogram(Synopsis):
+    """A histogram of fixed-width buckets covering the whole domain."""
+
+    synopsis_type = SynopsisType.EQUI_WIDTH
+
+    def __init__(
+        self, domain: Domain, budget: int, counts: list[int]
+    ) -> None:
+        width = _bucket_width(domain, budget)
+        expected_buckets = -(-domain.length // width)
+        if len(counts) != expected_buckets:
+            raise SynopsisError(
+                f"expected {expected_buckets} buckets, got {len(counts)}"
+            )
+        super().__init__(domain, budget, total_count=sum(counts))
+        self.width = width
+        self.counts = counts
+
+    @property
+    def element_count(self) -> int:
+        return len(self.counts)
+
+    def bucket_range(self, index: int) -> tuple[int, int]:
+        """Inclusive value range ``[lo, hi]`` covered by bucket ``index``
+        (the last bucket may be clipped by the domain border)."""
+        lo = self.domain.lo + index * self.width
+        hi = min(lo + self.width - 1, self.domain.hi)
+        return lo, hi
+
+    def estimate(self, lo: int, hi: int) -> float:
+        """Range estimate under the continuous-value assumption: a
+        partially overlapped bucket contributes proportionally to the
+        overlapped fraction of its width."""
+        clipped = self.domain.intersect(lo, hi)
+        if clipped is None:
+            return 0.0
+        lo, hi = clipped
+        first = (lo - self.domain.lo) // self.width
+        last = (hi - self.domain.lo) // self.width
+        total = 0.0
+        for index in range(first, last + 1):
+            bucket_lo, bucket_hi = self.bucket_range(index)
+            overlap = min(hi, bucket_hi) - max(lo, bucket_lo) + 1
+            bucket_len = bucket_hi - bucket_lo + 1
+            total += self.counts[index] * (overlap / bucket_len)
+        return max(total, 0.0)
+
+    def _merge(self, other: Synopsis) -> "EquiWidthHistogram":
+        assert isinstance(other, EquiWidthHistogram)
+        merged = [a + b for a, b in zip(self.counts, other.counts)]
+        return EquiWidthHistogram(self.domain, self.budget, merged)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "type": self.synopsis_type.value,
+            "domain": [self.domain.lo, self.domain.hi],
+            "budget": self.budget,
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "EquiWidthHistogram":
+        """Inverse of :meth:`to_payload`."""
+        domain = Domain(*payload["domain"])
+        return cls(domain, payload["budget"], list(payload["counts"]))
+
+
+class EquiWidthBuilder(SynopsisBuilder):
+    """Streams sorted values into fixed-width buckets, left to right."""
+
+    def __init__(self, domain: Domain, budget: int) -> None:
+        super().__init__(domain, budget)
+        self._width = _bucket_width(domain, budget)
+        num_buckets = -(-domain.length // self._width)
+        self._counts = [0] * num_buckets
+
+    def _add(self, value: int) -> None:
+        self._counts[(value - self.domain.lo) // self._width] += 1
+
+    def _build(self) -> EquiWidthHistogram:
+        return EquiWidthHistogram(self.domain, self.budget, self._counts)

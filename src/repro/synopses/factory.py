@@ -1,0 +1,70 @@
+"""Construction and deserialisation dispatch for synopsis types."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SynopsisError
+from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
+from repro.synopses.equi_height import EquiHeightBuilder, EquiHeightHistogram
+from repro.synopses.equi_width import EquiWidthBuilder, EquiWidthHistogram
+from repro.synopses.gk import GKSketch, GKSketchBuilder
+from repro.synopses.ground_truth import GroundTruthBuilder, GroundTruthSynopsis
+from repro.synopses.maxdiff import MaxDiffBuilder, MaxDiffHistogram
+from repro.synopses.sampling import ReservoirSample, ReservoirSampleBuilder
+from repro.synopses.voptimal import VOptimalBuilder, VOptimalHistogram
+from repro.synopses.wavelet.synopsis import WaveletBuilder, WaveletSynopsis
+from repro.types import Domain
+
+__all__ = ["create_builder", "synopsis_from_payload"]
+
+_SYNOPSIS_CLASSES: dict[SynopsisType, type[Synopsis]] = {
+    SynopsisType.EQUI_WIDTH: EquiWidthHistogram,
+    SynopsisType.EQUI_HEIGHT: EquiHeightHistogram,
+    SynopsisType.WAVELET: WaveletSynopsis,
+    SynopsisType.GROUND_TRUTH: GroundTruthSynopsis,
+    SynopsisType.V_OPTIMAL: VOptimalHistogram,
+    SynopsisType.MAX_DIFF: MaxDiffHistogram,
+    SynopsisType.GK_SKETCH: GKSketch,
+    SynopsisType.RESERVOIR_SAMPLE: ReservoirSample,
+}
+
+
+def create_builder(
+    synopsis_type: SynopsisType,
+    domain: Domain,
+    budget: int,
+    expected_records: int,
+) -> SynopsisBuilder:
+    """Instantiate the streaming builder for ``synopsis_type``.
+
+    ``expected_records`` is only consumed by equi-height histograms
+    (their bucket-height invariant); other types ignore it.
+    """
+    if synopsis_type is SynopsisType.EQUI_WIDTH:
+        return EquiWidthBuilder(domain, budget)
+    if synopsis_type is SynopsisType.EQUI_HEIGHT:
+        return EquiHeightBuilder(domain, budget, expected_records)
+    if synopsis_type is SynopsisType.WAVELET:
+        return WaveletBuilder(domain, budget)
+    if synopsis_type is SynopsisType.GROUND_TRUTH:
+        return GroundTruthBuilder(domain, budget)
+    if synopsis_type is SynopsisType.V_OPTIMAL:
+        return VOptimalBuilder(domain, budget)
+    if synopsis_type is SynopsisType.MAX_DIFF:
+        return MaxDiffBuilder(domain, budget)
+    if synopsis_type is SynopsisType.GK_SKETCH:
+        return GKSketchBuilder(domain, budget)
+    if synopsis_type is SynopsisType.RESERVOIR_SAMPLE:
+        return ReservoirSampleBuilder(domain, budget)
+    raise SynopsisError(f"unknown synopsis type {synopsis_type!r}")
+
+
+def synopsis_from_payload(payload: dict[str, Any]) -> Synopsis:
+    """Rebuild a synopsis from its network payload."""
+    try:
+        synopsis_type = SynopsisType(payload["type"])
+    except (KeyError, ValueError) as exc:
+        raise SynopsisError(f"malformed synopsis payload: {exc}") from exc
+    cls = _SYNOPSIS_CLASSES[synopsis_type]
+    return cls.from_payload(payload)  # type: ignore[attr-defined]

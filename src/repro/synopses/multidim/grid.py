@@ -1,0 +1,148 @@
+"""Equi-width grid histograms: the 2-D analogue of Section 3.2's
+equi-width histogram (multidimensional histograms per Wang & Sevcik
+[49], simplified to a fixed grid).
+
+The budget is split evenly across the two axes -- ``floor(sqrt(B))``
+cells per side -- and each cell counts the pairs falling into its
+rectangle.  Estimation applies the continuous-value assumption
+independently in both dimensions (a partially overlapped cell
+contributes the product of its per-axis overlap fractions).  The grid
+is data-independent, so two grids merge by element-wise addition, like
+their 1-D counterpart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SynopsisError
+from repro.synopses.multidim.base2d import (
+    Synopsis2D,
+    Synopsis2DBuilder,
+    Synopsis2DType,
+)
+from repro.types import Domain
+
+__all__ = ["GridHistogram2D", "GridHistogram2DBuilder"]
+
+
+def _cells_per_side(budget: int) -> int:
+    return max(1, int(math.isqrt(budget)))
+
+
+def _cell_width(domain: Domain, cells: int) -> int:
+    return -(-domain.length // cells)
+
+
+class GridHistogram2D(Synopsis2D):
+    """A fixed grid of counts over the cross product of two domains."""
+
+    synopsis_type = Synopsis2DType.GRID
+
+    def __init__(
+        self,
+        domains: tuple[Domain, Domain],
+        budget: int,
+        counts: np.ndarray,
+    ) -> None:
+        cells = _cells_per_side(budget)
+        width_x = _cell_width(domains[0], cells)
+        width_y = _cell_width(domains[1], cells)
+        expected = (
+            -(-domains[0].length // width_x),
+            -(-domains[1].length // width_y),
+        )
+        if counts.shape != expected:
+            raise SynopsisError(
+                f"grid shape {counts.shape} does not match expected {expected}"
+            )
+        super().__init__(domains, budget, total_count=int(counts.sum()))
+        self.widths = (width_x, width_y)
+        self.counts = counts
+
+    @property
+    def element_count(self) -> int:
+        return int(self.counts.size)
+
+    def _axis_overlaps(
+        self, axis: int, lo: int, hi: int
+    ) -> tuple[int, int, np.ndarray]:
+        """First/last touched cell index and per-cell overlap fractions."""
+        domain = self.domains[axis]
+        width = self.widths[axis]
+        first = (lo - domain.lo) // width
+        last = (hi - domain.lo) // width
+        fractions = np.empty(last - first + 1)
+        for offset, cell in enumerate(range(first, last + 1)):
+            cell_lo = domain.lo + cell * width
+            cell_hi = min(cell_lo + width - 1, domain.hi)
+            overlap = min(hi, cell_hi) - max(lo, cell_lo) + 1
+            fractions[offset] = overlap / (cell_hi - cell_lo + 1)
+        return first, last, fractions
+
+    def estimate(self, lo_x: int, hi_x: int, lo_y: int, hi_y: int) -> float:
+        clipped = self._clip(lo_x, hi_x, lo_y, hi_y)
+        if clipped is None:
+            return 0.0
+        lo_x, hi_x, lo_y, hi_y = clipped
+        first_x, last_x, frac_x = self._axis_overlaps(0, lo_x, hi_x)
+        first_y, last_y, frac_y = self._axis_overlaps(1, lo_y, hi_y)
+        block = self.counts[first_x : last_x + 1, first_y : last_y + 1]
+        weight = np.outer(frac_x, frac_y)
+        return max(float((block * weight).sum()), 0.0)
+
+    def _merge(self, other: Synopsis2D) -> "GridHistogram2D":
+        assert isinstance(other, GridHistogram2D)
+        return GridHistogram2D(
+            self.domains, self.budget, self.counts + other.counts
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "type": self.synopsis_type.value,
+            "domains": [
+                [self.domains[0].lo, self.domains[0].hi],
+                [self.domains[1].lo, self.domains[1].hi],
+            ],
+            "budget": self.budget,
+            "counts": self.counts.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "GridHistogram2D":
+        """Inverse of :meth:`to_payload`."""
+        domains = (
+            Domain(*payload["domains"][0]),
+            Domain(*payload["domains"][1]),
+        )
+        return cls(
+            domains,
+            payload["budget"],
+            np.asarray(payload["counts"], dtype=np.int64),
+        )
+
+
+class GridHistogram2DBuilder(Synopsis2DBuilder):
+    """Streams sorted pairs into the fixed grid."""
+
+    def __init__(self, domains: tuple[Domain, Domain], budget: int) -> None:
+        super().__init__(domains, budget)
+        cells = _cells_per_side(budget)
+        self._width_x = _cell_width(domains[0], cells)
+        self._width_y = _cell_width(domains[1], cells)
+        shape = (
+            -(-domains[0].length // self._width_x),
+            -(-domains[1].length // self._width_y),
+        )
+        self._counts = np.zeros(shape, dtype=np.int64)
+
+    def _add(self, x: int, y: int) -> None:
+        row = (x - self.domains[0].lo) // self._width_x
+        col = (y - self.domains[1].lo) // self._width_y
+        self._counts[row, col] += 1
+
+    def _build(self) -> GridHistogram2D:
+        return GridHistogram2D(self.domains, self.budget, self._counts)

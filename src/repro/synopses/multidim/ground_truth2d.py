@@ -1,0 +1,94 @@
+"""Exact 2-D oracle synopsis (diagnostics only, like its 1-D sibling)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.synopses.multidim.base2d import (
+    Synopsis2D,
+    Synopsis2DBuilder,
+    Synopsis2DType,
+)
+from repro.types import Domain
+
+__all__ = ["GroundTruth2D", "GroundTruth2DBuilder"]
+
+
+class GroundTruth2D(Synopsis2D):
+    """The exact frequency map of one component's pair stream."""
+
+    synopsis_type = Synopsis2DType.GROUND_TRUTH
+
+    def __init__(
+        self,
+        domains: tuple[Domain, Domain],
+        budget: int,
+        frequencies: dict[tuple[int, int], int],
+    ) -> None:
+        super().__init__(domains, budget, total_count=sum(frequencies.values()))
+        self.frequencies = dict(frequencies)
+
+    @property
+    def element_count(self) -> int:
+        return len(self.frequencies)
+
+    def estimate(self, lo_x: int, hi_x: int, lo_y: int, hi_y: int) -> float:
+        clipped = self._clip(lo_x, hi_x, lo_y, hi_y)
+        if clipped is None:
+            return 0.0
+        lo_x, hi_x, lo_y, hi_y = clipped
+        return float(
+            sum(
+                count
+                for (x, y), count in self.frequencies.items()
+                if lo_x <= x <= hi_x and lo_y <= y <= hi_y
+            )
+        )
+
+    def _merge(self, other: Synopsis2D) -> "GroundTruth2D":
+        assert isinstance(other, GroundTruth2D)
+        merged = dict(self.frequencies)
+        for key, count in other.frequencies.items():
+            merged[key] = merged.get(key, 0) + count
+        return GroundTruth2D(self.domains, self.budget, merged)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "type": self.synopsis_type.value,
+            "domains": [
+                [self.domains[0].lo, self.domains[0].hi],
+                [self.domains[1].lo, self.domains[1].hi],
+            ],
+            "budget": self.budget,
+            "frequencies": [
+                [x, y, count] for (x, y), count in sorted(self.frequencies.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "GroundTruth2D":
+        """Inverse of :meth:`to_payload`."""
+        domains = (
+            Domain(*payload["domains"][0]),
+            Domain(*payload["domains"][1]),
+        )
+        return cls(
+            domains,
+            payload["budget"],
+            {(int(x), int(y)): int(c) for x, y, c in payload["frequencies"]},
+        )
+
+
+class GroundTruth2DBuilder(Synopsis2DBuilder):
+    """Counts every pair exactly (unbounded memory; diagnostics only)."""
+
+    def __init__(self, domains: tuple[Domain, Domain], budget: int = 1) -> None:
+        super().__init__(domains, budget)
+        self._frequencies: dict[tuple[int, int], int] = {}
+
+    def _add(self, x: int, y: int) -> None:
+        key = (x, y)
+        self._frequencies[key] = self._frequencies.get(key, 0) + 1
+
+    def _build(self) -> GroundTruth2D:
+        return GroundTruth2D(self.domains, self.budget, self._frequencies)

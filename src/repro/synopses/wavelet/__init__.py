@@ -1,0 +1,28 @@
+"""Wavelet synopses: classic and streaming Haar decomposition."""
+
+from repro.synopses.wavelet.classic import (
+    classic_decompose,
+    classic_reconstruct,
+    prefix_sum_signal,
+)
+from repro.synopses.wavelet.coefficient import (
+    WaveletCoefficient,
+    coefficient_level,
+    normalized_weight,
+    preorder_sort_key,
+)
+from repro.synopses.wavelet.streaming import StreamingWaveletTransform
+from repro.synopses.wavelet.synopsis import WaveletBuilder, WaveletSynopsis
+
+__all__ = [
+    "WaveletCoefficient",
+    "coefficient_level",
+    "normalized_weight",
+    "preorder_sort_key",
+    "classic_decompose",
+    "classic_reconstruct",
+    "prefix_sum_signal",
+    "StreamingWaveletTransform",
+    "WaveletSynopsis",
+    "WaveletBuilder",
+]

@@ -1,0 +1,85 @@
+"""Classic full-array Haar decomposition (the reference implementation).
+
+This is the textbook algorithm from the paper's Appendix B: recursive
+pairwise averaging and differencing of the complete signal.  It
+allocates arrays proportional to the domain length, so it is only
+usable for small domains -- which is exactly why the paper develops the
+streaming variant (Algorithm 1).  It exists here as the correctness
+oracle: property tests check that the streaming transform produces the
+identical coefficient set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["classic_decompose", "classic_reconstruct", "prefix_sum_signal"]
+
+
+def _require_power_of_two(n: int) -> None:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"signal length must be a positive power of two, got {n}")
+
+
+def classic_decompose(signal: Sequence[float]) -> dict[int, float]:
+    """Full Haar decomposition; returns non-zero coefficients by index.
+
+    Follows the paper's convention: the average of a pair ``(left,
+    right)`` is ``(left + right) / 2`` and the detail is
+    ``(right - left) / 2``.  Coefficients are unnormalized.
+    """
+    _require_power_of_two(len(signal))
+    coefficients: dict[int, float] = {}
+    current = [float(x) for x in signal]
+    while len(current) > 1:
+        base = len(current) // 2
+        averages = []
+        for pair_index in range(base):
+            left = current[2 * pair_index]
+            right = current[2 * pair_index + 1]
+            averages.append((left + right) / 2.0)
+            detail = (right - left) / 2.0
+            if detail != 0.0:
+                coefficients[base + pair_index] = detail
+        current = averages
+    if current[0] != 0.0:
+        coefficients[0] = current[0]
+    return coefficients
+
+
+def classic_reconstruct(coefficients: dict[int, float], length: int) -> list[float]:
+    """Invert :func:`classic_decompose` (missing coefficients are 0)."""
+    _require_power_of_two(length)
+    current = [coefficients.get(0, 0.0)]
+    while len(current) < length:
+        base = len(current)
+        expanded = []
+        for pair_index, average in enumerate(current):
+            detail = coefficients.get(base + pair_index, 0.0)
+            expanded.append(average - detail)  # left child
+            expanded.append(average + detail)  # right child
+        current = expanded
+    return current
+
+
+def prefix_sum_signal(frequencies: Iterable[float], length: int) -> list[float]:
+    """The "dense" prefix-sum signal the paper feeds the decomposition.
+
+    ``frequencies`` lists raw per-position frequencies (length <=
+    ``length``; missing tail positions are zero); the result is the
+    running sum, extended at the final value through the padded tail --
+    converting the sparse frequency vector into the one-dimensional
+    datacube of Section 3.2.
+    """
+    _require_power_of_two(length)
+    out: list[float] = []
+    running = 0.0
+    for value in frequencies:
+        running += value
+        out.append(running)
+    if len(out) > length:
+        raise ValueError(
+            f"{len(out)} frequencies exceed signal length {length}"
+        )
+    out.extend([running] * (length - len(out)))
+    return out

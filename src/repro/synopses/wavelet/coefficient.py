@@ -1,0 +1,95 @@
+"""Wavelet coefficients and error-tree addressing.
+
+The Haar decomposition of a length-``M`` signal (``M = 2^levels``)
+forms an *error tree* (paper Appendix B, Figure 11): node 0 holds the
+overall average, node 1 the coarsest detail coefficient, and node ``i``
+(``1 <= i < M``) a detail coefficient whose children are nodes ``2i``
+and ``2i + 1``.  A detail coefficient at tree depth ``d`` (``d =
+floor(log2 i)``) sits at resolution level ``levels - d`` and supports a
+dyadic interval of ``2^(levels - d)`` signal positions.
+
+Sign convention (matching the paper's worked example): with a detail
+coefficient ``c = (right - left) / 2``, descending into the *right*
+child adds ``c`` and into the *left* child subtracts it.
+
+Normalization (Appendix B): a coefficient's significance weight grows
+with its support -- we use ``|value| * 2^(level/2)``, which orders
+coefficients identically to the paper's division by
+``sqrt(2)^(logM - level)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WaveletCoefficient",
+    "coefficient_level",
+    "normalized_weight",
+    "preorder_sort_key",
+    "support_interval",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WaveletCoefficient:
+    """One (error-tree index, unnormalized value) pair."""
+
+    index: int
+    value: float
+
+
+def coefficient_level(index: int, levels: int) -> int:
+    """Resolution level of a coefficient (support size ``2^level``).
+
+    The overall average (index 0) and the coarsest detail (index 1)
+    both live at the top level ``levels``.
+    """
+    if index < 0:
+        raise ValueError(f"negative coefficient index {index}")
+    if index == 0:
+        return levels
+    depth = index.bit_length() - 1
+    if depth > levels:
+        raise ValueError(
+            f"coefficient index {index} too deep for {levels} levels"
+        )
+    return levels - depth
+
+
+def normalized_weight(index: int, value: float, levels: int) -> float:
+    """Thresholding weight: larger support makes a coefficient weigh more."""
+    return abs(value) * 2.0 ** (coefficient_level(index, levels) / 2.0)
+
+
+def support_interval(index: int, levels: int) -> tuple[int, int]:
+    """Half-open position interval ``[start, end)`` a coefficient's
+    basis function is non-zero on.
+
+    The overall average (index 0) and the coarsest detail (index 1)
+    both span the whole signal; a detail node at depth ``d`` spans the
+    ``2^(levels - d)`` positions of its error-tree subtree.
+    """
+    if index == 0:
+        return 0, 1 << levels
+    depth = index.bit_length() - 1
+    size = 1 << (levels - depth)
+    start = (index - (1 << depth)) * size
+    return start, start + size
+
+
+def preorder_sort_key(index: int) -> tuple:
+    """Sort key realising the binary-tree pre-order layout the paper
+    stores synopses in (a parent precedes its subtree; a left subtree
+    precedes its right sibling's).
+
+    Index 0 (the overall average) sorts first; every detail node is
+    keyed by its root-to-node path, so lexicographic comparison of
+    paths -- where a parent's path is a strict prefix of its
+    descendants' -- yields exactly the pre-order.
+    """
+    if index == 0:
+        return (0, "")
+    depth = index.bit_length() - 1
+    path = format(index - (1 << depth), f"0{depth}b") if depth else ""
+    return (1, path)

@@ -1,0 +1,110 @@
+"""Raw-frequency wavelet synopsis (the prefix-sum ablation baseline).
+
+The paper's Algorithm 1 encodes the *prefix sum* of the frequency
+signal because "using a 'dense' prefix sum as an input for the wavelet
+decomposition significantly improves the accuracy of range-sum
+queries" (Section 3.2).  This module implements the alternative it
+measured against: decomposing the raw sparse frequency vector itself.
+
+A range query over raw-frequency coefficients cannot use the two-point
+reconstruction trick; instead the range sum is computed analytically
+from the retained coefficients -- each Haar basis function contributes
+``value * (|range ∩ right half| - |range ∩ left half|)`` in O(1), so a
+query costs O(B) regardless of range width.
+
+Used by ``benchmarks/bench_ablation_prefix_sum.py``; not registered as
+a first-class :class:`~repro.synopses.base.SynopsisType` because the
+framework ships the paper's (superior) prefix-sum variant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynopsisError
+from repro.synopses.wavelet.coefficient import support_interval
+from repro.synopses.wavelet.streaming import StreamingWaveletTransform
+from repro.types import Domain
+
+__all__ = ["RawFrequencyWaveletSynopsis", "RawFrequencyWaveletBuilder"]
+
+
+def _overlap(lo: int, hi_exclusive: int, start: int, end: int) -> int:
+    """Size of ``[lo, hi_exclusive) ∩ [start, end)``."""
+    return max(0, min(hi_exclusive, end) - max(lo, start))
+
+
+class RawFrequencyWaveletSynopsis:
+    """Top-B Haar coefficients of the raw frequency signal."""
+
+    def __init__(
+        self, domain: Domain, budget: int, coefficients: dict[int, float]
+    ) -> None:
+        if len(coefficients) > budget:
+            raise SynopsisError(
+                f"{len(coefficients)} coefficients exceed budget {budget}"
+            )
+        self.domain = domain
+        self.budget = budget
+        self.levels = domain.levels
+        self.coefficients = dict(coefficients)
+
+    @property
+    def element_count(self) -> int:
+        """Retained coefficients."""
+        return len(self.coefficients)
+
+    def estimate(self, lo: int, hi: int) -> float:
+        """Analytic range sum over the retained basis functions."""
+        clipped = self.domain.intersect(lo, hi)
+        if clipped is None:
+            return 0.0
+        lo_pos = self.domain.position(clipped[0])
+        hi_pos = self.domain.position(clipped[1]) + 1  # half-open
+        total = 0.0
+        for index, value in self.coefficients.items():
+            start, end = support_interval(index, self.levels)
+            if index == 0:
+                total += value * _overlap(lo_pos, hi_pos, start, end)
+                continue
+            middle = (start + end) // 2
+            right = _overlap(lo_pos, hi_pos, middle, end)
+            left = _overlap(lo_pos, hi_pos, start, middle)
+            # Detail = (right - left) / 2: +1 on the right half, -1 left.
+            total += value * (right - left)
+        return max(total, 0.0)
+
+
+class RawFrequencyWaveletBuilder:
+    """Streams sorted values into the raw-frequency transform."""
+
+    def __init__(self, domain: Domain, budget: int) -> None:
+        self.domain = domain
+        self.budget = budget
+        self._transform = StreamingWaveletTransform(
+            domain.levels, budget, encode_prefix_sum=False
+        )
+        self._current_value: int | None = None
+        self._current_frequency = 0
+
+    def add(self, value: int) -> None:
+        """Observe one value from the non-decreasing stream."""
+        if value == self._current_value:
+            self._current_frequency += 1
+            return
+        if self._current_value is not None and value < self._current_value:
+            raise SynopsisError("raw wavelet builder requires sorted input")
+        self._flush_pending()
+        self._current_value = value
+        self._current_frequency = 1
+
+    def _flush_pending(self) -> None:
+        if self._current_value is not None:
+            self._transform.add(
+                self.domain.position(self._current_value),
+                float(self._current_frequency),
+            )
+
+    def build(self) -> RawFrequencyWaveletSynopsis:
+        """Finalise (single use)."""
+        self._flush_pending()
+        coefficients = {c.index: c.value for c in self._transform.finish()}
+        return RawFrequencyWaveletSynopsis(self.domain, self.budget, coefficients)

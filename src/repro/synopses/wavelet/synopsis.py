@@ -1,0 +1,171 @@
+"""The wavelet synopsis: queries, merging, serialisation.
+
+The retained coefficients encode the *prefix sum* ``W`` of the value
+frequencies, so a range query ``[x, y]`` needs just two point
+reconstructions, ``W(y) - W(x - 1)``, each a single root-to-leaf walk
+of the error tree (Section 3.6) -- no inverse transform required.
+
+Because the Haar transform is linear and the prefix sum of a union of
+record sets is the sum of their prefix sums, two wavelet synopses over
+the same domain merge by adding coefficients index-wise and then
+re-thresholding to the budget; the re-thresholding is where mergeable
+synopses "lose some accuracy along the way" (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SynopsisError
+from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
+from repro.synopses.wavelet.coefficient import (
+    WaveletCoefficient,
+    normalized_weight,
+    preorder_sort_key,
+)
+from repro.synopses.wavelet.streaming import StreamingWaveletTransform
+from repro.types import Domain
+
+__all__ = ["WaveletSynopsis", "WaveletBuilder"]
+
+
+class WaveletSynopsis(Synopsis):
+    """Top-B Haar coefficients of the prefix-sum frequency signal."""
+
+    synopsis_type = SynopsisType.WAVELET
+
+    def __init__(
+        self,
+        domain: Domain,
+        budget: int,
+        coefficients: dict[int, float],
+        total_count: int,
+    ) -> None:
+        if len(coefficients) > budget:
+            raise SynopsisError(
+                f"{len(coefficients)} coefficients exceed budget {budget}"
+            )
+        super().__init__(domain, budget, total_count)
+        self.levels = domain.levels
+        self.coefficients = dict(coefficients)
+
+    @property
+    def element_count(self) -> int:
+        return len(self.coefficients)
+
+    def prefix_value(self, position: int) -> float:
+        """Reconstruct ``W(position)``, the encoded prefix sum, via one
+        root-to-leaf traversal (positions outside the signal clamp:
+        ``W`` is 0 before the domain and constant through the padded
+        tail)."""
+        if position < 0:
+            return 0.0
+        position = min(position, (1 << self.levels) - 1)
+        value = self.coefficients.get(0, 0.0)
+        index = 1
+        for shift in range(self.levels - 1, -1, -1):
+            coefficient = self.coefficients.get(index, 0.0)
+            bit = (position >> shift) & 1
+            # Detail is (right - left) / 2: right child adds, left subtracts.
+            value += coefficient if bit else -coefficient
+            index = 2 * index + bit
+        return value
+
+    def estimate(self, lo: int, hi: int) -> float:
+        clipped = self.domain.intersect(lo, hi)
+        if clipped is None:
+            return 0.0
+        lo, hi = clipped
+        lo_position = self.domain.position(lo)
+        hi_position = self.domain.position(hi)
+        estimate = self.prefix_value(hi_position) - self.prefix_value(
+            lo_position - 1
+        )
+        return max(estimate, 0.0)
+
+    def _merge(self, other: Synopsis) -> "WaveletSynopsis":
+        assert isinstance(other, WaveletSynopsis)
+        combined = dict(self.coefficients)
+        for index, value in other.coefficients.items():
+            merged_value = combined.get(index, 0.0) + value
+            if merged_value == 0.0:
+                combined.pop(index, None)
+            else:
+                combined[index] = merged_value
+        thresholded = _threshold(combined, self.budget, self.levels)
+        return WaveletSynopsis(
+            self.domain,
+            self.budget,
+            thresholded,
+            self.total_count + other.total_count,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        ordered = sorted(self.coefficients, key=preorder_sort_key)
+        return {
+            "type": self.synopsis_type.value,
+            "domain": [self.domain.lo, self.domain.hi],
+            "budget": self.budget,
+            "total_count": self.total_count,
+            # Binary-tree pre-order, the paper's serialisation layout.
+            "coefficients": [[i, self.coefficients[i]] for i in ordered],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "WaveletSynopsis":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            Domain(*payload["domain"]),
+            payload["budget"],
+            {int(i): float(v) for i, v in payload["coefficients"]},
+            payload["total_count"],
+        )
+
+
+def _threshold(
+    coefficients: dict[int, float], budget: int, levels: int
+) -> dict[int, float]:
+    """Keep the ``budget`` heaviest coefficients by normalized weight."""
+    if len(coefficients) <= budget:
+        return coefficients
+    ranked = sorted(
+        coefficients.items(),
+        key=lambda item: normalized_weight(item[0], item[1], levels),
+        reverse=True,
+    )
+    return dict(ranked[:budget])
+
+
+class WaveletBuilder(SynopsisBuilder):
+    """Aggregates the sorted value stream into per-value frequencies and
+    feeds them through the streaming transform."""
+
+    def __init__(self, domain: Domain, budget: int) -> None:
+        super().__init__(domain, budget)
+        self._transform = StreamingWaveletTransform(domain.levels, budget)
+        self._current_value: int | None = None
+        self._current_frequency = 0
+
+    def _add(self, value: int) -> None:
+        if value == self._current_value:
+            self._current_frequency += 1
+            return
+        self._flush_pending()
+        self._current_value = value
+        self._current_frequency = 1
+
+    def _flush_pending(self) -> None:
+        if self._current_value is not None:
+            self._transform.add(
+                self.domain.position(self._current_value),
+                float(self._current_frequency),
+            )
+
+    def _build(self) -> WaveletSynopsis:
+        self._flush_pending()
+        coefficients = {
+            c.index: c.value for c in self._transform.finish()
+        }
+        return WaveletSynopsis(
+            self.domain, self.budget, coefficients, total_count=self._count
+        )

@@ -1,0 +1,149 @@
+"""Fixed-width integer types and value domains.
+
+The paper (Section 3.1) defines synopsis construction only over the
+fixed-length integer types of the AsterixDB data model -- int8, int16,
+int32 and int64 -- because hierarchical synopses (wavelets) require the
+input values to be drawn from a fixed-size universe whose size is a power
+of two.  Values from any fixed-length domain are conceptually padded with
+zeros up to the nearest power-of-two length; variable-length types such as
+strings are reduced to this problem via dictionary encoding (see
+:mod:`repro.workloads.dictionary`).
+
+This module provides:
+
+* :class:`IntType` -- the four supported fixed-width integer types.
+* :class:`Domain` -- a bounded integer value domain with the power-of-two
+  padding required by wavelet synopses, plus position/value mapping.
+"""
+
+from __future__ import annotations
+
+import enum
+import numbers
+from dataclasses import dataclass
+
+from repro.errors import DomainError
+
+__all__ = ["IntType", "Domain"]
+
+
+class IntType(enum.Enum):
+    """Fixed-width signed integer types supported for synopsis fields."""
+
+    INT8 = 8
+    INT16 = 16
+    INT32 = 32
+    INT64 = 64
+
+    @property
+    def bits(self) -> int:
+        """Width of the type in bits."""
+        return self.value
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        return (1 << (self.bits - 1)) - 1
+
+    def validate(self, value: int) -> int:
+        """Return ``value`` unchanged if representable, else raise."""
+        if not self.min_value <= value <= self.max_value:
+            raise DomainError(
+                f"value {value} does not fit in {self.name.lower()}"
+            )
+        return value
+
+
+def _next_power_of_two(n: int) -> int:
+    """Smallest power of two >= ``n`` (``n`` must be positive)."""
+    if n <= 0:
+        raise DomainError(f"length must be positive, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A bounded integer value domain ``[lo, hi]`` (both inclusive).
+
+    Wavelet synopses operate on *positions* within the domain rather than
+    raw values; the domain is padded up to the nearest power-of-two length
+    so the Haar decomposition is well defined.  Histogram synopses use the
+    unpadded ``length``.
+
+    Attributes:
+        lo: Smallest value in the domain (inclusive).
+        hi: Largest value in the domain (inclusive).
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise DomainError(f"empty domain: lo={self.lo} > hi={self.hi}")
+
+    @classmethod
+    def of_type(cls, int_type: IntType) -> "Domain":
+        """The full domain of a fixed-width integer type."""
+        return cls(int_type.min_value, int_type.max_value)
+
+    @property
+    def length(self) -> int:
+        """Number of distinct values in the domain."""
+        return self.hi - self.lo + 1
+
+    @property
+    def padded_length(self) -> int:
+        """Domain length padded to the nearest power of two.
+
+        This is the universe size ``M`` used by the Haar decomposition;
+        the paper pads fixed-length domains with zeros to the nearest
+        power of two (Section 3.1).
+        """
+        return _next_power_of_two(self.length)
+
+    @property
+    def levels(self) -> int:
+        """Height ``log2(M)`` of the Haar error tree over this domain."""
+        return self.padded_length.bit_length() - 1
+
+    def __contains__(self, value: object) -> bool:
+        # numbers.Integral admits numpy integer scalars alongside int.
+        return isinstance(value, numbers.Integral) and self.lo <= value <= self.hi
+
+    def position(self, value: int) -> int:
+        """Zero-based position of ``value`` within the domain."""
+        if value not in self:
+            raise DomainError(
+                f"value {value} outside domain [{self.lo}, {self.hi}]"
+            )
+        return value - self.lo
+
+    def value_at(self, position: int) -> int:
+        """Inverse of :meth:`position` (positions in the padded tail are
+        allowed so wavelet reconstruction can address them)."""
+        if not 0 <= position < self.padded_length:
+            raise DomainError(
+                f"position {position} outside padded domain of length "
+                f"{self.padded_length}"
+            )
+        return self.lo + position
+
+    def clamp(self, value: int) -> int:
+        """Clamp ``value`` into ``[lo, hi]``."""
+        return min(max(value, self.lo), self.hi)
+
+    def intersect(self, lo: int, hi: int) -> tuple[int, int] | None:
+        """Intersect the closed range ``[lo, hi]`` with this domain.
+
+        Returns ``None`` when the intersection is empty.
+        """
+        lo2, hi2 = max(lo, self.lo), min(hi, self.hi)
+        if lo2 > hi2:
+            return None
+        return lo2, hi2

@@ -1,0 +1,239 @@
+"""An AVL-tree based sorted map.
+
+The LSM in-memory component (Appendix A of the paper: records within a
+component are kept in "a order-preserving tree data structure to allow
+efficient lookup") needs a mutable ordered dictionary with in-order
+iteration and range scans.  The standard library offers none, so we
+implement a classic AVL tree.  Keys may be any totally ordered values;
+in this library they are integers or ``(secondary, primary)`` tuples.
+
+Operations:
+
+* ``put(key, value)`` / ``get(key)`` / ``remove(key)`` -- O(log n)
+* ``items()`` / ``range_items(lo, hi)`` -- in-order iteration
+* ``min_key()`` / ``max_key()`` -- O(log n)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["SortedMap"]
+
+
+class _Node:
+    """A single AVL node (slots keep memtables compact)."""
+
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class SortedMap:
+    """A mutable ordered mapping backed by an AVL tree."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default`` when absent."""
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert ``key`` or replace its value when already present."""
+        self._root, inserted = self._insert(self._root, key, value)
+        if inserted:
+            self._size += 1
+
+    def remove(self, key: Any) -> bool:
+        """Delete ``key``; returns whether it was present."""
+        self._root, removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._root = None
+        self._size = 0
+
+    def min_key(self) -> Any:
+        """Smallest key; raises ``KeyError`` on an empty map."""
+        if self._root is None:
+            raise KeyError("min_key() on empty SortedMap")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> Any:
+        """Largest key; raises ``KeyError`` on an empty map."""
+        if self._root is None:
+            raise KeyError("max_key() on empty SortedMap")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in ascending key order (iterative in-order walk)."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        """All values in ascending key order."""
+        for _key, value in self.items():
+            yield value
+
+    def range_items(self, lo: Any = None, hi: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Entries with ``lo <= key <= hi`` in ascending key order.
+
+        ``None`` bounds are open (no constraint on that side).
+        """
+        stack: list[_Node] = []
+        node = self._root
+        # Descend pruning subtrees entirely below ``lo``.
+        while node is not None:
+            if lo is not None and node.key < lo:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            if hi is not None and node.key > hi:
+                return
+            yield node.key, node.value
+            node = node.right
+            while node is not None:
+                if lo is not None and node.key < lo:
+                    node = node.right
+                else:
+                    stack.append(node)
+                    node = node.left
+
+    # -- internal recursive helpers -------------------------------------
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def _insert(
+        self, node: Optional[_Node], key: Any, value: Any
+    ) -> tuple[_Node, bool]:
+        if node is None:
+            return _Node(key, value), True
+        if key < node.key:
+            node.left, inserted = self._insert(node.left, key, value)
+        elif node.key < key:
+            node.right, inserted = self._insert(node.right, key, value)
+        else:
+            node.value = value
+            return node, False
+        return _rebalance(node), inserted
+
+    def _delete(
+        self, node: Optional[_Node], key: Any
+    ) -> tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete(node.left, key)
+        elif node.key < key:
+            node.right, removed = self._delete(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            # Two children: splice in the in-order successor.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _removed = self._delete(node.right, successor.key)
+        return _rebalance(node), removed

@@ -1,0 +1,35 @@
+"""Workload generation: synthetic distributions, tweets, WorldCup logs,
+query workloads and the string-dictionary hook."""
+
+from repro.workloads.dictionary import StringDictionary
+from repro.workloads.distributions import (
+    DistributionSpec,
+    FrequencyDistribution,
+    SpreadDistribution,
+    SyntheticDistribution,
+    generate_distribution,
+)
+from repro.workloads.queries import QueryType, QueryWorkloadGenerator, RangeQuery
+from repro.workloads.tweets import VALUE_FIELD, TweetGenerator
+from repro.workloads.worldcup import (
+    WORLDCUP_FIELDS,
+    WorldCupField,
+    WorldCupGenerator,
+)
+
+__all__ = [
+    "SpreadDistribution",
+    "FrequencyDistribution",
+    "DistributionSpec",
+    "SyntheticDistribution",
+    "generate_distribution",
+    "QueryType",
+    "RangeQuery",
+    "QueryWorkloadGenerator",
+    "TweetGenerator",
+    "VALUE_FIELD",
+    "WorldCupGenerator",
+    "WorldCupField",
+    "WORLDCUP_FIELDS",
+    "StringDictionary",
+]

@@ -1,0 +1,82 @@
+"""Dictionary encoding for variable-length (string) fields.
+
+The synopsis framework operates on fixed-width integer domains;
+"variable-length types, e.g. strings, can leverage dictionary-encoding
+to reduce them to the former problem" (Section 3.1).  This module
+provides that reduction: a :class:`StringDictionary` assigns dense
+integer codes in first-seen order, so string fields can be indexed and
+summarised like any integer field.
+
+Note the caveat inherited from the paper: synopses over dictionary
+codes estimate *equality/categorical* predicates well, but range
+predicates over codes only make sense if codes preserve the desired
+order (use :meth:`StringDictionary.frozen_sorted` to build an
+order-preserving dictionary from a known vocabulary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DomainError
+from repro.types import Domain
+
+__all__ = ["StringDictionary"]
+
+
+class StringDictionary:
+    """Bidirectional string <-> dense integer code mapping."""
+
+    def __init__(self, capacity: int = 2**31) -> None:
+        if capacity < 1:
+            raise DomainError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._codes: dict[str, int] = {}
+        self._strings: list[str] = []
+        self._frozen = False
+
+    @classmethod
+    def frozen_sorted(cls, vocabulary: Iterable[str]) -> "StringDictionary":
+        """An immutable dictionary whose codes preserve lexicographic
+        order, enabling meaningful range predicates over codes."""
+        dictionary = cls()
+        for token in sorted(set(vocabulary)):
+            dictionary.encode(token)
+        dictionary._frozen = True
+        return dictionary
+
+    def encode(self, token: str) -> int:
+        """The code of ``token``, assigning a fresh one when unseen."""
+        code = self._codes.get(token)
+        if code is not None:
+            return code
+        if self._frozen:
+            raise DomainError(f"token {token!r} not in frozen dictionary")
+        if len(self._strings) >= self._capacity:
+            raise DomainError("dictionary capacity exhausted")
+        code = len(self._strings)
+        self._codes[token] = code
+        self._strings.append(token)
+        return code
+
+    def decode(self, code: int) -> str:
+        """Inverse of :meth:`encode`."""
+        if not 0 <= code < len(self._strings):
+            raise DomainError(f"unknown dictionary code {code}")
+        return self._strings[code]
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, token: object) -> bool:
+        return token in self._codes
+
+    def tokens(self) -> Iterator[str]:
+        """All tokens in code order."""
+        return iter(self._strings)
+
+    def code_domain(self) -> Domain:
+        """The integer domain the assigned codes occupy (for synopses)."""
+        if not self._strings:
+            raise DomainError("empty dictionary has no code domain")
+        return Domain(0, len(self._strings) - 1)

@@ -1,0 +1,248 @@
+"""The Poosala synthetic-distribution framework (paper Section 4.1.1).
+
+A synthetic dataset is described by two independent parameters:
+
+* a **value set** -- the positions of the distinct secondary-key values
+  in the key domain, characterised by the distribution of *spreads*
+  (distances between neighbouring values);
+* a **frequency set** -- how many records carry each value.
+
+Spread distributions: Uniform, Zipf (skew ``alpha = 1``, decreasing),
+ZipfIncreasing, ZipfRandom, CuspMin (Zipf then ZipfIncreasing), CuspMax
+(ZipfIncreasing then Zipf).  Frequency distributions: Uniform, Zipf,
+ZipfRandom.  Following the paper, value and frequency sets are combined
+with *positive correlation* (the i-th value takes the i-th frequency).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Domain
+
+__all__ = [
+    "SpreadDistribution",
+    "FrequencyDistribution",
+    "DistributionSpec",
+    "SyntheticDistribution",
+    "generate_distribution",
+]
+
+
+class SpreadDistribution(enum.Enum):
+    """Distribution of the distances between neighbouring values."""
+
+    UNIFORM = "Uniform"
+    ZIPF = "Zipf"
+    ZIPF_INCREASING = "ZipfIncreasing"
+    ZIPF_RANDOM = "ZipfRandom"
+    CUSP_MIN = "CuspMin"
+    CUSP_MAX = "CuspMax"
+
+
+class FrequencyDistribution(enum.Enum):
+    """Distribution of per-value record counts."""
+
+    UNIFORM = "Uniform"
+    ZIPF = "Zipf"
+    ZIPF_RANDOM = "ZipfRandom"
+
+
+@dataclass(frozen=True)
+class DistributionSpec:
+    """Parameters of one synthetic dataset.
+
+    Attributes:
+        spread: Value-set spread distribution.
+        frequency: Frequency-set distribution.
+        domain: Secondary-key domain.
+        num_values: Number of distinct secondary-key values.
+        total_records: Total records (sum of all frequencies).
+        skew: Zipf skew coefficient (the paper fixes ``alpha = 1``).
+        seed: RNG seed; everything downstream is deterministic in it.
+    """
+
+    spread: SpreadDistribution
+    frequency: FrequencyDistribution
+    domain: Domain
+    num_values: int
+    total_records: int
+    skew: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_values < 1:
+            raise ConfigurationError("num_values must be >= 1")
+        if self.num_values > self.domain.length:
+            raise ConfigurationError(
+                f"{self.num_values} distinct values cannot fit in a domain "
+                f"of length {self.domain.length}"
+            )
+        if self.total_records < self.num_values:
+            raise ConfigurationError(
+                "total_records must be >= num_values (every value occurs)"
+            )
+
+
+@dataclass(frozen=True)
+class SyntheticDistribution:
+    """A realised (value set, frequency set) pair with fast truth queries."""
+
+    spec: DistributionSpec
+    values: tuple[int, ...]
+    frequencies: tuple[int, ...]
+    _cumulative: tuple[int, ...] = field(repr=False, default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_cumulative",
+            tuple(itertools.accumulate(self.frequencies)),
+        )
+
+    @property
+    def total_records(self) -> int:
+        """Total number of records the distribution realises."""
+        return self._cumulative[-1] if self._cumulative else 0
+
+    def frequency_of(self, value: int) -> int:
+        """Exact frequency of one domain value."""
+        index = bisect.bisect_left(self.values, value)
+        if index < len(self.values) and self.values[index] == value:
+            return self.frequencies[index]
+        return 0
+
+    def true_range_count(self, lo: int, hi: int) -> int:
+        """Exact number of records with value in ``[lo, hi]`` -- the
+        ground truth for insert-only accuracy experiments, O(log V)."""
+        if lo > hi:
+            return 0
+        first = bisect.bisect_left(self.values, lo)
+        last = bisect.bisect_right(self.values, hi) - 1
+        if last < first:
+            return 0
+        below_first = self._cumulative[first - 1] if first > 0 else 0
+        return self._cumulative[last] - below_first
+
+    def record_values(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """The full multiset of record values, optionally shuffled into
+        a random ingestion order."""
+        expanded = np.repeat(
+            np.asarray(self.values, dtype=np.int64),
+            np.asarray(self.frequencies, dtype=np.int64),
+        )
+        if rng is not None:
+            rng.shuffle(expanded)
+        return expanded
+
+
+def _zipf_weights(count: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    return 1.0 / np.power(ranks, skew)
+
+
+def _spread_weights(
+    spread: SpreadDistribution, count: int, skew: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Unnormalised spread lengths, ordered per the distribution."""
+    if spread is SpreadDistribution.UNIFORM:
+        return np.ones(count)
+    decreasing = _zipf_weights(count, skew)
+    if spread is SpreadDistribution.ZIPF:
+        return decreasing
+    if spread is SpreadDistribution.ZIPF_INCREASING:
+        return decreasing[::-1]
+    if spread is SpreadDistribution.ZIPF_RANDOM:
+        permuted = decreasing.copy()
+        rng.shuffle(permuted)
+        return permuted
+    half = count // 2
+    if spread is SpreadDistribution.CUSP_MIN:
+        # Decreasing first half, increasing second half.
+        first = _zipf_weights(half, skew)
+        second = _zipf_weights(count - half, skew)[::-1]
+        return np.concatenate([first, second])
+    if spread is SpreadDistribution.CUSP_MAX:
+        first = _zipf_weights(half, skew)[::-1]
+        second = _zipf_weights(count - half, skew)
+        return np.concatenate([first, second])
+    raise ConfigurationError(f"unknown spread distribution {spread!r}")
+
+
+def _frequency_counts(
+    frequency: FrequencyDistribution,
+    count: int,
+    total: int,
+    skew: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Integer frequencies >= 1 summing exactly to ``total``."""
+    if frequency is FrequencyDistribution.UNIFORM:
+        weights = np.ones(count)
+    elif frequency is FrequencyDistribution.ZIPF:
+        weights = _zipf_weights(count, skew)
+    elif frequency is FrequencyDistribution.ZIPF_RANDOM:
+        weights = _zipf_weights(count, skew)
+        rng.shuffle(weights)
+    else:
+        raise ConfigurationError(f"unknown frequency distribution {frequency!r}")
+    return _apportion(weights, total, minimum=1)
+
+
+def _apportion(weights: np.ndarray, total: int, minimum: int) -> np.ndarray:
+    """Scale positive weights to integers >= ``minimum`` summing to
+    ``total`` (largest-remainder method; deterministic)."""
+    count = len(weights)
+    budget = total - minimum * count
+    if budget < 0:
+        raise ConfigurationError(
+            f"cannot apportion {total} into {count} parts of >= {minimum}"
+        )
+    scaled = weights / weights.sum() * budget
+    floors = np.floor(scaled).astype(np.int64)
+    remainder = budget - int(floors.sum())
+    if remainder > 0:
+        fractional = scaled - floors
+        # Stable pick of the largest fractional parts.
+        order = np.argsort(-fractional, kind="stable")[:remainder]
+        floors[order] += 1
+    return floors + minimum
+
+
+def generate_value_set(
+    spread: SpreadDistribution,
+    domain: Domain,
+    num_values: int,
+    skew: float,
+    rng: np.random.Generator,
+) -> tuple[int, ...]:
+    """Distinct, sorted domain values whose gaps follow ``spread``.
+
+    The first value sits one spread after the domain start and the
+    spreads are scaled so the values span the whole domain.
+    """
+    weights = _spread_weights(spread, num_values, skew, rng)
+    spreads = _apportion(weights, domain.length, minimum=1)
+    positions = np.cumsum(spreads) - 1  # last value lands on domain.hi
+    return tuple(int(domain.lo + p) for p in positions)
+
+
+def generate_distribution(spec: DistributionSpec) -> SyntheticDistribution:
+    """Realise a :class:`DistributionSpec` into concrete value and
+    frequency sets (positively correlated, per the paper)."""
+    rng = np.random.default_rng(spec.seed)
+    values = generate_value_set(
+        spec.spread, spec.domain, spec.num_values, spec.skew, rng
+    )
+    frequencies = _frequency_counts(
+        spec.frequency, spec.num_values, spec.total_records, spec.skew, rng
+    )
+    return SyntheticDistribution(
+        spec=spec, values=values, frequencies=tuple(int(f) for f in frequencies)
+    )

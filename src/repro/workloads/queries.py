@@ -1,0 +1,108 @@
+"""Range-query workload generators (paper Section 4.1.2).
+
+Four query shapes over a value domain:
+
+* **Point** -- a degenerate range ``[x, x]`` at a random domain point;
+* **FixedLength** -- a range of a predefined length whose starting
+  point is drawn randomly;
+* **HalfOpen** -- one border random, the other pinned to the domain
+  minimum or maximum;
+* **Random** -- both borders drawn randomly (ordered).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Domain
+
+__all__ = ["QueryType", "RangeQuery", "QueryWorkloadGenerator"]
+
+
+class QueryType(enum.Enum):
+    """The paper's four range-query shapes."""
+
+    POINT = "Point"
+    FIXED_LENGTH = "FixedLength"
+    HALF_OPEN = "HalfOpen"
+    RANDOM = "Random"
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """An inclusive range predicate ``lo <= key <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ConfigurationError(f"empty range [{self.lo}, {self.hi}]")
+
+    @property
+    def length(self) -> int:
+        """Number of domain points the range covers."""
+        return self.hi - self.lo + 1
+
+
+class QueryWorkloadGenerator:
+    """Deterministic generator of range queries over a domain."""
+
+    def __init__(self, domain: Domain, seed: int = 0) -> None:
+        self.domain = domain
+        self._rng = np.random.default_rng(seed)
+
+    def _random_point(self) -> int:
+        return int(
+            self._rng.integers(self.domain.lo, self.domain.hi, endpoint=True)
+        )
+
+    def point(self) -> RangeQuery:
+        """A degenerate single-point range."""
+        value = self._random_point()
+        return RangeQuery(value, value)
+
+    def fixed_length(self, length: int) -> RangeQuery:
+        """A range of exactly ``length`` domain points (clamped at the
+        domain border by shifting the start, so the length is exact)."""
+        if not 1 <= length <= self.domain.length:
+            raise ConfigurationError(
+                f"fixed length {length} outside domain of length "
+                f"{self.domain.length}"
+            )
+        latest_start = self.domain.hi - length + 1
+        lo = int(self._rng.integers(self.domain.lo, latest_start, endpoint=True))
+        return RangeQuery(lo, lo + length - 1)
+
+    def half_open(self) -> RangeQuery:
+        """A range with one random border; the other is a domain extreme."""
+        value = self._random_point()
+        if self._rng.integers(0, 2) == 0:
+            return RangeQuery(value, self.domain.hi)
+        return RangeQuery(self.domain.lo, value)
+
+    def random(self) -> RangeQuery:
+        """A range with both borders drawn randomly."""
+        a, b = self._random_point(), self._random_point()
+        return RangeQuery(min(a, b), max(a, b))
+
+    def generate(
+        self, query_type: QueryType, count: int, fixed_length: int = 128
+    ) -> Iterator[RangeQuery]:
+        """A stream of ``count`` queries of one shape."""
+        for _ in range(count):
+            if query_type is QueryType.POINT:
+                yield self.point()
+            elif query_type is QueryType.FIXED_LENGTH:
+                yield self.fixed_length(fixed_length)
+            elif query_type is QueryType.HALF_OPEN:
+                yield self.half_open()
+            elif query_type is QueryType.RANDOM:
+                yield self.random()
+            else:  # pragma: no cover - enum is closed
+                raise ConfigurationError(f"unknown query type {query_type!r}")

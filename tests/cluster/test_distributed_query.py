@@ -1,0 +1,109 @@
+"""Tests for statistics-driven distributed query execution."""
+
+import pytest
+
+from repro.cluster import DistributedQueryExecutor, LSMCluster
+from repro.core import StatisticsConfig
+from repro.errors import QueryError
+from repro.lsm.dataset import IndexSpec
+from repro.query import AccessMethod, RangePredicate
+from repro.synopses import SynopsisType
+from repro.types import Domain
+
+VALUE_DOMAIN = Domain(0, 9_999)
+
+
+def _cluster(num_records=8000):
+    cluster = LSMCluster(
+        num_nodes=2,
+        partitions_per_node=2,
+        stats_config=StatisticsConfig(SynopsisType.EQUI_HEIGHT, budget=256),
+    )
+    cluster.create_dataset(
+        "orders",
+        primary_key="id",
+        primary_domain=Domain(0, 2**62),
+        indexes=[IndexSpec("value_idx", "value", VALUE_DOMAIN)],
+    )
+    cluster.bulkload(
+        "orders",
+        [{"id": pk, "value": pk % 10_000} for pk in range(num_records)],
+    )
+    return cluster
+
+
+class TestPlanning:
+    def test_planning_touches_no_storage_node(self):
+        cluster = _cluster()
+        executor = DistributedQueryExecutor(cluster)
+        before = [node.disk.stats.snapshot() for node in cluster.nodes]
+        executor.plan("orders", RangePredicate("value", 5, 6))
+        for node, snapshot in zip(cluster.nodes, before):
+            assert node.disk.stats.delta(snapshot).pages_read == 0
+
+    def test_selective_plans_index_probe(self):
+        cluster = _cluster()
+        executor = DistributedQueryExecutor(cluster)
+        method, estimate, total = executor.plan(
+            "orders", RangePredicate("value", 5, 6)
+        )
+        assert method is AccessMethod.INDEX_PROBE
+        assert estimate < 20
+        assert total == pytest.approx(8000, rel=0.05)
+
+    def test_wide_plans_full_scan(self):
+        cluster = _cluster()
+        executor = DistributedQueryExecutor(cluster)
+        method, estimate, _total = executor.plan(
+            "orders", RangePredicate("value", 0, 9_999)
+        )
+        assert method is AccessMethod.FULL_SCAN
+        assert estimate == pytest.approx(8000, rel=0.05)
+
+    def test_unknown_field(self):
+        cluster = _cluster(num_records=100)
+        executor = DistributedQueryExecutor(cluster)
+        with pytest.raises(QueryError):
+            executor.plan("orders", RangePredicate("missing", 0, 1))
+
+
+class TestExecution:
+    def test_results_match_ground_truth(self):
+        cluster = _cluster()
+        executor = DistributedQueryExecutor(cluster)
+        for lo, hi in [(5, 6), (100, 300), (0, 9_999)]:
+            result = executor.execute("orders", RangePredicate("value", lo, hi))
+            true = cluster.count_secondary_range("orders", "value_idx", lo, hi)
+            assert result.cardinality == true
+            assert result.partitions_executed == cluster.num_partitions
+
+    def test_both_paths_agree(self):
+        cluster = _cluster(num_records=2000)
+        executor = DistributedQueryExecutor(cluster)
+        predicate = RangePredicate("value", 100, 200)
+        probe = executor.execute("orders", predicate, AccessMethod.INDEX_PROBE)
+        scan = executor.execute("orders", predicate, AccessMethod.FULL_SCAN)
+        assert sorted(r["id"] for r in probe.records) == sorted(
+            r["id"] for r in scan.records
+        )
+
+    def test_chosen_path_is_cheaper_at_extremes(self):
+        cluster = _cluster()
+        executor = DistributedQueryExecutor(cluster)
+
+        def weighted(io):
+            return io.random_reads * 10 + io.sequential_reads
+
+        narrow = RangePredicate("value", 7, 8)
+        probe = executor.execute("orders", narrow, AccessMethod.INDEX_PROBE)
+        scan = executor.execute("orders", narrow, AccessMethod.FULL_SCAN)
+        assert weighted(probe.io) < weighted(scan.io)
+        planned = executor.execute("orders", narrow)
+        assert planned.method is AccessMethod.INDEX_PROBE
+
+        wide = RangePredicate("value", 0, 9_999)
+        probe = executor.execute("orders", wide, AccessMethod.INDEX_PROBE)
+        scan = executor.execute("orders", wide, AccessMethod.FULL_SCAN)
+        assert weighted(scan.io) < weighted(probe.io)
+        planned = executor.execute("orders", wide)
+        assert planned.method is AccessMethod.FULL_SCAN

@@ -1,0 +1,130 @@
+"""Tests for the three feed types."""
+
+import pytest
+
+from repro.cluster import (
+    ChangeableFeed,
+    DatasetFeedAdapter,
+    FeedOperation,
+    FeedRecord,
+    FileFeed,
+    LSMCluster,
+    SocketFeed,
+)
+from repro.core import StatisticsConfig
+from repro.errors import ClusterError
+from repro.lsm.dataset import IndexSpec
+from repro.synopses import SynopsisType
+from repro.types import Domain
+
+
+def _target():
+    cluster = LSMCluster(
+        num_nodes=2,
+        partitions_per_node=1,
+        stats_config=StatisticsConfig(SynopsisType.GROUND_TRUTH, budget=64),
+    )
+    cluster.create_dataset(
+        "ds",
+        primary_key="id",
+        primary_domain=Domain(0, 10**6),
+        indexes=[IndexSpec("value_idx", "value", Domain(0, 999))],
+        memtable_capacity=25,
+    )
+    return cluster, DatasetFeedAdapter(cluster, "ds")
+
+
+def _doc(pk, value):
+    return {"id": pk, "value": value}
+
+
+class TestSocketFeed:
+    def test_ingests_and_counts_bytes(self):
+        cluster, target = _target()
+        feed = SocketFeed(_doc(pk, pk % 1000) for pk in range(100))
+        assert feed.run(target) == 100
+        assert feed.bytes_received > 0
+        target.flush()
+        assert cluster.count_records("ds") == 100
+
+
+class TestFileFeed:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        count = FileFeed.write_file(path, (_doc(pk, pk) for pk in range(50)))
+        assert count == 50
+        cluster, target = _target()
+        feed = FileFeed([path])
+        assert feed.run(target) == 50
+        target.flush()
+        assert cluster.count_records("ds") == 50
+
+    def test_multiple_files(self, tmp_path):
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"part{i}.jsonl"
+            FileFeed.write_file(path, (_doc(pk, pk) for pk in range(i * 10, i * 10 + 10)))
+            paths.append(path)
+        cluster, target = _target()
+        assert FileFeed(paths).run(target) == 30
+        target.flush()
+        assert cluster.count_records("ds") == 30
+
+    def test_missing_file(self, tmp_path):
+        cluster, target = _target()
+        with pytest.raises(ClusterError):
+            FileFeed([tmp_path / "ghost.jsonl"]).run(target)
+
+
+class TestChangeableFeed:
+    def test_stage_size_validated(self):
+        with pytest.raises(ClusterError):
+            ChangeableFeed([], stage_size=0)
+
+    def test_mixed_operations(self):
+        cluster, target = _target()
+        records = [
+            FeedRecord(FeedOperation.INSERT, _doc(pk, pk)) for pk in range(60)
+        ]
+        records += [
+            FeedRecord(FeedOperation.UPDATE, _doc(pk, pk + 500)) for pk in range(0, 60, 2)
+        ]
+        records += [
+            FeedRecord(FeedOperation.DELETE, _doc(pk, 0)) for pk in range(0, 60, 3)
+        ]
+        feed = ChangeableFeed(records, stage_size=20)
+        counts = feed.run(target)
+        assert counts[FeedOperation.INSERT] == 60
+        assert counts[FeedOperation.UPDATE] == 30
+        assert counts[FeedOperation.DELETE] == 20
+        assert feed.stages_completed >= 5
+        assert cluster.count_records("ds") == 40
+
+    def test_staged_flushes_generate_antimatter(self):
+        cluster, target = _target()
+        records = [FeedRecord(FeedOperation.INSERT, _doc(pk, pk)) for pk in range(40)]
+        records += [FeedRecord(FeedOperation.DELETE, _doc(pk, 0)) for pk in range(20)]
+        ChangeableFeed(records, stage_size=40).run(target)
+        # The deletes arrived after a forced flush, so they must appear
+        # as anti-matter in some disk component.
+        anti_total = 0
+        for node in cluster.nodes:
+            for partition_id in node.partition_ids:
+                tree = node.dataset("ds", partition_id).secondary_tree("value_idx")
+                anti_total += sum(c.antimatter_count for c in tree.components)
+        assert anti_total == 20
+        # And statistics still reconcile exactly (ground-truth type).
+        true = cluster.count_secondary_range("ds", "value_idx", 0, 999)
+        assert cluster.estimate("ds", "value_idx", 0, 999) == pytest.approx(true)
+
+    def test_update_delete_of_missing_records_fail_softly(self):
+        _cluster, target = _target()
+        records = [
+            FeedRecord(FeedOperation.UPDATE, _doc(1, 5)),
+            FeedRecord(FeedOperation.DELETE, _doc(2, 0)),
+            FeedRecord(FeedOperation.INSERT, _doc(3, 7)),
+        ]
+        feed = ChangeableFeed(records, stage_size=10)
+        counts = feed.run(target)
+        assert feed.failed_operations == 2
+        assert counts[FeedOperation.INSERT] == 1

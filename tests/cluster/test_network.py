@@ -1,0 +1,46 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.errors import ClusterError
+
+
+def test_register_and_send():
+    network = Network()
+    received = []
+    network.register("master", lambda src, msg: received.append((src, msg)))
+    size = network.send("node1", "master", {"kind": "hello"})
+    assert received == [("node1", {"kind": "hello"})]
+    assert size > 0
+    assert network.stats.messages == 1
+    assert network.stats.bytes_sent == size
+    assert network.stats.per_destination["master"] == size
+
+
+def test_duplicate_registration_rejected():
+    network = Network()
+    network.register("a", lambda s, m: None)
+    with pytest.raises(ClusterError):
+        network.register("a", lambda s, m: None)
+
+
+def test_unknown_destination():
+    network = Network()
+    with pytest.raises(ClusterError):
+        network.send("a", "ghost", {})
+
+
+def test_byte_accounting_grows_with_payload():
+    network = Network()
+    network.register("m", lambda s, msg: None)
+    small = network.send("a", "m", {"x": 1})
+    large = network.send("a", "m", {"x": list(range(100))})
+    assert large > small
+
+
+def test_node_ids():
+    network = Network()
+    network.register("b", lambda s, m: None)
+    network.register("a", lambda s, m: None)
+    assert network.node_ids == ["a", "b"]

@@ -1,0 +1,43 @@
+"""Tests for hash partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.partitioner import HashPartitioner
+from repro.errors import ClusterError
+
+
+def test_validates_partition_count():
+    with pytest.raises(ClusterError):
+        HashPartitioner(0)
+
+
+def test_deterministic():
+    p = HashPartitioner(8)
+    assert p.partition_of(42) == p.partition_of(42)
+    assert p.partition_of("abc") == p.partition_of("abc")
+
+
+def test_single_partition():
+    p = HashPartitioner(1)
+    assert all(p.partition_of(k) == 0 for k in range(100))
+
+
+def test_reasonable_balance():
+    p = HashPartitioner(8)
+    counts = [0] * 8
+    for key in range(8000):
+        counts[p.partition_of(key)] += 1
+    assert min(counts) > 500  # no partition starves
+    assert max(counts) < 1500
+
+
+@given(st.integers(-(2**62), 2**62), st.integers(1, 64))
+def test_in_range(key, n):
+    assert 0 <= HashPartitioner(n).partition_of(key) < n
+
+
+@given(st.text(max_size=30), st.integers(1, 16))
+def test_string_keys_in_range(key, n):
+    assert 0 <= HashPartitioner(n).partition_of(key) < n

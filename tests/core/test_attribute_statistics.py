@@ -1,0 +1,116 @@
+"""Tests for unsorted-attribute statistics (the Section 5 extension)."""
+
+import pytest
+
+from repro.core import StatisticsConfig, StatisticsManager
+from repro.errors import ConfigurationError
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.storage import SimulatedDisk
+from repro.synopses import SynopsisType
+from repro.types import Domain
+
+AGE_DOMAIN = Domain(0, 120)
+
+
+def _setup(synopsis_type=SynopsisType.GK_SKETCH, memtable_capacity=64):
+    dataset = Dataset(
+        "people",
+        SimulatedDisk(),
+        primary_key="id",
+        primary_domain=Domain(0, 10**6),
+        indexes=[IndexSpec("value_idx", "value", Domain(0, 999))],
+        memtable_capacity=memtable_capacity,
+    )
+    manager = StatisticsManager(StatisticsConfig(synopsis_type, budget=128))
+    manager.attach(dataset)
+    manager.register_attribute(dataset, "age", AGE_DOMAIN)
+    return dataset, manager
+
+
+def _doc(pk):
+    # Age is NOT indexed and arrives in PK order -> unsorted by age.
+    return {"id": pk, "value": pk % 1000, "age": (pk * 37) % 120}
+
+
+class TestUnsortedAttributeStatistics:
+    @pytest.mark.parametrize(
+        "synopsis_type",
+        [SynopsisType.GK_SKETCH, SynopsisType.RESERVOIR_SAMPLE],
+    )
+    def test_estimates_track_truth(self, synopsis_type):
+        dataset, manager = _setup(synopsis_type)
+        for pk in range(2000):
+            dataset.insert(_doc(pk))
+        dataset.flush()
+        true_count = sum(
+            1 for pk in range(2000) if 30 <= (pk * 37) % 120 <= 60
+        )
+        estimate = manager.estimate_attribute(dataset, "age", 30, 60)
+        assert estimate == pytest.approx(true_count, rel=0.25)
+
+    def test_sorted_only_types_rejected(self):
+        dataset = Dataset(
+            "d",
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 10**6),
+        )
+        manager = StatisticsManager(
+            StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=64)
+        )
+        manager.attach(dataset)
+        with pytest.raises(ConfigurationError):
+            manager.register_attribute(dataset, "age", AGE_DOMAIN)
+
+    def test_index_and_attribute_stats_coexist(self):
+        dataset, manager = _setup()
+        for pk in range(500):
+            dataset.insert(_doc(pk))
+        dataset.flush()
+        # Index-key statistics still answer (GK over sorted SKs is fine);
+        # 500 records with value = pk % 1000 all land in [0, 499].
+        index_estimate = manager.estimate(dataset, "value_idx", 0, 499)
+        assert index_estimate == pytest.approx(500, rel=0.1)
+        assert manager.estimate(dataset, "value_idx", 0, 249) == pytest.approx(
+            250, rel=0.25
+        )
+        attribute_estimate = manager.estimate_attribute(dataset, "age", 0, 119)
+        assert attribute_estimate == pytest.approx(500, rel=0.05)
+
+    def test_merge_retracts_attribute_entries(self):
+        from repro.core.collector import attribute_statistics_key
+
+        dataset, manager = _setup(memtable_capacity=100)
+        for pk in range(500):
+            dataset.insert(_doc(pk))
+        dataset.flush()
+        key = attribute_statistics_key(dataset.primary.name, "age")
+        before = manager.catalog.entry_count(key)
+        assert before > 1
+        dataset.primary.merge(dataset.primary.components)
+        assert manager.catalog.entry_count(key) == 1
+
+    def test_missing_attribute_skipped(self):
+        dataset, manager = _setup()
+        for pk in range(100):
+            document = _doc(pk)
+            if pk % 2 == 0:
+                del document["age"]
+            dataset.insert(document)
+        dataset.flush()
+        estimate = manager.estimate_attribute(dataset, "age", 0, 119)
+        assert estimate == pytest.approx(50, rel=0.1)
+
+    def test_nostats_manager_noop(self):
+        dataset = Dataset(
+            "d",
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 10**6),
+        )
+        manager = StatisticsManager(StatisticsConfig.disabled())
+        manager.attach(dataset)
+        manager.register_attribute(dataset, "age", AGE_DOMAIN)  # no-op
+        dataset.insert({"id": 1, "age": 30})
+        dataset.flush()
+        assert manager.estimate_attribute(dataset, "age", 0, 119) == 0.0

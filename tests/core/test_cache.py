@@ -1,0 +1,53 @@
+"""Tests for the merged-synopsis cache."""
+
+from repro.core.cache import MergedSynopsisCache
+from repro.synopses import SynopsisType, create_builder
+from repro.types import Domain
+
+
+def _synopsis():
+    return create_builder(SynopsisType.EQUI_WIDTH, Domain(0, 9), 4, 0).build()
+
+
+def test_miss_on_empty():
+    cache = MergedSynopsisCache()
+    assert cache.get("idx", 1) is None
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_hit_on_matching_version():
+    cache = MergedSynopsisCache()
+    cache.put("idx", _synopsis(), _synopsis(), version=3)
+    cached = cache.get("idx", 3)
+    assert cached is not None
+    assert cached.version == 3
+    assert cache.hits == 1
+
+
+def test_stale_version_invalidates():
+    cache = MergedSynopsisCache()
+    cache.put("idx", _synopsis(), _synopsis(), version=3)
+    assert cache.get("idx", 4) is None
+    assert cache.invalidations == 1
+    assert len(cache) == 0
+    # The stale entry is gone for good.
+    assert cache.get("idx", 3) is None
+
+
+def test_explicit_invalidate():
+    cache = MergedSynopsisCache()
+    cache.put("idx", _synopsis(), _synopsis(), version=1)
+    cache.invalidate("idx")
+    assert cache.invalidations == 1
+    cache.invalidate("idx")  # idempotent, no double count
+    assert cache.invalidations == 1
+
+
+def test_clear_keeps_counters():
+    cache = MergedSynopsisCache()
+    cache.put("a", _synopsis(), _synopsis(), version=1)
+    cache.get("a", 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1

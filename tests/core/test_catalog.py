@@ -1,0 +1,90 @@
+"""Tests for the statistics catalog."""
+
+import pytest
+
+from repro.core.catalog import StatisticsCatalog
+from repro.errors import CatalogError
+from repro.synopses import SynopsisType, create_builder
+from repro.types import Domain
+
+DOMAIN = Domain(0, 99)
+
+
+def _synopsis(values=()):
+    builder = create_builder(SynopsisType.EQUI_WIDTH, DOMAIN, 8, len(values))
+    for value in sorted(values):
+        builder.add(value)
+    return builder.build()
+
+
+def _put(catalog, index="idx", node="n1", partition=0, uid=1, values=(1, 2)):
+    return catalog.put(index, node, partition, uid, _synopsis(values), _synopsis())
+
+
+def test_put_and_retrieve():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1)
+    _put(catalog, uid=2)
+    entries = catalog.entries_for("idx")
+    assert len(entries) == 2
+    assert [e.component_uid for e in entries] == [1, 2]
+
+
+def test_entries_for_unknown_index_is_empty():
+    assert StatisticsCatalog().entries_for("nope") == []
+
+
+def test_put_replaces_same_component():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1, values=(1,))
+    _put(catalog, uid=1, values=(1, 2, 3))
+    entries = catalog.entries_for("idx")
+    assert len(entries) == 1
+    assert entries[0].synopsis.total_count == 3
+
+
+def test_versions_bump_on_put_and_retract():
+    catalog = StatisticsCatalog()
+    assert catalog.version_for("idx") == 0
+    _put(catalog, uid=1)
+    assert catalog.version_for("idx") == 1
+    _put(catalog, uid=2)
+    assert catalog.version_for("idx") == 2
+    catalog.retract("idx", "n1", 0, [1])
+    assert catalog.version_for("idx") == 3
+
+
+def test_retract_missing_does_not_bump():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1)
+    version = catalog.version_for("idx")
+    assert catalog.retract("idx", "n1", 0, [99]) == 0
+    assert catalog.version_for("idx") == version
+
+
+def test_entries_isolated_per_node_partition():
+    catalog = StatisticsCatalog()
+    _put(catalog, node="n1", partition=0, uid=1)
+    _put(catalog, node="n2", partition=1, uid=1)
+    assert catalog.entry_count("idx") == 2
+    catalog.retract("idx", "n1", 0, [1])
+    remaining = catalog.entries_for("idx")
+    assert len(remaining) == 1
+    assert remaining[0].node_id == "n2"
+
+
+def test_index_names_and_counts():
+    catalog = StatisticsCatalog()
+    _put(catalog, index="b")
+    _put(catalog, index="a")
+    assert catalog.index_names() == ["a", "b"]
+    assert catalog.entry_count() == 2
+
+
+def test_total_bytes():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1)
+    assert catalog.total_bytes() > 0
+    assert catalog.total_bytes("idx") == catalog.total_bytes()
+    with pytest.raises(CatalogError):
+        catalog.total_bytes("missing")

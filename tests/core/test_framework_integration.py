@@ -1,0 +1,196 @@
+"""End-to-end tests of the statistics framework over the LSM engine.
+
+The key invariant: driving the GROUND_TRUTH synopsis type through the
+whole pipeline (event taps -> anti-matter twins -> catalog -> Algorithm
+2 combination) must yield *exact* cardinalities for any workload.  Any
+deviation is a plumbing bug in the framework rather than approximation
+error.
+"""
+
+import pytest
+
+from repro.core import StatisticsConfig, StatisticsManager
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.merge_policy import ConstantMergePolicy, StackMergePolicy
+from repro.lsm.storage import SimulatedDisk
+from repro.synopses import SynopsisType
+from repro.types import Domain
+
+VALUE_DOMAIN = Domain(0, 999)
+
+
+def _setup(synopsis_type=SynopsisType.GROUND_TRUTH, budget=256, **dataset_kwargs):
+    dataset = Dataset(
+        "ds",
+        SimulatedDisk(),
+        primary_key="id",
+        primary_domain=Domain(0, 10**6),
+        indexes=[IndexSpec("value_idx", "value", VALUE_DOMAIN)],
+        **dataset_kwargs,
+    )
+    manager = StatisticsManager(StatisticsConfig(synopsis_type, budget))
+    manager.attach(dataset)
+    return dataset, manager
+
+
+def _doc(pk, value):
+    return {"id": pk, "value": value}
+
+
+class TestGroundTruthExactness:
+    def test_insert_only(self):
+        dataset, manager = _setup(memtable_capacity=32)
+        for pk in range(200):
+            dataset.insert(_doc(pk, (pk * 7) % 1000))
+        dataset.flush()
+        for lo, hi in [(0, 999), (100, 300), (500, 500), (990, 999)]:
+            true = dataset.count_secondary_range("value_idx", lo, hi)
+            assert manager.estimate(dataset, "value_idx", lo, hi) == pytest.approx(true)
+
+    def test_with_updates_and_deletes(self):
+        dataset, manager = _setup(memtable_capacity=25)
+        for pk in range(150):
+            dataset.insert(_doc(pk, pk % 1000))
+        dataset.flush()
+        for pk in range(0, 150, 2):
+            dataset.update(_doc(pk, (pk + 500) % 1000))
+        for pk in range(0, 150, 5):
+            dataset.delete(pk)
+        dataset.flush()
+        for lo, hi in [(0, 999), (0, 99), (400, 700)]:
+            true = dataset.count_secondary_range("value_idx", lo, hi)
+            assert manager.estimate(dataset, "value_idx", lo, hi) == pytest.approx(true)
+
+    def test_with_full_merges(self):
+        dataset, manager = _setup(
+            memtable_capacity=20, merge_policy=ConstantMergePolicy(3)
+        )
+        for pk in range(300):
+            dataset.insert(_doc(pk, (pk * 13) % 1000))
+        for pk in range(0, 300, 4):
+            dataset.delete(pk)
+        dataset.flush()
+        true = dataset.count_secondary_range("value_idx", 0, 999)
+        assert manager.estimate(dataset, "value_idx", 0, 999) == pytest.approx(true)
+
+    def test_with_partial_merges(self):
+        dataset, manager = _setup(
+            memtable_capacity=16, merge_policy=StackMergePolicy(4)
+        )
+        for pk in range(200):
+            dataset.insert(_doc(pk, (pk * 3) % 1000))
+        for pk in range(0, 200, 3):
+            dataset.delete(pk)
+        dataset.flush()
+        for lo, hi in [(0, 999), (100, 450)]:
+            true = dataset.count_secondary_range("value_idx", lo, hi)
+            assert manager.estimate(dataset, "value_idx", lo, hi) == pytest.approx(true)
+
+    def test_primary_key_statistics(self):
+        dataset, manager = _setup(memtable_capacity=50)
+        for pk in range(120):
+            dataset.insert(_doc(pk, 0))
+        dataset.flush()
+        assert manager.estimate(dataset, "primary", 10, 59) == pytest.approx(50)
+
+    def test_bulkload_statistics(self):
+        dataset, manager = _setup()
+        dataset.bulkload([_doc(pk, pk % 1000) for pk in range(500)])
+        true = dataset.count_secondary_range("value_idx", 200, 299)
+        assert manager.estimate(dataset, "value_idx", 200, 299) == pytest.approx(true)
+
+
+@pytest.mark.parametrize(
+    "synopsis_type",
+    [SynopsisType.EQUI_WIDTH, SynopsisType.EQUI_HEIGHT, SynopsisType.WAVELET],
+)
+class TestApproximateSynopses:
+    def test_reasonable_accuracy_uniform_data(self, synopsis_type):
+        dataset, manager = _setup(synopsis_type, budget=128, memtable_capacity=64)
+        for pk in range(1000):
+            dataset.insert(_doc(pk, pk % 1000))
+        dataset.flush()
+        true = dataset.count_secondary_range("value_idx", 100, 299)
+        estimate = manager.estimate(dataset, "value_idx", 100, 299)
+        assert estimate == pytest.approx(true, rel=0.15)
+
+    def test_antimatter_subtraction(self, synopsis_type):
+        dataset, manager = _setup(synopsis_type, budget=128, memtable_capacity=64)
+        for pk in range(500):
+            dataset.insert(_doc(pk, pk % 500))
+        dataset.flush()
+        # Delete everything with value < 250 -> anti-matter on disk.
+        for pk in range(250):
+            dataset.delete(pk)
+        dataset.flush()
+        estimate = manager.estimate(dataset, "value_idx", 0, 249)
+        true = dataset.count_secondary_range("value_idx", 0, 249)
+        assert estimate == pytest.approx(true, abs=25)
+
+
+class TestCatalogMaintenance:
+    def test_merge_retracts_old_entries(self):
+        dataset, manager = _setup(memtable_capacity=20)
+        for pk in range(100):
+            dataset.insert(_doc(pk, pk))
+        dataset.flush()
+        tree = dataset.secondary_tree("value_idx")
+        index_name = tree.name
+        before = manager.catalog.entry_count(index_name)
+        assert before == len(tree.components)
+        tree.merge(tree.components)
+        after_entries = manager.catalog.entries_for(index_name)
+        assert len(after_entries) == 1
+        assert after_entries[0].component_uid == tree.components[0].uid
+
+    def test_nostats_baseline_collects_nothing(self):
+        dataset = Dataset(
+            "ds",
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 10**6),
+            indexes=[IndexSpec("value_idx", "value", VALUE_DOMAIN)],
+        )
+        manager = StatisticsManager(StatisticsConfig.disabled())
+        manager.attach(dataset)
+        for pk in range(50):
+            dataset.insert(_doc(pk, pk))
+        dataset.flush()
+        assert manager.catalog.entry_count() == 0
+        assert manager.estimate(dataset, "value_idx", 0, 999) == 0.0
+
+
+class TestCaching:
+    def test_cache_hit_after_first_estimate(self):
+        dataset, manager = _setup(SynopsisType.EQUI_WIDTH, memtable_capacity=20)
+        for pk in range(100):
+            dataset.insert(_doc(pk, pk))
+        dataset.flush()
+        first = manager.estimate_detailed(dataset, "value_idx", 0, 500)
+        second = manager.estimate_detailed(dataset, "value_idx", 0, 500)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.estimate == pytest.approx(first.estimate)
+
+    def test_new_flush_invalidates_cache(self):
+        dataset, manager = _setup(SynopsisType.EQUI_WIDTH, memtable_capacity=1000)
+        for pk in range(50):
+            dataset.insert(_doc(pk, pk))
+        dataset.flush()
+        manager.estimate(dataset, "value_idx", 0, 999)
+        for pk in range(50, 100):
+            dataset.insert(_doc(pk, pk))
+        dataset.flush()
+        result = manager.estimate_detailed(dataset, "value_idx", 0, 999)
+        assert not result.from_cache
+        assert result.estimate == pytest.approx(100, rel=0.05)
+
+    def test_equi_height_never_cached(self):
+        dataset, manager = _setup(SynopsisType.EQUI_HEIGHT, memtable_capacity=20)
+        for pk in range(100):
+            dataset.insert(_doc(pk, pk))
+        dataset.flush()
+        manager.estimate(dataset, "value_idx", 0, 999)
+        result = manager.estimate_detailed(dataset, "value_idx", 0, 999)
+        assert not result.from_cache
+        assert result.synopses_consulted > 0

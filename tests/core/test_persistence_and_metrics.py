@@ -1,0 +1,116 @@
+"""Tests for catalog persistence and collector metrics."""
+
+import pytest
+
+from repro.core import StatisticsConfig, StatisticsManager
+from repro.core.estimator import CardinalityEstimator
+from repro.core.persistence import load_catalog, save_catalog
+from repro.errors import CatalogError
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.merge_policy import ConstantMergePolicy
+from repro.lsm.storage import SimulatedDisk
+from repro.synopses import SynopsisType
+from repro.types import Domain
+
+VALUE_DOMAIN = Domain(0, 999)
+
+
+def _populated_manager(synopsis_type=SynopsisType.WAVELET, **kwargs):
+    dataset = Dataset(
+        "ds",
+        SimulatedDisk(),
+        primary_key="id",
+        primary_domain=Domain(0, 10**6),
+        indexes=[IndexSpec("value_idx", "value", VALUE_DOMAIN)],
+        memtable_capacity=64,
+        **kwargs,
+    )
+    manager = StatisticsManager(StatisticsConfig(synopsis_type, 128))
+    manager.attach(dataset)
+    for pk in range(500):
+        dataset.insert({"id": pk, "value": (pk * 3) % 1000})
+    for pk in range(0, 500, 9):
+        dataset.delete(pk)
+    dataset.flush()
+    return dataset, manager
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_estimates(self, tmp_path):
+        dataset, manager = _populated_manager()
+        path = tmp_path / "catalog.json"
+        written = save_catalog(manager.catalog, path)
+        assert written == manager.catalog.entry_count()
+
+        restored = load_catalog(path)
+        # Compare cache-free estimators on both catalogs: the cached
+        # merged-synopsis path intentionally differs slightly for
+        # wavelets (re-thresholding loss, Section 3.5).
+        estimator = CardinalityEstimator(restored)
+        baseline = CardinalityEstimator(manager.catalog)
+        index_name = dataset.secondary_tree("value_idx").name
+        for lo, hi in [(0, 999), (100, 400), (42, 42)]:
+            assert estimator.estimate(index_name, lo, hi) == pytest.approx(
+                baseline.estimate(index_name, lo, hi)
+            )
+
+    @pytest.mark.parametrize(
+        "synopsis_type",
+        [
+            SynopsisType.EQUI_WIDTH,
+            SynopsisType.EQUI_HEIGHT,
+            SynopsisType.GK_SKETCH,
+            SynopsisType.RESERVOIR_SAMPLE,
+        ],
+    )
+    def test_roundtrip_all_types(self, tmp_path, synopsis_type):
+        dataset, manager = _populated_manager(synopsis_type)
+        path = tmp_path / "catalog.json"
+        save_catalog(manager.catalog, path)
+        restored = load_catalog(path)
+        assert restored.entry_count() == manager.catalog.entry_count()
+        assert restored.index_names() == manager.catalog.index_names()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_catalog(tmp_path / "ghost.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format": 99, "entries": []}')
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_empty_catalog(self, tmp_path):
+        from repro.core.catalog import StatisticsCatalog
+
+        path = tmp_path / "empty.json"
+        assert save_catalog(StatisticsCatalog(), path) == 0
+        assert load_catalog(path).entry_count() == 0
+
+
+class TestCollectorMetrics:
+    def test_counters_track_workload(self):
+        dataset, manager = _populated_manager()
+        metrics = manager.collector.metrics
+        assert metrics.component_writes > 0
+        assert metrics.writes_by_event.get("flush", 0) > 0
+        assert metrics.synopses_published == 2 * metrics.component_writes
+        # 500 inserts into primary + secondary observations; deletes add
+        # anti-matter on both indexes.
+        assert metrics.matter_records_observed > 0
+        assert metrics.antimatter_records_observed > 0
+        assert metrics.finalize_seconds > 0
+
+    def test_merge_events_counted(self):
+        dataset, manager = _populated_manager(
+            merge_policy=ConstantMergePolicy(2)
+        )
+        metrics = manager.collector.metrics
+        assert metrics.writes_by_event.get("merge", 0) > 0

@@ -1,0 +1,188 @@
+"""Tests for the accuracy labs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.lab import AccuracyLab, ChangeableWorkloadLab
+from repro.synopses import SynopsisType
+from repro.types import Domain
+from repro.workloads.distributions import (
+    DistributionSpec,
+    FrequencyDistribution,
+    SpreadDistribution,
+    generate_distribution,
+)
+from repro.workloads.queries import QueryWorkloadGenerator, QueryType
+
+
+def _distribution(seed=3):
+    return generate_distribution(
+        DistributionSpec(
+            SpreadDistribution.ZIPF_RANDOM,
+            FrequencyDistribution.ZIPF,
+            Domain(0, 4095),
+            num_values=100,
+            total_records=2000,
+            seed=seed,
+        )
+    )
+
+
+def _queries(distribution, count=40, seed=11):
+    generator = QueryWorkloadGenerator(distribution.spec.domain, seed=seed)
+    return list(generator.generate(QueryType.FIXED_LENGTH, count, 128))
+
+
+class TestAccuracyLab:
+    def test_ground_truth_config_is_exact(self):
+        """End-to-end pipeline exactness: lab estimates with the oracle
+        synopsis must equal the distribution's true counts."""
+        distribution = _distribution()
+        lab = AccuracyLab(distribution)
+        setup = lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        metrics = lab.evaluate(setup, _queries(distribution))
+        assert metrics.l1_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_ground_truth_exact_with_flushes_too(self):
+        distribution = _distribution()
+        lab = AccuracyLab(distribution, memtable_capacity=128)
+        setup = lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        assert lab.component_count > 1
+        metrics = lab.evaluate(setup, _queries(distribution))
+        assert metrics.l1_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_bulkload_creates_single_component(self):
+        lab = AccuracyLab(_distribution())
+        lab.add_config(SynopsisType.EQUI_WIDTH, 64)
+        lab.ingest()
+        assert lab.component_count == 1
+
+    def test_larger_budget_not_worse(self):
+        distribution = _distribution()
+        lab = AccuracyLab(distribution)
+        small = lab.add_config(SynopsisType.WAVELET, 8)
+        large = lab.add_config(SynopsisType.WAVELET, 1024)
+        lab.ingest()
+        queries = _queries(distribution)
+        error_small = lab.evaluate(small, queries).l1_error
+        error_large = lab.evaluate(large, queries).l1_error
+        assert error_large <= error_small + 1e-9
+
+    def test_lifecycle_enforcement(self):
+        lab = AccuracyLab(_distribution())
+        setup = lab.add_config(SynopsisType.EQUI_WIDTH, 64)
+        with pytest.raises(ConfigurationError):
+            lab.evaluate(setup, [])
+        lab.ingest()
+        with pytest.raises(ConfigurationError):
+            lab.ingest()
+        with pytest.raises(ConfigurationError):
+            lab.add_config(SynopsisType.WAVELET, 64)
+
+    def test_unregistered_config_rejected(self):
+        from repro.eval.lab import SynopsisSetup
+
+        lab = AccuracyLab(_distribution())
+        lab.add_config(SynopsisType.EQUI_WIDTH, 64)
+        lab.ingest()
+        with pytest.raises(ConfigurationError):
+            lab.evaluate(SynopsisSetup(SynopsisType.WAVELET, 64), [])
+
+    def test_estimation_overhead_positive(self):
+        distribution = _distribution()
+        lab = AccuracyLab(distribution, memtable_capacity=256)
+        setup = lab.add_config(SynopsisType.EQUI_WIDTH, 64)
+        lab.ingest()
+        queries = _queries(distribution, count=10)
+        cold = lab.estimation_overhead(setup, queries, cold=True)
+        warm = lab.estimation_overhead(setup, queries, cold=False)
+        assert cold > 0
+        assert warm > 0
+        with pytest.raises(ConfigurationError):
+            lab.estimation_overhead(setup, [])
+
+    def test_catalog_bytes_scale_with_components(self):
+        distribution = _distribution()
+        single = AccuracyLab(distribution)
+        single_setup = single.add_config(SynopsisType.EQUI_WIDTH, 64)
+        single.ingest()
+        many = AccuracyLab(distribution, memtable_capacity=128)
+        many_setup = many.add_config(SynopsisType.EQUI_WIDTH, 64)
+        many.ingest()
+        assert many.catalog_bytes(many_setup) > single.catalog_bytes(single_setup)
+
+
+class TestChangeableWorkloadLab:
+    def test_ratio_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChangeableWorkloadLab(_distribution(), update_ratio=0.5, delete_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            ChangeableWorkloadLab(_distribution(), update_ratio=0.0, delete_ratio=0.4)
+        with pytest.raises(ConfigurationError):
+            ChangeableWorkloadLab(
+                _distribution(), update_ratio=0.1, delete_ratio=0.1, stages=0
+            )
+
+    def test_generates_antimatter(self):
+        lab = ChangeableWorkloadLab(
+            _distribution(), update_ratio=0.2, delete_ratio=0.2, seed=1
+        )
+        lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        assert lab.antimatter_records_on_disk() > 0
+
+    def test_zero_ratio_generates_no_antimatter(self):
+        lab = ChangeableWorkloadLab(
+            _distribution(), update_ratio=0.0, delete_ratio=0.0, seed=1
+        )
+        lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        assert lab.antimatter_records_on_disk() == 0
+
+    @pytest.mark.parametrize("ratio", [0.0, 0.15, 0.3])
+    def test_ground_truth_exact_under_churn(self, ratio):
+        """The anti-matter twin mechanism must reconcile exactly."""
+        distribution = _distribution()
+        lab = ChangeableWorkloadLab(
+            distribution, update_ratio=ratio, delete_ratio=ratio, seed=2
+        )
+        setup = lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        metrics = lab.evaluate(setup, _queries(distribution))
+        assert metrics.l1_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_truth_reflects_deletes(self):
+        distribution = _distribution()
+        lab = ChangeableWorkloadLab(
+            distribution, update_ratio=0.0, delete_ratio=0.3, seed=2
+        )
+        lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        expected_live = distribution.total_records - int(
+            0.3 * distribution.total_records
+        )
+        assert lab.truth.total_records == expected_live
+
+    def test_truth_requires_ingest(self):
+        lab = ChangeableWorkloadLab(
+            _distribution(), update_ratio=0.1, delete_ratio=0.1
+        )
+        with pytest.raises(ConfigurationError):
+            _ = lab.truth
+
+    def test_ignoring_antimatter_overestimates(self):
+        """The ablation hook: dropping the anti-synopsis subtraction
+        must overestimate under churn (and be a strict accuracy loss)."""
+        distribution = _distribution()
+        lab = ChangeableWorkloadLab(
+            distribution, update_ratio=0.25, delete_ratio=0.25, seed=4
+        )
+        setup = lab.add_config(SynopsisType.GROUND_TRUTH, 1)
+        lab.ingest()
+        queries = _queries(distribution)
+        with_twin = lab.evaluate(setup, queries)
+        without_twin = lab.evaluate_ignoring_antimatter(setup, queries)
+        assert with_twin.l1_error == pytest.approx(0.0, abs=1e-12)
+        assert without_twin.l1_error > with_twin.l1_error

@@ -1,0 +1,38 @@
+"""Tests for the accuracy metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.metrics import ErrorAccumulator, normalized_absolute_error
+
+
+def test_normalized_error():
+    assert normalized_absolute_error(100, 100, 1000) == 0.0
+    assert normalized_absolute_error(100, 90, 1000) == pytest.approx(0.01)
+    assert normalized_absolute_error(90, 100, 1000) == pytest.approx(0.01)
+    with pytest.raises(ConfigurationError):
+        normalized_absolute_error(1, 1, 0)
+
+
+def test_accumulator():
+    accumulator = ErrorAccumulator(1000)
+    accumulator.add(100, 110)  # 0.01
+    accumulator.add(200, 170)  # 0.03
+    metrics = accumulator.metrics()
+    assert metrics.query_count == 2
+    assert metrics.l1_error == pytest.approx(0.02)
+    assert metrics.max_error == pytest.approx(0.03)
+    assert metrics.mean_true_cardinality == pytest.approx(150)
+
+
+def test_accumulator_requires_queries():
+    with pytest.raises(ConfigurationError):
+        ErrorAccumulator(100).metrics()
+    with pytest.raises(ConfigurationError):
+        ErrorAccumulator(0)
+
+
+def test_metrics_str():
+    accumulator = ErrorAccumulator(100)
+    accumulator.add(10, 10)
+    assert "L1=" in str(accumulator.metrics())

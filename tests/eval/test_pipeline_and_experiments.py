@@ -1,0 +1,172 @@
+"""Tests for the ingestion pipeline and the figure drivers (tiny scale)."""
+
+import pytest
+
+from repro.core import StatisticsConfig
+from repro.eval.experiments import fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.eval.experiments.common import ExperimentScale
+from repro.eval.pipeline import IngestionBenchmark, IngestionMode
+from repro.eval.reporting import format_table
+from repro.synopses import SynopsisType
+from repro.types import Domain
+from repro.workloads.distributions import (
+    FrequencyDistribution,
+    SpreadDistribution,
+)
+
+TINY = ExperimentScale(
+    domain_length=2**12, num_values=80, total_records=1200, queries_per_cell=20
+)
+TWO_SPREADS = [SpreadDistribution.UNIFORM, SpreadDistribution.ZIPF]
+
+
+def _documents():
+    return iter({"id": pk, "value": pk % 1000} for pk in range(500))
+
+
+class TestIngestionBenchmark:
+    @pytest.mark.parametrize("mode", list(IngestionMode))
+    def test_all_modes_ingest_everything(self, mode):
+        report = IngestionBenchmark(
+            documents=_documents,
+            num_records=500,
+            value_field="value",
+            value_domain=Domain(0, 999),
+            stats_config=StatisticsConfig(SynopsisType.EQUI_WIDTH, 64),
+            mode=mode,
+            memtable_capacity=100,
+        ).run()
+        assert report.records == 500
+        assert report.seconds > 0
+        assert report.components > 0
+        assert report.stats_messages > 0
+        assert report.records_per_second > 0
+
+    def test_nostats_ships_nothing(self):
+        report = IngestionBenchmark(
+            documents=_documents,
+            num_records=500,
+            value_field="value",
+            value_domain=Domain(0, 999),
+            stats_config=StatisticsConfig.disabled(),
+            mode=IngestionMode.SOCKET_FEED,
+            memtable_capacity=100,
+        ).run()
+        assert report.stats_messages == 0
+        assert report.network_bytes == 0
+        assert report.stats_label == "NoStats"
+
+    def test_stats_do_not_add_data_path_io(self):
+        """The paper's core overhead claim, checked exactly: collecting
+        statistics must not change the number of data pages written."""
+        def run(config):
+            return IngestionBenchmark(
+                documents=_documents,
+                num_records=500,
+                value_field="value",
+                value_domain=Domain(0, 999),
+                stats_config=config,
+                mode=IngestionMode.SOCKET_FEED,
+                memtable_capacity=100,
+            ).run()
+
+        baseline = run(StatisticsConfig.disabled())
+        for synopsis_type in [
+            SynopsisType.EQUI_WIDTH,
+            SynopsisType.EQUI_HEIGHT,
+            SynopsisType.WAVELET,
+        ]:
+            report = run(StatisticsConfig(synopsis_type, 256))
+            assert report.disk_io.pages_written == baseline.disk_io.pages_written
+            assert report.disk_io.pages_read == baseline.disk_io.pages_read
+
+
+class TestFigureDrivers:
+    def test_fig2_shapes(self):
+        reports = fig2.run(TINY, modes=[IngestionMode.BULKLOAD])
+        labels = {r.stats_label for r in reports}
+        assert labels == {"NoStats", "equi_width", "equi_height", "wavelet"}
+        assert fig2.format_results(reports)
+
+    def test_fig3_rows_and_budget_trend(self):
+        rows = fig3.run(
+            TINY,
+            budgets=[16, 256],
+            frequencies=[FrequencyDistribution.ZIPF],
+            spreads=TWO_SPREADS,
+        )
+        assert len(rows) == 2 * 3 * 2  # spreads x types x budgets
+        # Wavelets must improve with budget on Zipf spreads.
+        wavelet = {
+            r["budget"]: r["l1_error"]
+            for r in rows
+            if r["synopsis"] == "wavelet" and r["spread"] == "Zipf"
+        }
+        assert wavelet[256] <= wavelet[16]
+        assert fig3.format_results(rows)
+
+    def test_fig4_query_type_ordering(self):
+        rows = fig4.run(TINY, spreads=[SpreadDistribution.ZIPF])
+        by_type = {
+            r["query_type"]: r["l1_error"]
+            for r in rows
+            if r["synopsis"] == "wavelet"
+        }
+        # Narrow queries err less than wide ones (Figure 4's point).
+        assert by_type["Point"] <= by_type["Random"] + 1e-9
+        assert fig4.format_results(rows)
+
+    def test_fig5_length_trend(self):
+        rows = fig5.run(TINY, lengths=[8, 256], spreads=[SpreadDistribution.ZIPF])
+        # The growth-with-length trend holds on average across synopsis
+        # types (per-cell monotonicity is a statistical, not pointwise,
+        # property at tiny scale).
+        mean_by_length = {
+            length: sum(r["l1_error"] for r in rows if r["length"] == length)
+            for length in (8, 256)
+        }
+        assert mean_by_length[256] >= mean_by_length[8]
+        assert fig5.format_results(rows)
+
+    def test_fig6_component_control(self):
+        rows = fig6.run(TINY, component_counts=[4, 8], spreads=[SpreadDistribution.UNIFORM])
+        counts = {r["components"] for r in rows}
+        assert counts == {4, 8}
+        budgets = {r["components"]: r["budget_per_component"] for r in rows}
+        assert budgets[8] == budgets[4] // 2  # fixed total space
+        assert all(r["overhead_ms"] > 0 for r in rows)
+        assert fig6.format_results(rows)
+
+    def test_fig7_antimatter_flatness(self):
+        rows = fig7.run(TINY, ratios=[0.0, 0.3], spreads=[SpreadDistribution.UNIFORM])
+        zero = [r for r in rows if r["ratio"] == 0.0]
+        heavy = [r for r in rows if r["ratio"] == 0.3]
+        assert all(r["antimatter_records"] == 0 for r in zero)
+        assert all(r["antimatter_records"] > 0 for r in heavy)
+        assert fig7.format_results(rows)
+
+    def test_fig8_nomerge_costs_more(self):
+        rows = fig8.run(TINY, nomerge_flushes=8, spreads=[SpreadDistribution.ZIPF])
+        for synopsis in {r["synopsis"] for r in rows}:
+            modes = {r["mode"]: r for r in rows if r["synopsis"] == synopsis}
+            assert modes["NoMerge"]["components"] > modes["Bulkload"]["components"]
+            assert (
+                modes["NoMerge"]["catalog_bytes"]
+                > modes["Bulkload"]["catalog_bytes"]
+            )
+        assert fig8.format_results(rows)
+
+    def test_fig9_fields_covered(self):
+        rows = fig9.run(TINY, budgets=[16, 64])
+        fields = {r["field"] for r in rows}
+        assert fields == {
+            "timestamp", "client_id", "object_id", "size", "status", "server"
+        }
+        assert len(rows) == 6 * 3 * 2
+        assert fig9.format_results(rows)
+
+
+def test_format_table():
+    text = format_table(["a", "b"], [["x", 1.5], ["y", 0.0001]], title="T")
+    assert "T" in text and "x" in text and "1.5" in text
+    assert format_table(["only"], []).count("\n") == 1

@@ -1,0 +1,38 @@
+"""Tests for the FrequencyIndex ground-truth helper."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.truth import FrequencyIndex
+
+
+def test_empty():
+    index = FrequencyIndex([])
+    assert index.total_records == 0
+    assert index.distinct_values == 0
+    assert index.min_value is None
+    assert index.max_value is None
+    assert index.count(0, 100) == 0
+
+
+def test_basic_counts():
+    index = FrequencyIndex([5, 5, 5, 10, 20])
+    assert index.total_records == 5
+    assert index.distinct_values == 3
+    assert (index.min_value, index.max_value) == (5, 20)
+    assert index.count(5, 5) == 3
+    assert index.count(0, 100) == 5
+    assert index.count(6, 9) == 0
+    assert index.count(10, 5) == 0  # inverted range
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.integers(-500, 500), max_size=300),
+    st.integers(-500, 500),
+    st.integers(-500, 500),
+)
+def test_matches_bruteforce(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    index = FrequencyIndex(values)
+    assert index.count(lo, hi) == sum(1 for v in values if lo <= v <= hi)

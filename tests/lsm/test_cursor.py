@@ -1,0 +1,105 @@
+"""Tests for merge cursors and reconciliation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.cursor import merge_streams, reconcile
+from repro.lsm.record import Record
+
+
+def _m(key, seq, value=None):
+    return Record.matter(key, value, seqnum=seq)
+
+
+def _a(key, seq):
+    return Record.anti(key, seqnum=seq)
+
+
+class TestMergeStreams:
+    def test_disjoint(self):
+        merged = merge_streams([[_m(1, 1), _m(3, 1)], [_m(2, 2), _m(4, 2)]])
+        assert [r.key for r in merged] == [1, 2, 3, 4]
+
+    def test_same_key_newest_first(self):
+        merged = list(merge_streams([[_m(1, 1)], [_m(1, 5)], [_m(1, 3)]]))
+        assert [r.seqnum for r in merged] == [5, 3, 1]
+
+    def test_empty_streams(self):
+        assert list(merge_streams([])) == []
+        assert list(merge_streams([[], []])) == []
+
+    def test_single_stream_passthrough(self):
+        records = [_m(1, 1), _m(2, 2)]
+        assert list(merge_streams([records])) == records
+
+
+class TestReconcile:
+    def test_newest_wins(self):
+        merged = merge_streams([[_m(1, 1, "old")], [_m(1, 2, "new")]])
+        out = list(reconcile(merged, keep_antimatter=False))
+        assert len(out) == 1
+        assert out[0].value == "new"
+
+    def test_antimatter_cancels_on_read(self):
+        merged = merge_streams([[_m(1, 1)], [_a(1, 2)]])
+        assert list(reconcile(merged, keep_antimatter=False)) == []
+
+    def test_antimatter_kept_on_partial_merge(self):
+        merged = merge_streams([[_m(1, 1)], [_a(1, 2)]])
+        out = list(reconcile(merged, keep_antimatter=True))
+        assert len(out) == 1
+        assert out[0].antimatter
+
+    def test_matter_over_antimatter_when_newer(self):
+        # Delete then re-insert: the re-insert (newer) wins.
+        merged = merge_streams([[_a(1, 1)], [_m(1, 2, "back")]])
+        out = list(reconcile(merged, keep_antimatter=False))
+        assert [r.value for r in out] == ["back"]
+
+    def test_interleaving_of_keys(self):
+        merged = merge_streams(
+            [
+                [_m(1, 1), _a(2, 1), _m(3, 1)],
+                [_a(1, 2), _m(2, 2), _m(4, 2)],
+            ]
+        )
+        out = list(reconcile(merged, keep_antimatter=False))
+        assert [(r.key, r.antimatter) for r in out] == [(2, False), (3, False), (4, False)]
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.lists(st.tuples(st.integers(0, 30), st.booleans()), max_size=20),
+        max_size=5,
+    )
+)
+def test_reconcile_matches_model(stream_specs):
+    """Reconciliation must agree with a last-writer-wins dict model."""
+    seq = 0
+    streams = []
+    model_writes = []  # (seqnum, key, antimatter)
+    for spec in stream_specs:
+        per_key = {}
+        for key, anti in spec:
+            seq += 1
+            per_key[key] = (_a(key, seq) if anti else _m(key, seq))
+        records = [per_key[k] for k in sorted(per_key)]
+        streams.append(records)
+        model_writes.extend((r.seqnum, r.key, r.antimatter) for r in records)
+
+    model = {}
+    for seqnum, key, anti in sorted(model_writes):
+        model[key] = anti
+    expected_live = sorted(k for k, anti in model.items() if not anti)
+
+    out = list(reconcile(merge_streams(streams), keep_antimatter=False))
+    assert [r.key for r in out] == expected_live
+
+    # With keep_antimatter every key survives exactly once.
+    out_all = list(
+        reconcile(merge_streams([list(s) for s in streams]), keep_antimatter=True)
+    )
+    assert [r.key for r in out_all] == sorted(model)
+    for record in out_all:
+        assert record.antimatter == model[record.key]

@@ -1,0 +1,87 @@
+"""Model-based stateful testing of the dataset layer.
+
+Random insert/update/delete/flush interleavings against a dict model;
+after every step the primary lookups and the *secondary-index-derived*
+counts must agree with the model -- the strongest net over secondary
+anti-matter maintenance.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.storage import SimulatedDisk
+from repro.types import Domain
+
+PKS = st.integers(0, 30)
+VALUES = st.integers(0, 99)
+
+
+class DatasetMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.dataset = Dataset(
+            "model",
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 1000),
+            indexes=[IndexSpec("value_idx", "value", Domain(0, 99))],
+            memtable_capacity=7,  # frequent automatic flushes
+        )
+        self.model: dict[int, int] = {}
+
+    @rule(pk=PKS, value=VALUES)
+    def insert_or_update(self, pk, value):
+        if pk in self.model:
+            assert self.dataset.update({"id": pk, "value": value})
+        else:
+            self.dataset.insert({"id": pk, "value": value})
+        self.model[pk] = value
+
+    @rule(pk=PKS)
+    def delete(self, pk):
+        existed = pk in self.model
+        assert self.dataset.delete(pk) == existed
+        self.model.pop(pk, None)
+
+    @rule()
+    def flush(self):
+        self.dataset.flush()
+
+    @rule(pk=PKS)
+    def check_get(self, pk):
+        document = self.dataset.get(pk)
+        if pk in self.model:
+            assert document is not None
+            assert document["value"] == self.model[pk]
+        else:
+            assert document is None
+
+    @rule(a=VALUES, b=VALUES)
+    def check_secondary_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        expected = sum(1 for v in self.model.values() if lo <= v <= hi)
+        assert self.dataset.count_secondary_range("value_idx", lo, hi) == expected
+
+    @invariant()
+    def secondary_entries_match_live_records(self):
+        if getattr(self, "dataset", None) is None:
+            return
+        entries = [
+            (r.key[0], r.key[1])
+            for r in self.dataset.scan_secondary("value_idx")
+        ]
+        expected = sorted((v, pk) for pk, v in self.model.items())
+        assert entries == expected
+
+
+TestDatasetStateful = DatasetMachine.TestCase
+TestDatasetStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,111 @@
+"""Failure injection: statistics observers must never break ingestion.
+
+The framework's selling point is being a lightweight passenger on the
+LSM lifecycle; a bug or resource failure in a synopsis builder (or in
+the network sink shipping it) must not fail the flush/merge itself.
+"""
+
+import pytest
+
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.tree import LSMTree
+
+
+class _ExplodingSink:
+    """Fails on the Nth accepted record (or on finish)."""
+
+    def __init__(self, fail_at=None, fail_on_finish=False):
+        self.fail_at = fail_at
+        self.fail_on_finish = fail_on_finish
+        self.accepted = 0
+        self.finished = 0
+
+    def accept(self, record):
+        self.accepted += 1
+        if self.fail_at is not None and self.accepted >= self.fail_at:
+            raise RuntimeError("injected accept failure")
+
+    def finish(self, component):
+        if self.fail_on_finish:
+            raise RuntimeError("injected finish failure")
+        self.finished += 1
+
+
+class _Observer:
+    def __init__(self, sink):
+        self.sink = sink
+
+    def begin_component_write(self, context):
+        return self.sink
+
+    def component_replaced(self, index_name, old, new):
+        pass
+
+
+def _tree_with(sink):
+    tree = LSMTree("t", SimulatedDisk(), memtable_capacity=1000)
+    tree.event_bus.subscribe(_Observer(sink))
+    return tree
+
+
+def test_accept_failure_does_not_break_flush():
+    sink = _ExplodingSink(fail_at=3)
+    tree = _tree_with(sink)
+    for i in range(10):
+        tree.upsert(i, i)
+    component = tree.flush()
+    assert component is not None
+    assert component.matter_count == 10
+    assert tree.observer_failures == 1
+    # The failed sink was dropped mid-stream and never finished.
+    assert sink.accepted == 3
+    assert sink.finished == 0
+    # Data remains fully readable.
+    assert tree.count_range() == 10
+
+
+def test_finish_failure_does_not_break_flush():
+    sink = _ExplodingSink(fail_on_finish=True)
+    tree = _tree_with(sink)
+    tree.upsert(1, "a")
+    assert tree.flush() is not None
+    assert tree.observer_failures == 1
+    assert tree.get(1) == "a"
+
+
+def test_healthy_observer_unaffected_by_failing_peer():
+    failing = _ExplodingSink(fail_at=1)
+    healthy = _ExplodingSink()  # never fails
+    tree = LSMTree("t", SimulatedDisk(), memtable_capacity=1000)
+    tree.event_bus.subscribe(_Observer(failing))
+    tree.event_bus.subscribe(_Observer(healthy))
+    for i in range(5):
+        tree.upsert(i, i)
+    tree.flush()
+    assert healthy.accepted == 5
+    assert healthy.finished == 1
+    assert tree.observer_failures == 1
+
+
+def test_merge_survives_observer_failure():
+    sink = _ExplodingSink(fail_at=1)
+    tree = LSMTree("t", SimulatedDisk(), memtable_capacity=1000)
+    tree.upsert(1, "a")
+    tree.flush()
+    tree.upsert(2, "b")
+    tree.flush()
+    tree.event_bus.subscribe(_Observer(sink))
+    merged = tree.merge(tree.components)
+    assert merged.matter_count == 2
+    assert tree.observer_failures == 1
+    assert tree.count_range() == 2
+
+
+def test_no_failures_counted_when_observers_healthy():
+    sink = _ExplodingSink()
+    tree = _tree_with(sink)
+    for i in range(5):
+        tree.upsert(i, i)
+    tree.flush()
+    assert tree.observer_failures == 0
+    assert sink.finished == 1

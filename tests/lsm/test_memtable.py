@@ -1,0 +1,70 @@
+"""Tests for the mutable in-memory component."""
+
+from repro.lsm.memtable import MemTable
+from repro.lsm.record import Record
+
+
+def test_empty():
+    m = MemTable()
+    assert len(m) == 0
+    assert not m
+    assert m.get(1) is None
+    assert m.seqnum_range is None
+    assert list(m.sorted_records()) == []
+
+
+def test_write_and_get():
+    m = MemTable()
+    m.write(Record.matter(5, "v5", seqnum=1))
+    m.write(Record.matter(3, "v3", seqnum=2))
+    assert len(m) == 2
+    assert m.get(5).value == "v5"
+    assert m.seqnum_range == (1, 2)
+
+
+def test_newest_write_wins_in_place():
+    m = MemTable()
+    m.write(Record.matter(1, "old", seqnum=1))
+    m.write(Record.matter(1, "new", seqnum=2))
+    assert len(m) == 1
+    assert m.get(1).value == "new"
+
+
+def test_delete_replaces_with_antimatter():
+    m = MemTable()
+    m.write(Record.matter(1, "v", seqnum=1))
+    m.write(Record.anti(1, seqnum=2))
+    assert len(m) == 1
+    assert m.get(1).antimatter
+    assert m.antimatter_count == 1
+
+
+def test_reinsert_after_delete_clears_antimatter_count():
+    m = MemTable()
+    m.write(Record.anti(1, seqnum=1))
+    m.write(Record.matter(1, "back", seqnum=2))
+    assert m.antimatter_count == 0
+    assert not m.get(1).antimatter
+
+
+def test_sorted_records_in_key_order():
+    m = MemTable()
+    for key in [9, 2, 7, 4]:
+        m.write(Record.matter(key, seqnum=key))
+    assert [r.key for r in m.sorted_records()] == [2, 4, 7, 9]
+
+
+def test_scan_range():
+    m = MemTable()
+    for key in range(0, 20, 2):
+        m.write(Record.matter(key, seqnum=key))
+    assert [r.key for r in m.scan(5, 11)] == [6, 8, 10]
+
+
+def test_reset():
+    m = MemTable()
+    m.write(Record.anti(1, seqnum=1))
+    m.reset()
+    assert len(m) == 0
+    assert m.antimatter_count == 0
+    assert m.seqnum_range is None

@@ -1,0 +1,109 @@
+"""Tests for merge policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lsm.merge_policy import (
+    ConstantMergePolicy,
+    NoMergePolicy,
+    PrefixMergePolicy,
+    StackMergePolicy,
+)
+
+
+class _FakeBTree:
+    def __init__(self, num_pages):
+        self.num_pages = num_pages
+
+
+class _FakeComponent:
+    def __init__(self, num_pages=1):
+        self.btree = _FakeBTree(num_pages)
+
+
+def _components(n):
+    return [_FakeComponent() for _ in range(n)]
+
+
+def test_no_merge_never_selects():
+    policy = NoMergePolicy()
+    assert policy.select_merge(_components(100)) is None
+
+
+def test_constant_policy_validates():
+    with pytest.raises(ConfigurationError):
+        ConstantMergePolicy(0)
+
+
+def test_constant_policy_under_cap():
+    policy = ConstantMergePolicy(5)
+    assert policy.select_merge(_components(5)) is None
+
+
+def test_constant_policy_over_cap_merges_all():
+    policy = ConstantMergePolicy(5)
+    comps = _components(6)
+    assert policy.select_merge(comps) == comps
+
+
+def test_stack_policy_validates():
+    with pytest.raises(ConfigurationError):
+        StackMergePolicy(1)
+
+
+def test_stack_policy_selects_newest_run():
+    policy = StackMergePolicy(3)
+    comps = _components(5)
+    assert policy.select_merge(comps) == comps[:3]
+    assert policy.select_merge(_components(2)) is None
+
+
+class TestPrefixPolicy:
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            PrefixMergePolicy(0, 4)
+        with pytest.raises(ConfigurationError):
+            PrefixMergePolicy(100, 1)
+
+    def test_under_tolerance(self):
+        policy = PrefixMergePolicy(max_mergable_pages=10, max_tolerance_count=4)
+        assert policy.select_merge(_components(4)) is None
+
+    def test_merges_small_run(self):
+        policy = PrefixMergePolicy(max_mergable_pages=10, max_tolerance_count=4)
+        comps = _components(5)
+        assert policy.select_merge(comps) == comps
+
+    def test_large_component_ends_run(self):
+        policy = PrefixMergePolicy(max_mergable_pages=10, max_tolerance_count=2)
+        comps = [
+            _FakeComponent(1),
+            _FakeComponent(2),
+            _FakeComponent(3),
+            _FakeComponent(999),  # product of an earlier merge
+            _FakeComponent(1),
+        ]
+        assert policy.select_merge(comps) == comps[:3]
+
+    def test_run_too_short_behind_large(self):
+        policy = PrefixMergePolicy(max_mergable_pages=10, max_tolerance_count=3)
+        comps = [_FakeComponent(1), _FakeComponent(999), _FakeComponent(1)]
+        assert policy.select_merge(comps) is None
+
+    def test_integration_with_tree(self):
+        from repro.lsm.storage import SimulatedDisk
+        from repro.lsm.tree import LSMTree
+
+        tree = LSMTree(
+            "t",
+            SimulatedDisk(),
+            memtable_capacity=32,
+            merge_policy=PrefixMergePolicy(
+                max_mergable_pages=4, max_tolerance_count=3
+            ),
+        )
+        for i in range(1000):
+            tree.upsert(i, i)
+        tree.flush()
+        assert tree.merge_count > 0
+        assert tree.count_range() == 1000

@@ -1,0 +1,100 @@
+"""Tests for the simulated disk and I/O accounting."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.lsm.storage import IOStats, SimulatedDisk
+
+
+def test_create_and_append():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    assert f.append_page("p0") == 0
+    assert f.append_page("p1") == 1
+    assert f.num_pages == 2
+    assert disk.stats.pages_written == 2
+    assert disk.stats.bytes_written == 2 * disk.page_bytes
+
+
+def test_read_back():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    f.append_page({"a": 1})
+    assert f.read_page(0) == {"a": 1}
+    assert disk.stats.pages_read == 1
+
+
+def test_sequential_vs_random_classification():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    for i in range(5):
+        f.append_page(i)
+    f.read_page(0)  # random (first access)
+    f.read_page(1)  # sequential
+    f.read_page(2)  # sequential
+    f.read_page(4)  # random (skip)
+    f.read_page(0)  # random (backwards)
+    assert disk.stats.sequential_reads == 2
+    assert disk.stats.random_reads == 3
+
+
+def test_sealed_file_is_immutable():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    f.append_page(1)
+    f.seal()
+    with pytest.raises(StorageError):
+        f.append_page(2)
+    assert f.read_page(0) == 1  # reads still fine
+
+
+def test_delete_file():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    f.append_page(1)
+    assert disk.live_files == 1
+    f.delete()
+    assert disk.live_files == 0
+    with pytest.raises(StorageError):
+        f.read_page(0)
+    assert disk.stats.files_deleted == 1
+
+
+def test_out_of_range_read():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    with pytest.raises(StorageError):
+        f.read_page(0)
+
+
+def test_unknown_file():
+    disk = SimulatedDisk()
+    with pytest.raises(StorageError):
+        disk.read_page(42, 0)
+
+
+def test_invalid_page_bytes():
+    with pytest.raises(StorageError):
+        SimulatedDisk(page_bytes=0)
+
+
+def test_stats_snapshot_and_delta():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    f.append_page(1)
+    before = disk.stats.snapshot()
+    f.append_page(2)
+    f.read_page(0)
+    delta = disk.stats.delta(before)
+    assert delta.pages_written == 1
+    assert delta.pages_read == 1
+    assert before.pages_written == 1  # snapshot is independent
+
+
+def test_stats_add():
+    a = IOStats(pages_written=1, pages_read=2)
+    b = IOStats(pages_written=10, random_reads=3)
+    c = a + b
+    assert c.pages_written == 11
+    assert c.pages_read == 2
+    assert c.random_reads == 3

@@ -1,0 +1,175 @@
+"""Tests for predicates, the executor and the optimizer."""
+
+import pytest
+
+from repro.core import StatisticsConfig, StatisticsManager
+from repro.errors import QueryError
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.storage import SimulatedDisk
+from repro.query import (
+    AccessMethod,
+    CostModel,
+    JoinMethod,
+    QueryExecutor,
+    QueryOptimizer,
+    RangePredicate,
+)
+from repro.synopses import SynopsisType
+from repro.types import Domain
+
+VALUE_DOMAIN = Domain(0, 999)
+
+
+def _setup(num_records=500, memtable_capacity=64, domain=VALUE_DOMAIN, bulkload=False):
+    dataset = Dataset(
+        "orders",
+        SimulatedDisk(),
+        primary_key="id",
+        primary_domain=Domain(0, 10**6),
+        indexes=[IndexSpec("value_idx", "value", domain)],
+        memtable_capacity=memtable_capacity,
+    )
+    manager = StatisticsManager(
+        StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=128)
+    )
+    manager.attach(dataset)
+    docs = ({"id": pk, "value": pk % domain.length} for pk in range(num_records))
+    if bulkload:
+        dataset.bulkload(docs)
+    else:
+        for doc in docs:
+            dataset.insert(doc)
+        dataset.flush()
+    return dataset, manager
+
+
+def _large_setup():
+    """20k records, one component per index: realistic probe costs."""
+    return _setup(num_records=20_000, domain=Domain(0, 9999), bulkload=True)
+
+
+class TestPredicate:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            RangePredicate("value", 10, 9)
+
+    def test_matches(self):
+        predicate = RangePredicate("value", 10, 20)
+        assert predicate.matches({"value": 15})
+        assert not predicate.matches({"value": 21})
+        assert not predicate.matches({"other": 15})
+        assert predicate.length == 11
+
+
+class TestExecutor:
+    def test_both_paths_agree(self):
+        dataset, _manager = _setup()
+        executor = QueryExecutor(dataset)
+        predicate = RangePredicate("value", 100, 150)
+        probe = executor.execute(predicate, AccessMethod.INDEX_PROBE)
+        scan = executor.execute(predicate, AccessMethod.FULL_SCAN)
+        assert probe.cardinality == scan.cardinality == 51
+        probe_ids = sorted(r["id"] for r in probe.records)
+        scan_ids = sorted(r["id"] for r in scan.records)
+        assert probe_ids == scan_ids
+
+    def test_selective_probe_reads_less(self):
+        dataset, _manager = _large_setup()
+        executor = QueryExecutor(dataset)
+        predicate = RangePredicate("value", 5, 6)
+        probe = executor.execute(predicate, AccessMethod.INDEX_PROBE)
+        scan = executor.execute(predicate, AccessMethod.FULL_SCAN)
+        assert probe.io.pages_read < scan.io.pages_read
+
+    def test_probe_after_deletes(self):
+        dataset, _manager = _setup()
+        for pk in range(0, 100, 2):
+            dataset.delete(pk)
+        dataset.flush()
+        executor = QueryExecutor(dataset)
+        result = executor.execute(
+            RangePredicate("value", 0, 99), AccessMethod.INDEX_PROBE
+        )
+        assert result.cardinality == 50
+
+    def test_unknown_field(self):
+        dataset, _manager = _setup(num_records=10)
+        executor = QueryExecutor(dataset)
+        with pytest.raises(QueryError):
+            executor.execute(
+                RangePredicate("missing", 0, 1), AccessMethod.INDEX_PROBE
+            )
+
+
+class TestOptimizer:
+    def test_selective_query_uses_index(self):
+        dataset, manager = _large_setup()
+        optimizer = QueryOptimizer(manager.estimator)
+        plan = optimizer.plan_range_query(
+            dataset, RangePredicate("value", 5, 6), total_records=20_000
+        )
+        assert plan.method is AccessMethod.INDEX_PROBE
+        assert plan.estimated_cardinality < 20
+
+    def test_wide_query_skips_index(self):
+        dataset, manager = _large_setup()
+        optimizer = QueryOptimizer(manager.estimator)
+        plan = optimizer.plan_range_query(
+            dataset, RangePredicate("value", 0, 9999), total_records=20_000
+        )
+        assert plan.method is AccessMethod.FULL_SCAN
+        assert plan.estimated_cardinality == pytest.approx(20_000, rel=0.1)
+
+    def test_join_planning_crossover(self):
+        dataset, manager = _large_setup()
+        optimizer = QueryOptimizer(manager.estimator)
+        selective = optimizer.plan_join(
+            dataset,
+            RangePredicate("value", 7, 7),
+            outer_total=20_000,
+            inner_total=100_000,
+        )
+        assert selective.method is JoinMethod.INDEXED_NESTED_LOOP
+        wide = optimizer.plan_join(
+            dataset,
+            RangePredicate("value", 0, 9999),
+            outer_total=20_000,
+            inner_total=100_000,
+        )
+        assert wide.method is JoinMethod.HASH_JOIN
+
+    def test_cost_model_shapes(self):
+        model = CostModel()
+        assert model.index_probe_cost(0) == 0
+        assert model.index_probe_cost(10) > model.index_probe_cost(1)
+        assert model.full_scan_cost(10) >= 1.0
+        assert model.hash_join_cost(1000, 1000) > model.full_scan_cost(1000)
+
+    def test_optimizer_without_index(self):
+        dataset, manager = _setup(num_records=10)
+        optimizer = QueryOptimizer(manager.estimator)
+        with pytest.raises(QueryError):
+            optimizer.plan_range_query(
+                dataset, RangePredicate("missing", 0, 1), total_records=10
+            )
+
+    def test_plan_matches_execution_winner(self):
+        """The estimate-driven choice must actually be the cheaper path."""
+        dataset, manager = _large_setup()
+        optimizer = QueryOptimizer(manager.estimator)
+        executor = QueryExecutor(dataset)
+        for lo, hi in [(5, 6), (0, 9999)]:
+            predicate = RangePredicate("value", lo, hi)
+            plan = optimizer.plan_range_query(dataset, predicate, 20_000)
+            probe = executor.execute(predicate, AccessMethod.INDEX_PROBE)
+            scan = executor.execute(predicate, AccessMethod.FULL_SCAN)
+            probe_cost = (
+                probe.io.random_reads * 10 + probe.io.sequential_reads
+            )
+            scan_cost = scan.io.random_reads * 10 + scan.io.sequential_reads
+            cheaper = (
+                AccessMethod.INDEX_PROBE
+                if probe_cost <= scan_cost
+                else AccessMethod.FULL_SCAN
+            )
+            assert plan.method is cheaper

@@ -1,0 +1,132 @@
+"""Builder/synopsis contract tests shared across synopsis types."""
+
+import pytest
+
+from repro.errors import MergeabilityError, SynopsisError
+from repro.synopses import SynopsisType, create_builder
+from repro.types import Domain
+
+ALL_TYPES = list(SynopsisType)
+DOMAIN = Domain(0, 99)
+
+
+@pytest.mark.parametrize("synopsis_type", ALL_TYPES)
+class TestBuilderContract:
+    def test_sorted_input_contract(self, synopsis_type):
+        builder = create_builder(synopsis_type, DOMAIN, 8, 10)
+        builder.add(5)
+        if synopsis_type.requires_sorted_input:
+            with pytest.raises(SynopsisError):
+                builder.add(4)
+        else:
+            # Sketches and samples accept arbitrary order (Section 5).
+            builder.add(4)
+            assert builder.build().total_count == 2
+
+    def test_allows_duplicates(self, synopsis_type):
+        builder = create_builder(synopsis_type, DOMAIN, 8, 10)
+        builder.add(5)
+        builder.add(5)
+        builder.add(5)
+        assert builder.build().total_count == 3
+
+    def test_rejects_out_of_domain(self, synopsis_type):
+        builder = create_builder(synopsis_type, DOMAIN, 8, 10)
+        with pytest.raises(SynopsisError):
+            builder.add(100)
+        with pytest.raises(SynopsisError):
+            builder.add(-1)
+
+    def test_single_use(self, synopsis_type):
+        builder = create_builder(synopsis_type, DOMAIN, 8, 10)
+        builder.build()
+        with pytest.raises(SynopsisError):
+            builder.add(1)
+        with pytest.raises(SynopsisError):
+            builder.build()
+
+    def test_empty_stream(self, synopsis_type):
+        synopsis = create_builder(synopsis_type, DOMAIN, 8, 0).build()
+        assert synopsis.total_count == 0
+        assert synopsis.estimate(0, 99) == 0.0
+
+    def test_budget_respected(self, synopsis_type):
+        if synopsis_type is SynopsisType.GROUND_TRUTH:
+            pytest.skip("ground truth is unbounded by design")
+        builder = create_builder(synopsis_type, DOMAIN, 4, 100)
+        for value in range(100):
+            builder.add(value)
+        synopsis = builder.build()
+        assert synopsis.element_count <= 4
+
+    def test_estimate_clipped_to_domain(self, synopsis_type):
+        builder = create_builder(synopsis_type, DOMAIN, 8, 3)
+        for value in (10, 50, 90):
+            builder.add(value)
+        synopsis = builder.build()
+        assert synopsis.estimate(-1000, 1000) == pytest.approx(
+            synopsis.estimate(0, 99)
+        )
+        assert synopsis.estimate(200, 300) == 0.0
+        assert synopsis.estimate(-10, -5) == 0.0
+
+    def test_payload_roundtrip(self, synopsis_type):
+        from repro.synopses import synopsis_from_payload
+
+        builder = create_builder(synopsis_type, DOMAIN, 8, 20)
+        for value in range(0, 100, 5):
+            builder.add(value)
+        synopsis = builder.build()
+        clone = synopsis_from_payload(synopsis.to_payload())
+        for lo, hi in [(0, 99), (10, 20), (37, 37), (80, 99)]:
+            assert clone.estimate(lo, hi) == pytest.approx(synopsis.estimate(lo, hi))
+
+    def test_invalid_budget(self, synopsis_type):
+        with pytest.raises(SynopsisError):
+            create_builder(synopsis_type, DOMAIN, 0, 10)
+
+
+class TestMergeability:
+    def _build(self, synopsis_type, values, budget=8):
+        builder = create_builder(synopsis_type, DOMAIN, budget, len(values))
+        for value in values:
+            builder.add(value)
+        return builder.build()
+
+    def test_flags_match_paper(self):
+        assert SynopsisType.EQUI_WIDTH.mergeable
+        assert SynopsisType.WAVELET.mergeable
+        assert not SynopsisType.EQUI_HEIGHT.mergeable
+
+    def test_equi_height_merge_raises(self):
+        a = self._build(SynopsisType.EQUI_HEIGHT, [1, 2, 3])
+        b = self._build(SynopsisType.EQUI_HEIGHT, [4, 5, 6])
+        with pytest.raises(MergeabilityError):
+            a.merge_with(b)
+
+    def test_cross_type_merge_raises(self):
+        a = self._build(SynopsisType.EQUI_WIDTH, [1, 2, 3])
+        b = self._build(SynopsisType.WAVELET, [4, 5, 6])
+        with pytest.raises(MergeabilityError):
+            a.merge_with(b)
+
+    def test_mismatched_budget_raises(self):
+        a = self._build(SynopsisType.EQUI_WIDTH, [1, 2, 3], budget=8)
+        b = self._build(SynopsisType.EQUI_WIDTH, [1, 2, 3], budget=16)
+        with pytest.raises(MergeabilityError):
+            a.merge_with(b)
+
+    def test_mismatched_domain_raises(self):
+        a = self._build(SynopsisType.EQUI_WIDTH, [1, 2, 3])
+        other = create_builder(SynopsisType.EQUI_WIDTH, Domain(0, 49), 8, 0).build()
+        with pytest.raises(MergeabilityError):
+            a.merge_with(other)
+
+    @pytest.mark.parametrize(
+        "synopsis_type",
+        [SynopsisType.EQUI_WIDTH, SynopsisType.WAVELET, SynopsisType.GROUND_TRUTH],
+    )
+    def test_merge_total_count_adds(self, synopsis_type):
+        a = self._build(synopsis_type, [1, 2, 3])
+        b = self._build(synopsis_type, [50, 60])
+        assert a.merge_with(b).total_count == 5

@@ -1,0 +1,121 @@
+"""Tests for the V-optimal and MaxDiff baseline histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses.maxdiff import MaxDiffBuilder
+from repro.synopses.voptimal import VOptimalBuilder, v_optimal_partition
+from repro.types import Domain
+
+DOMAIN = Domain(0, 999)
+
+
+def _build(builder_cls, values, budget=8, **kwargs):
+    builder = builder_cls(DOMAIN, budget, **kwargs)
+    for value in sorted(values):
+        builder.add(value)
+    return builder.build()
+
+
+class TestVOptimalPartition:
+    def test_empty(self):
+        assert v_optimal_partition(np.array([]), 4) == []
+
+    def test_single_item(self):
+        assert v_optimal_partition(np.array([5.0]), 4) == [1]
+
+    def test_fewer_items_than_buckets(self):
+        ends = v_optimal_partition(np.array([1.0, 2.0]), 10)
+        assert ends == [1, 2]  # each item its own bucket
+
+    def test_finds_obvious_split(self):
+        # Two flat plateaus -> the single border must fall between them.
+        frequencies = np.array([10.0] * 5 + [100.0] * 5)
+        assert v_optimal_partition(frequencies, 2) == [5, 10]
+
+    def test_zero_error_when_buckets_suffice(self):
+        frequencies = np.array([3.0, 3.0, 9.0, 9.0, 1.0, 1.0])
+        ends = v_optimal_partition(frequencies, 3)
+        assert ends == [2, 4, 6]
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        frequencies = rng.integers(1, 50, size=9).astype(float)
+
+        def sse(segment):
+            return float(np.sum((segment - segment.mean()) ** 2))
+
+        import itertools
+
+        best = None
+        for borders in itertools.combinations(range(1, 9), 2):
+            cuts = [0, *borders, 9]
+            cost = sum(
+                sse(frequencies[cuts[i] : cuts[i + 1]]) for i in range(3)
+            )
+            if best is None or cost < best:
+                best = cost
+        ends = v_optimal_partition(frequencies, 3)
+        cuts = [0, *ends]
+        dp_cost = sum(
+            sse(frequencies[cuts[i] : cuts[i + 1]]) for i in range(len(ends))
+        )
+        assert dp_cost == pytest.approx(best)
+
+
+class TestVOptimalHistogram:
+    def test_structure(self):
+        h = _build(VOptimalBuilder, [1] * 50 + [500] * 50, budget=4)
+        assert h.element_count <= 4
+        assert h.total_count == 100
+        assert h.estimate(0, 999) == pytest.approx(100)
+
+    def test_isolates_skew(self):
+        # Heavy value 10, light tail: v-optimal separates them cleanly.
+        values = [10] * 1000 + list(range(100, 200))
+        h = _build(VOptimalBuilder, values, budget=8)
+        assert h.estimate(10, 10) == pytest.approx(1000, rel=0.01)
+
+    def test_distinct_value_guard(self):
+        builder = VOptimalBuilder(DOMAIN, 4, max_distinct_values=3)
+        for value in (1, 2, 3):
+            builder.add(value)
+        with pytest.raises(SynopsisError):
+            builder.add(4)
+
+
+class TestMaxDiff:
+    def test_structure(self):
+        h = _build(MaxDiffBuilder, list(range(100)), budget=8)
+        assert h.element_count <= 8
+        assert h.total_count == 100
+        assert h.estimate(0, 999) == pytest.approx(100)
+
+    def test_border_at_area_jump(self):
+        # Uniform low frequencies, one huge spike at 50: borders must
+        # bracket the spike so its mass stays inside one bucket and
+        # does not leak into the tail.
+        values = []
+        for v in range(0, 100, 10):
+            values.extend([v] * 2)
+        values.extend([50] * 500)
+        h = _build(MaxDiffBuilder, values, budget=6)
+        assert h.estimate(41, 50) == pytest.approx(502, rel=0.05)
+        assert h.estimate(60, 99) < 30
+
+    def test_single_value(self):
+        h = _build(MaxDiffBuilder, [7, 7, 7], budget=4)
+        assert h.borders == [7]
+        assert h.estimate(7, 7) == pytest.approx(3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 999), max_size=150), st.integers(1, 12))
+def test_baselines_preserve_totals(values, budget):
+    for builder_cls in (VOptimalBuilder, MaxDiffBuilder):
+        h = _build(builder_cls, values, budget=budget)
+        assert h.estimate(0, 999) == pytest.approx(len(values))
+        assert h.element_count <= budget

@@ -1,0 +1,106 @@
+"""Tests for the Greenwald-Khanna sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses.gk import GKSketch, GKSketchBuilder
+from repro.types import Domain
+
+DOMAIN = Domain(0, 9999)
+
+
+def _build(values, budget=64):
+    builder = GKSketchBuilder(DOMAIN, budget)
+    for value in values:
+        builder.add(value)
+    return builder.build()
+
+
+class TestRank:
+    def test_empty(self):
+        sketch = _build([])
+        assert sketch.rank(500) == 0.0
+        assert sketch.estimate(0, 9999) == 0.0
+
+    def test_extremes_exact(self):
+        values = list(range(0, 1000))
+        sketch = _build(values, budget=32)
+        assert sketch.rank(-1) == 0.0
+        assert sketch.rank(999) == 1000.0
+        assert sketch.rank(10_000) == 1000.0
+
+    def test_rank_error_bounded(self):
+        n = 2000
+        values = list(range(n))
+        budget = 64
+        sketch = _build(values, budget=budget)
+        # GK guarantees eps*n rank error with eps = 1/budget; the hard
+        # cap can degrade this slightly, so allow a 3x cushion.
+        allowance = 3 * n / budget
+        for probe in range(0, n, 97):
+            true_rank = probe + 1
+            assert abs(sketch.rank(probe) - true_rank) <= allowance
+
+    def test_unsorted_input(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 10_000, size=3000)
+        sketch_unsorted = _build(list(values), budget=64)
+        estimate = sketch_unsorted.estimate(2000, 4000)
+        true_count = int(np.sum((values >= 2000) & (values <= 4000)))
+        assert estimate == pytest.approx(true_count, rel=0.2)
+
+    def test_budget_respected(self):
+        sketch = _build(list(range(5000)), budget=32)
+        assert sketch.element_count <= 32
+
+
+class TestMerge:
+    def test_merge_preserves_total(self):
+        a = _build(list(range(0, 1000)), budget=64)
+        b = _build(list(range(1000, 1500)), budget=64)
+        merged = a.merge_with(b)
+        assert merged.total_count == 1500
+        assert merged.element_count <= 64
+        assert merged.estimate(0, 9999) == pytest.approx(1500, rel=0.05)
+
+    def test_merge_accuracy(self):
+        rng = np.random.default_rng(2)
+        values_a = rng.integers(0, 5000, size=2000)
+        values_b = rng.integers(3000, 9000, size=2000)
+        merged = _build(list(values_a)).merge_with(_build(list(values_b)))
+        combined = np.concatenate([values_a, values_b])
+        for lo, hi in [(0, 9999), (1000, 4000), (6000, 9000)]:
+            true_count = int(np.sum((combined >= lo) & (combined <= hi)))
+            assert merged.estimate(lo, hi) == pytest.approx(
+                true_count, rel=0.25, abs=100
+            )
+
+
+class TestValidation:
+    def test_budget_overflow_rejected(self):
+        with pytest.raises(SynopsisError):
+            GKSketch(DOMAIN, 1, [(1, 1, 0), (2, 1, 0)], 2)
+
+    def test_payload_roundtrip(self):
+        sketch = _build(list(range(100)), budget=16)
+        clone = GKSketch.from_payload(sketch.to_payload())
+        assert clone.entries == sketch.entries
+        assert clone.rank(50) == sketch.rank(50)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 9999), max_size=400), st.integers(8, 64))
+def test_rank_bounds_property(values, budget):
+    sketch = _build(values, budget=budget)
+    n = len(values)
+    assert sketch.estimate(0, 9999) == pytest.approx(n, abs=1e-9)
+    if n:
+        ordered = sorted(values)
+        # Rank at the max is exact; interior ranks within a loose bound.
+        assert sketch.rank(ordered[-1]) == pytest.approx(n)
+        mid = ordered[n // 2]
+        true_rank = sum(1 for v in values if v <= mid)
+        assert abs(sketch.rank(mid) - true_rank) <= max(4.0, 4 * n / budget)

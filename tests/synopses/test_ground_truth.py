@@ -1,0 +1,53 @@
+"""Tests for the ground-truth oracle synopsis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopses.ground_truth import GroundTruthBuilder
+from repro.types import Domain
+
+DOMAIN = Domain(0, 999)
+
+
+def _build(values):
+    builder = GroundTruthBuilder(DOMAIN)
+    for value in sorted(values):
+        builder.add(value)
+    return builder.build()
+
+
+def test_exact_counts():
+    synopsis = _build([1, 1, 1, 500, 999])
+    assert synopsis.estimate(1, 1) == 3
+    assert synopsis.estimate(0, 999) == 5
+    assert synopsis.estimate(2, 499) == 0
+
+
+def test_merge_adds_frequencies():
+    a = _build([1, 2])
+    b = _build([2, 3])
+    merged = a.merge_with(b)
+    assert merged.estimate(2, 2) == 2
+    assert merged.total_count == 4
+
+
+def test_payload_roundtrip():
+    from repro.synopses import synopsis_from_payload
+
+    synopsis = _build([5, 5, 700])
+    clone = synopsis_from_payload(synopsis.to_payload())
+    assert clone.estimate(5, 5) == 2
+    assert clone.estimate(0, 999) == 3
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.integers(0, 999), max_size=150),
+    st.integers(0, 999),
+    st.integers(0, 999),
+)
+def test_always_exact(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    synopsis = _build(values)
+    assert synopsis.estimate(lo, hi) == sum(1 for v in values if lo <= v <= hi)

@@ -1,0 +1,80 @@
+"""Tests for the reservoir-sample synopsis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MergeabilityError, SynopsisError
+from repro.synopses.sampling import ReservoirSample, ReservoirSampleBuilder
+from repro.types import Domain
+
+DOMAIN = Domain(0, 9999)
+
+
+def _build(values, budget=128, seed=0):
+    builder = ReservoirSampleBuilder(DOMAIN, budget, seed=seed)
+    for value in values:
+        builder.add(value)
+    return builder.build()
+
+
+def test_small_input_kept_exactly():
+    sample = _build([5, 1, 9], budget=10)
+    assert sample.sample == [1, 5, 9]
+    assert sample.total_count == 3
+    assert sample.estimate(1, 5) == pytest.approx(2)
+
+
+def test_reservoir_capped():
+    sample = _build(range(10_000), budget=100)
+    assert sample.element_count == 100
+    assert sample.total_count == 10_000
+
+
+def test_scale_up_unbiased_shape():
+    rng = np.random.default_rng(3)
+    values = rng.integers(0, 1000, size=20_000)
+    sample = _build(list(values), budget=500)
+    true_count = int(np.sum((values >= 100) & (values <= 300)))
+    assert sample.estimate(100, 300) == pytest.approx(true_count, rel=0.25)
+
+
+def test_deterministic_in_seed():
+    values = list(range(5000))
+    assert _build(values, seed=1).sample == _build(values, seed=1).sample
+    assert _build(values, seed=1).sample != _build(values, seed=2).sample
+
+
+def test_not_mergeable():
+    a = _build([1, 2, 3])
+    b = _build([4, 5, 6])
+    with pytest.raises(MergeabilityError):
+        a.merge_with(b)
+
+
+def test_validation():
+    with pytest.raises(SynopsisError):
+        ReservoirSample(DOMAIN, 1, [1, 2], 2)
+    with pytest.raises(SynopsisError):
+        ReservoirSample(DOMAIN, 10, [1, 2], 1)
+
+
+def test_payload_roundtrip():
+    sample = _build(range(1000), budget=32)
+    clone = ReservoirSample.from_payload(sample.to_payload())
+    assert clone.sample == sample.sample
+    assert clone.total_count == sample.total_count
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 9999), max_size=300), st.integers(1, 64))
+def test_invariants_property(values, budget):
+    sample = _build(values, budget=budget)
+    assert sample.element_count == min(budget, len(values))
+    assert sample.total_count == len(values)
+    assert set(sample.sample) <= set(values)
+    # Full-domain estimate equals the exact total (every sampled value
+    # is in range, so the scale-up is exact).
+    if values:
+        assert sample.estimate(0, 9999) == pytest.approx(len(values))

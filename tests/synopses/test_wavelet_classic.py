@@ -1,0 +1,86 @@
+"""Tests for the classic Haar decomposition, pinned to Appendix B."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopses.wavelet.classic import (
+    classic_decompose,
+    classic_reconstruct,
+    prefix_sum_signal,
+)
+
+
+class TestAppendixBExample:
+    """The paper's worked example: F = [1 0 1 0 0 2 1 4] over M = 8."""
+
+    FREQUENCIES = [1, 0, 1, 0, 0, 2, 1, 4]
+
+    def test_prefix_sum(self):
+        assert prefix_sum_signal(self.FREQUENCIES, 8) == [1, 1, 2, 2, 2, 4, 5, 9]
+
+    def test_coefficients_match_figure_11(self):
+        coefficients = classic_decompose([1, 1, 2, 2, 2, 4, 5, 9])
+        assert coefficients[0] == pytest.approx(3.25)  # overall average
+        assert coefficients[1] == pytest.approx(1.75)  # top detail
+        assert coefficients[2] == pytest.approx(0.5)
+        assert coefficients[3] == pytest.approx(2.0)
+        # Level-1 details [0 0 1 2]; zeros are not materialised.
+        assert 4 not in coefficients
+        assert 5 not in coefficients
+        assert coefficients[6] == pytest.approx(1.0)
+        assert coefficients[7] == pytest.approx(2.0)
+
+    def test_reconstruction_is_lossless(self):
+        signal = [1.0, 1, 2, 2, 2, 4, 5, 9]
+        assert classic_reconstruct(classic_decompose(signal), 8) == pytest.approx(
+            signal
+        )
+
+
+class TestEdges:
+    def test_length_one(self):
+        assert classic_decompose([5.0]) == {0: 5.0}
+        assert classic_reconstruct({0: 5.0}, 1) == [5.0]
+
+    def test_all_zero_signal(self):
+        assert classic_decompose([0.0, 0.0, 0.0, 0.0]) == {}
+
+    def test_constant_signal_single_coefficient(self):
+        assert classic_decompose([3.0] * 8) == {0: 3.0}
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            classic_decompose([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            classic_decompose([])
+
+    def test_prefix_sum_pads_tail(self):
+        assert prefix_sum_signal([2, 3], 8) == [2, 5, 5, 5, 5, 5, 5, 5]
+
+    def test_prefix_sum_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            prefix_sum_signal([1] * 5, 4)
+
+
+@settings(max_examples=60)
+@given(st.integers(0, 6).flatmap(
+    lambda levels: st.lists(
+        st.floats(-100, 100, allow_nan=False),
+        min_size=2**levels,
+        max_size=2**levels,
+    )
+))
+def test_roundtrip_property(signal):
+    reconstructed = classic_reconstruct(classic_decompose(signal), len(signal))
+    assert reconstructed == pytest.approx(signal, abs=1e-6)
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.integers(0, 50), min_size=1, max_size=16),
+)
+def test_prefix_sum_monotone(frequencies):
+    signal = prefix_sum_signal(frequencies, 16)
+    assert all(b >= a for a, b in zip(signal, signal[1:]))
+    assert signal[-1] == sum(frequencies)

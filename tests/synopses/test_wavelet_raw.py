@@ -1,0 +1,88 @@
+"""Tests for the raw-frequency wavelet (prefix-sum ablation baseline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses.wavelet.classic import classic_decompose
+from repro.synopses.wavelet.coefficient import support_interval
+from repro.synopses.wavelet.raw import (
+    RawFrequencyWaveletBuilder,
+    RawFrequencyWaveletSynopsis,
+)
+from repro.synopses.wavelet.streaming import StreamingWaveletTransform
+from repro.types import Domain
+
+DOMAIN = Domain(0, 63)
+
+
+def _build(values, budget=64, domain=DOMAIN):
+    builder = RawFrequencyWaveletBuilder(domain, budget)
+    for value in sorted(values):
+        builder.add(value)
+    return builder.build()
+
+
+class TestSupportInterval:
+    def test_root_nodes(self):
+        assert support_interval(0, 3) == (0, 8)
+        assert support_interval(1, 3) == (0, 8)
+
+    def test_interior(self):
+        assert support_interval(2, 3) == (0, 4)
+        assert support_interval(3, 3) == (4, 8)
+        assert support_interval(4, 3) == (0, 2)
+        assert support_interval(7, 3) == (6, 8)
+
+
+class TestRawTransformMode:
+    def test_equals_classic_on_raw_signal(self):
+        transform = StreamingWaveletTransform(3, encode_prefix_sum=False)
+        tuples = [(1, 4.0), (5, 2.0)]
+        for position, frequency in tuples:
+            transform.add(position, frequency)
+        got = {c.index: c.value for c in transform.finish()}
+        raw_signal = [0.0] * 8
+        for position, frequency in tuples:
+            raw_signal[position] = frequency
+        assert got == pytest.approx(classic_decompose(raw_signal))
+
+
+class TestEstimates:
+    def test_exact_with_full_budget(self):
+        values = [3, 3, 10, 20, 20, 20, 50]
+        synopsis = _build(values)
+        assert synopsis.estimate(0, 63) == pytest.approx(7)
+        assert synopsis.estimate(3, 3) == pytest.approx(2)
+        assert synopsis.estimate(11, 49) == pytest.approx(3)
+
+    def test_clips_to_domain(self):
+        synopsis = _build([5, 5])
+        assert synopsis.estimate(-100, 100) == pytest.approx(2)
+        assert synopsis.estimate(70, 90) == 0.0
+
+    def test_budget_enforced(self):
+        synopsis = _build(range(0, 64, 2), budget=8)
+        assert synopsis.element_count <= 8
+        with pytest.raises(SynopsisError):
+            RawFrequencyWaveletSynopsis(DOMAIN, 1, {0: 1.0, 1: 1.0})
+
+    def test_rejects_unsorted(self):
+        builder = RawFrequencyWaveletBuilder(DOMAIN, 8)
+        builder.add(5)
+        with pytest.raises(SynopsisError):
+            builder.add(4)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.integers(0, 63), max_size=60),
+    st.integers(0, 63),
+    st.integers(0, 63),
+)
+def test_full_budget_exact_property(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    synopsis = _build(values, budget=64)
+    true_count = sum(1 for v in values if lo <= v <= hi)
+    assert synopsis.estimate(lo, hi) == pytest.approx(true_count, abs=1e-6)

@@ -1,0 +1,44 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.eval.experiments.common import ExperimentScale
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_every_figure_registered():
+    figures = [name for name in EXPERIMENTS if name.startswith("fig")]
+    assert sorted(figures) == [f"fig{i}" for i in range(2, 10)]
+    assert "ext-multidim" in EXPERIMENTS
+    assert "ext-rtree" in EXPERIMENTS
+
+
+def test_run_single(tmp_path, capsys, monkeypatch):
+    # Patch the scale preset so the test stays fast.
+    tiny = ExperimentScale(
+        domain_length=2**12, num_values=60, total_records=600, queries_per_cell=5
+    )
+    monkeypatch.setitem(
+        __import__("repro.cli", fromlist=["_SCALES"])._SCALES, "small", tiny
+    )
+    assert main(["run", "fig4", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert (tmp_path / "fig4.txt").exists()
+
+
+def test_invalid_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,91 @@
+"""Tests for fixed-width types and domains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.types import Domain, IntType
+
+
+class TestIntType:
+    def test_widths(self):
+        assert IntType.INT8.bits == 8
+        assert IntType.INT64.bits == 64
+
+    def test_bounds(self):
+        assert IntType.INT8.min_value == -128
+        assert IntType.INT8.max_value == 127
+        assert IntType.INT32.max_value == 2**31 - 1
+
+    def test_validate(self):
+        assert IntType.INT8.validate(127) == 127
+        with pytest.raises(DomainError):
+            IntType.INT8.validate(128)
+
+
+class TestDomain:
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            Domain(5, 4)
+
+    def test_length_and_padding(self):
+        d = Domain(0, 999)
+        assert d.length == 1000
+        assert d.padded_length == 1024
+        assert d.levels == 10
+
+    def test_exact_power_of_two_not_padded(self):
+        d = Domain(0, 1023)
+        assert d.padded_length == 1024
+
+    def test_singleton_domain(self):
+        d = Domain(7, 7)
+        assert d.length == 1
+        assert d.padded_length == 1
+        assert d.levels == 0
+
+    def test_of_type(self):
+        d = Domain.of_type(IntType.INT16)
+        assert d.length == 65536
+        assert d.padded_length == 65536
+
+    def test_position_roundtrip(self):
+        d = Domain(-10, 10)
+        assert d.position(-10) == 0
+        assert d.position(10) == 20
+        assert d.value_at(0) == -10
+        with pytest.raises(DomainError):
+            d.position(11)
+
+    def test_position_in_padded_tail(self):
+        d = Domain(0, 2)  # padded to 4
+        assert d.value_at(3) == 3
+        with pytest.raises(DomainError):
+            d.value_at(4)
+
+    def test_contains(self):
+        d = Domain(0, 5)
+        assert 0 in d and 5 in d
+        assert 6 not in d
+        assert "x" not in d
+
+    def test_clamp(self):
+        d = Domain(0, 5)
+        assert d.clamp(-3) == 0
+        assert d.clamp(9) == 5
+        assert d.clamp(2) == 2
+
+    def test_intersect(self):
+        d = Domain(0, 10)
+        assert d.intersect(-5, 5) == (0, 5)
+        assert d.intersect(3, 20) == (3, 10)
+        assert d.intersect(11, 20) is None
+
+    @given(st.integers(-10**9, 10**9), st.integers(0, 10**6))
+    def test_padded_length_is_power_of_two(self, lo, width):
+        d = Domain(lo, lo + width)
+        p = d.padded_length
+        assert p >= d.length
+        assert p & (p - 1) == 0
+        assert p < 2 * d.length

@@ -1,0 +1,65 @@
+"""Tests for the top-B bounded min-heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bounded_heap import BoundedMinHeap
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BoundedMinHeap(0)
+
+
+def test_fills_to_capacity_without_eviction():
+    heap = BoundedMinHeap(3)
+    assert heap.add(1.0, "a") is None
+    assert heap.add(2.0, "b") is None
+    assert heap.add(3.0, "c") is None
+    assert len(heap) == 3
+
+
+def test_evicts_lightest():
+    heap = BoundedMinHeap(2)
+    heap.add(1.0, "light")
+    heap.add(5.0, "heavy")
+    evicted = heap.add(3.0, "mid")
+    assert evicted == "light"
+    assert set(heap.items()) == {"heavy", "mid"}
+
+
+def test_rejects_too_light():
+    heap = BoundedMinHeap(2)
+    heap.add(5.0, "a")
+    heap.add(4.0, "b")
+    rejected = heap.add(1.0, "tiny")
+    assert rejected == "tiny"
+    assert set(heap.items()) == {"a", "b"}
+
+
+def test_tie_earlier_wins():
+    heap = BoundedMinHeap(1)
+    heap.add(2.0, "first")
+    rejected = heap.add(2.0, "second")
+    assert rejected == "second"
+    assert list(heap.items()) == ["first"]
+
+
+def test_min_weight():
+    heap = BoundedMinHeap(3)
+    with pytest.raises(IndexError):
+        heap.min_weight()
+    heap.add(2.0, "a")
+    heap.add(1.0, "b")
+    assert heap.min_weight() == 1.0
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1), st.integers(1, 20))
+def test_keeps_top_k(weights, capacity):
+    heap = BoundedMinHeap(capacity)
+    for index, weight in enumerate(weights):
+        heap.add(weight, index)
+    kept = sorted((w for w, _ in heap.weighted_items()), reverse=True)
+    expected = sorted(weights, reverse=True)[: min(capacity, len(weights))]
+    assert kept == expected

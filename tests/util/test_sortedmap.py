@@ -1,0 +1,152 @@
+"""Unit and property tests for the AVL-backed SortedMap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.sortedmap import SortedMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m = SortedMap()
+        assert len(m) == 0
+        assert not m
+        assert m.get(1) is None
+        assert 1 not in m
+        assert list(m.items()) == []
+
+    def test_put_get(self):
+        m = SortedMap()
+        m.put(2, "b")
+        m.put(1, "a")
+        m.put(3, "c")
+        assert len(m) == 3
+        assert m.get(1) == "a"
+        assert m.get(2) == "b"
+        assert m.get(3) == "c"
+        assert m.get(4, "missing") == "missing"
+
+    def test_put_replaces(self):
+        m = SortedMap()
+        m.put(1, "a")
+        m.put(1, "z")
+        assert len(m) == 1
+        assert m.get(1) == "z"
+
+    def test_remove(self):
+        m = SortedMap()
+        for k in [5, 3, 8, 1, 4, 7, 9]:
+            m.put(k, str(k))
+        assert m.remove(3)
+        assert not m.remove(3)
+        assert len(m) == 6
+        assert 3 not in m
+        assert list(m.keys()) == [1, 4, 5, 7, 8, 9]
+
+    def test_remove_root_with_two_children(self):
+        m = SortedMap()
+        for k in [2, 1, 3]:
+            m.put(k, k)
+        assert m.remove(2)
+        assert list(m.keys()) == [1, 3]
+
+    def test_min_max(self):
+        m = SortedMap()
+        with pytest.raises(KeyError):
+            m.min_key()
+        with pytest.raises(KeyError):
+            m.max_key()
+        for k in [4, 2, 9, 0]:
+            m.put(k, k)
+        assert m.min_key() == 0
+        assert m.max_key() == 9
+
+    def test_clear(self):
+        m = SortedMap()
+        m.put(1, 1)
+        m.clear()
+        assert len(m) == 0
+        assert list(m.items()) == []
+
+    def test_items_sorted(self):
+        m = SortedMap()
+        for k in [9, 1, 5, 3, 7]:
+            m.put(k, k * 10)
+        assert list(m.items()) == [(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+
+    def test_tuple_keys(self):
+        m = SortedMap()
+        m.put((2, 1), "a")
+        m.put((1, 9), "b")
+        m.put((2, 0), "c")
+        assert list(m.keys()) == [(1, 9), (2, 0), (2, 1)]
+
+
+class TestRangeItems:
+    def setup_method(self):
+        self.m = SortedMap()
+        for k in range(0, 100, 2):  # even keys 0..98
+            self.m.put(k, k)
+
+    def test_closed_range(self):
+        assert [k for k, _ in self.m.range_items(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_bounds_between_keys(self):
+        assert [k for k, _ in self.m.range_items(9, 15)] == [10, 12, 14]
+
+    def test_open_low(self):
+        assert [k for k, _ in self.m.range_items(None, 4)] == [0, 2, 4]
+
+    def test_open_high(self):
+        assert [k for k, _ in self.m.range_items(94, None)] == [94, 96, 98]
+
+    def test_fully_open(self):
+        assert len(list(self.m.range_items())) == 50
+
+    def test_empty_range(self):
+        assert list(self.m.range_items(200, 300)) == []
+        assert list(self.m.range_items(11, 11)) == []
+
+
+@given(st.lists(st.tuples(st.integers(-1000, 1000), st.integers())))
+def test_matches_dict_semantics(pairs):
+    m = SortedMap()
+    reference = {}
+    for key, value in pairs:
+        m.put(key, value)
+        reference[key] = value
+    assert len(m) == len(reference)
+    assert list(m.items()) == sorted(reference.items())
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.integers(-100, 100), min_size=1),
+    st.lists(st.integers(-100, 100)),
+)
+def test_insert_then_remove(inserts, removes):
+    m = SortedMap()
+    reference = {}
+    for key in inserts:
+        m.put(key, key)
+        reference[key] = key
+    for key in removes:
+        assert m.remove(key) == (key in reference)
+        reference.pop(key, None)
+    assert list(m.keys()) == sorted(reference)
+
+
+@settings(max_examples=30)
+@given(
+    st.sets(st.integers(0, 500)),
+    st.integers(0, 500),
+    st.integers(0, 500),
+)
+def test_range_matches_filter(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    m = SortedMap()
+    for key in keys:
+        m.put(key, key)
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert [k for k, _ in m.range_items(lo, hi)] == expected

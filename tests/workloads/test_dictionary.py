@@ -1,0 +1,59 @@
+"""Tests for dictionary encoding of string fields."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.workloads.dictionary import StringDictionary
+
+
+def test_encode_assigns_dense_codes():
+    d = StringDictionary()
+    assert d.encode("b") == 0
+    assert d.encode("a") == 1
+    assert d.encode("b") == 0  # stable
+    assert len(d) == 2
+
+
+def test_decode_roundtrip():
+    d = StringDictionary()
+    for token in ["x", "y", "z"]:
+        assert d.decode(d.encode(token)) == token
+    with pytest.raises(DomainError):
+        d.decode(3)
+    with pytest.raises(DomainError):
+        d.decode(-1)
+
+
+def test_contains():
+    d = StringDictionary()
+    d.encode("hello")
+    assert "hello" in d
+    assert "world" not in d
+
+
+def test_capacity():
+    d = StringDictionary(capacity=2)
+    d.encode("a")
+    d.encode("b")
+    with pytest.raises(DomainError):
+        d.encode("c")
+    with pytest.raises(DomainError):
+        StringDictionary(capacity=0)
+
+
+def test_frozen_sorted_preserves_order():
+    d = StringDictionary.frozen_sorted(["pear", "apple", "mango", "apple"])
+    assert list(d.tokens()) == ["apple", "mango", "pear"]
+    assert d.encode("apple") < d.encode("mango") < d.encode("pear")
+    with pytest.raises(DomainError):
+        d.encode("unknown")
+
+
+def test_code_domain():
+    d = StringDictionary()
+    with pytest.raises(DomainError):
+        d.code_domain()
+    d.encode("a")
+    d.encode("b")
+    domain = d.code_domain()
+    assert (domain.lo, domain.hi) == (0, 1)

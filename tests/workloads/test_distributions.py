@@ -1,0 +1,164 @@
+"""Tests for the Poosala distribution framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.types import Domain
+from repro.workloads.distributions import (
+    DistributionSpec,
+    FrequencyDistribution,
+    SpreadDistribution,
+    generate_distribution,
+    generate_value_set,
+)
+
+DOMAIN = Domain(0, 9999)
+
+
+def _spec(spread, frequency, num_values=100, total=5000, seed=1):
+    return DistributionSpec(spread, frequency, DOMAIN, num_values, total, seed=seed)
+
+
+class TestSpecValidation:
+    def test_too_many_values(self):
+        with pytest.raises(ConfigurationError):
+            DistributionSpec(
+                SpreadDistribution.UNIFORM,
+                FrequencyDistribution.UNIFORM,
+                Domain(0, 9),
+                num_values=11,
+                total_records=20,
+            )
+
+    def test_too_few_records(self):
+        with pytest.raises(ConfigurationError):
+            _spec(
+                SpreadDistribution.UNIFORM,
+                FrequencyDistribution.UNIFORM,
+                num_values=100,
+                total=99,
+            )
+
+
+@pytest.mark.parametrize("spread", list(SpreadDistribution))
+@pytest.mark.parametrize("frequency", list(FrequencyDistribution))
+class TestAllCombinations:
+    def test_invariants(self, spread, frequency):
+        dist = generate_distribution(_spec(spread, frequency))
+        assert len(dist.values) == 100
+        assert len(dist.frequencies) == 100
+        assert list(dist.values) == sorted(set(dist.values))
+        assert all(v in DOMAIN for v in dist.values)
+        assert all(f >= 1 for f in dist.frequencies)
+        assert sum(dist.frequencies) == 5000
+        assert dist.total_records == 5000
+
+    def test_deterministic_in_seed(self, spread, frequency):
+        a = generate_distribution(_spec(spread, frequency, seed=7))
+        b = generate_distribution(_spec(spread, frequency, seed=7))
+        assert a.values == b.values
+        assert a.frequencies == b.frequencies
+
+
+class TestSpreadShapes:
+    def _spreads(self, spread, num_values=64):
+        rng = np.random.default_rng(0)
+        values = generate_value_set(spread, DOMAIN, num_values, 1.0, rng)
+        return np.diff(np.asarray(values))
+
+    def test_uniform_spreads_equal(self):
+        spreads = self._spreads(SpreadDistribution.UNIFORM)
+        assert spreads.max() - spreads.min() <= 1
+
+    def test_zipf_spreads_decreasing(self):
+        spreads = self._spreads(SpreadDistribution.ZIPF)
+        # Allow rounding jitter of 1 between neighbours.
+        assert all(b <= a + 1 for a, b in zip(spreads, spreads[1:]))
+        assert spreads[0] > spreads[-1]
+
+    def test_zipf_increasing_spreads_increasing(self):
+        spreads = self._spreads(SpreadDistribution.ZIPF_INCREASING)
+        assert spreads[-1] > spreads[0]
+
+    def test_cusp_min_shape(self):
+        spreads = self._spreads(SpreadDistribution.CUSP_MIN)
+        half = len(spreads) // 2
+        middle = spreads[half - 2 : half + 2].mean()
+        assert middle < spreads[0]
+        assert middle < spreads[-1]
+
+    def test_cusp_max_shape(self):
+        spreads = self._spreads(SpreadDistribution.CUSP_MAX)
+        half = len(spreads) // 2
+        middle = spreads[half - 2 : half + 2].mean()
+        assert middle > spreads[0]
+        assert middle > spreads[-1]
+
+    def test_values_span_domain(self):
+        for spread in SpreadDistribution:
+            rng = np.random.default_rng(3)
+            values = generate_value_set(spread, DOMAIN, 50, 1.0, rng)
+            assert values[-1] == DOMAIN.hi
+
+
+class TestFrequencyShapes:
+    def test_uniform_frequencies_equal(self):
+        dist = generate_distribution(
+            _spec(SpreadDistribution.UNIFORM, FrequencyDistribution.UNIFORM)
+        )
+        frequencies = np.asarray(dist.frequencies)
+        assert frequencies.max() - frequencies.min() <= 1
+
+    def test_zipf_frequencies_skewed(self):
+        dist = generate_distribution(
+            _spec(SpreadDistribution.UNIFORM, FrequencyDistribution.ZIPF)
+        )
+        assert dist.frequencies[0] > 10 * dist.frequencies[-1]
+
+
+class TestTruth:
+    def test_frequency_of(self):
+        dist = generate_distribution(
+            _spec(SpreadDistribution.UNIFORM, FrequencyDistribution.UNIFORM)
+        )
+        value = dist.values[10]
+        assert dist.frequency_of(value) == dist.frequencies[10]
+        missing = value + 1 if value + 1 not in dist.values else value - 1
+        assert dist.frequency_of(missing) == 0
+
+    def test_true_range_count_matches_bruteforce(self):
+        dist = generate_distribution(
+            _spec(SpreadDistribution.ZIPF, FrequencyDistribution.ZIPF_RANDOM)
+        )
+        for lo, hi in [(0, 9999), (100, 5000), (9999, 9999), (5000, 100)]:
+            brute = sum(
+                f for v, f in zip(dist.values, dist.frequencies) if lo <= v <= hi
+            )
+            assert dist.true_range_count(lo, hi) == brute
+
+    def test_record_values_realise_frequencies(self):
+        dist = generate_distribution(
+            _spec(SpreadDistribution.ZIPF, FrequencyDistribution.ZIPF, total=500)
+        )
+        values, counts = np.unique(dist.record_values(), return_counts=True)
+        assert list(values) == list(dist.values)
+        assert list(counts) == list(dist.frequencies)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from(list(SpreadDistribution)),
+    st.sampled_from(list(FrequencyDistribution)),
+    st.integers(1, 200),
+    st.integers(0, 2**32 - 1),
+)
+def test_generation_invariants_property(spread, frequency, num_values, seed):
+    total = num_values * 3
+    spec = DistributionSpec(spread, frequency, DOMAIN, num_values, total, seed=seed)
+    dist = generate_distribution(spec)
+    assert sum(dist.frequencies) == total
+    assert len(set(dist.values)) == num_values
+    assert dist.true_range_count(DOMAIN.lo, DOMAIN.hi) == total

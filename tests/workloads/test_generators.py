@@ -1,0 +1,98 @@
+"""Tests for the tweet and WorldCup record generators."""
+
+import numpy as np
+import pytest
+
+from repro.types import Domain
+from repro.workloads.distributions import (
+    DistributionSpec,
+    FrequencyDistribution,
+    SpreadDistribution,
+    generate_distribution,
+)
+from repro.workloads.tweets import VALUE_FIELD, TweetGenerator
+from repro.workloads.worldcup import WORLDCUP_FIELDS, WorldCupGenerator
+
+
+def _distribution(total=300):
+    return generate_distribution(
+        DistributionSpec(
+            SpreadDistribution.ZIPF,
+            FrequencyDistribution.ZIPF,
+            Domain(0, 999),
+            num_values=40,
+            total_records=total,
+            seed=5,
+        )
+    )
+
+
+class TestTweetGenerator:
+    def test_realises_distribution_exactly(self):
+        dist = _distribution()
+        docs = list(TweetGenerator(dist, seed=1).generate())
+        assert len(docs) == dist.total_records
+        values, counts = np.unique(
+            [d[VALUE_FIELD] for d in docs], return_counts=True
+        )
+        assert list(values) == list(dist.values)
+        assert list(counts) == list(dist.frequencies)
+
+    def test_pks_sequential_and_unique(self):
+        docs = list(TweetGenerator(_distribution(), seed=1).generate())
+        assert [d["id"] for d in docs] == list(range(len(docs)))
+
+    def test_message_size_configurable(self):
+        docs = list(TweetGenerator(_distribution(), message_bytes=64).generate())
+        assert all(len(d["message"]) == 64 for d in docs)
+
+    def test_shuffle_differs_by_seed(self):
+        dist = _distribution()
+        a = [d[VALUE_FIELD] for d in TweetGenerator(dist, seed=1).generate()]
+        b = [d[VALUE_FIELD] for d in TweetGenerator(dist, seed=2).generate()]
+        assert a != b
+        assert sorted(a) == sorted(b)
+
+
+class TestWorldCupGenerator:
+    def test_record_shape(self):
+        docs = list(WorldCupGenerator(100, seed=3).generate())
+        assert len(docs) == 100
+        field_names = {f.name for f in WORLDCUP_FIELDS}
+        for doc in docs:
+            assert field_names <= set(doc)
+            for spec in WORLDCUP_FIELDS:
+                assert doc[spec.name] in spec.domain
+
+    def test_empty(self):
+        assert list(WorldCupGenerator(0).generate()) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WorldCupGenerator(-1)
+
+    def test_deterministic(self):
+        a = list(WorldCupGenerator(50, seed=9).generate())
+        b = list(WorldCupGenerator(50, seed=9).generate())
+        assert a == b
+
+    def test_timestamps_clustered_and_monotone(self):
+        docs = list(WorldCupGenerator(500, seed=0).generate())
+        timestamps = [d["timestamp"] for d in docs]
+        assert timestamps == sorted(timestamps)
+        # Narrow band far from the int32 extremes (Figure 9's point).
+        spread = max(timestamps) - min(timestamps)
+        assert spread < 2**31 * 1e-4
+
+    def test_size_heavy_tailed(self):
+        sizes = np.array([d["size"] for d in WorldCupGenerator(2000, seed=0).generate()])
+        assert np.median(sizes) * 10 < sizes.max()
+
+    def test_categorical_fields_spiky(self):
+        docs = list(WorldCupGenerator(2000, seed=0).generate())
+        statuses = {d["status"] for d in docs}
+        servers = {d["server"] for d in docs}
+        # Few distinct codes scattered over the int8 domain.
+        assert 2 <= len(statuses) <= 10
+        assert 2 <= len(servers) <= 20
+        assert max(statuses) - min(statuses) > 20  # separated by zero gaps

@@ -1,0 +1,60 @@
+"""Tests for the query workload generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import Domain
+from repro.workloads.queries import QueryType, QueryWorkloadGenerator, RangeQuery
+
+DOMAIN = Domain(0, 999)
+
+
+def test_range_query_validation():
+    with pytest.raises(ConfigurationError):
+        RangeQuery(5, 4)
+    assert RangeQuery(5, 5).length == 1
+    assert RangeQuery(0, 9).length == 10
+
+
+class TestShapes:
+    def setup_method(self):
+        self.generator = QueryWorkloadGenerator(DOMAIN, seed=42)
+
+    def test_point(self):
+        for query in self.generator.generate(QueryType.POINT, 50):
+            assert query.lo == query.hi
+            assert query.lo in DOMAIN
+
+    def test_fixed_length_exact(self):
+        for query in self.generator.generate(QueryType.FIXED_LENGTH, 50, 128):
+            assert query.length == 128
+            assert query.lo in DOMAIN and query.hi in DOMAIN
+
+    def test_fixed_length_bounds(self):
+        with pytest.raises(ConfigurationError):
+            self.generator.fixed_length(0)
+        with pytest.raises(ConfigurationError):
+            self.generator.fixed_length(DOMAIN.length + 1)
+        # Full-domain length is legal and pins both borders.
+        query = self.generator.fixed_length(DOMAIN.length)
+        assert (query.lo, query.hi) == (DOMAIN.lo, DOMAIN.hi)
+
+    def test_half_open_touches_extreme(self):
+        touches_hi = touches_lo = 0
+        for query in self.generator.generate(QueryType.HALF_OPEN, 100):
+            assert query.lo == DOMAIN.lo or query.hi == DOMAIN.hi
+            touches_lo += query.lo == DOMAIN.lo
+            touches_hi += query.hi == DOMAIN.hi
+        assert touches_lo > 10 and touches_hi > 10  # both sides occur
+
+    def test_random_ordered(self):
+        for query in self.generator.generate(QueryType.RANDOM, 100):
+            assert DOMAIN.lo <= query.lo <= query.hi <= DOMAIN.hi
+
+
+def test_deterministic_in_seed():
+    a = list(QueryWorkloadGenerator(DOMAIN, seed=7).generate(QueryType.RANDOM, 20))
+    b = list(QueryWorkloadGenerator(DOMAIN, seed=7).generate(QueryType.RANDOM, 20))
+    assert a == b
+    c = list(QueryWorkloadGenerator(DOMAIN, seed=8).generate(QueryType.RANDOM, 20))
+    assert a != c
