@@ -8,12 +8,18 @@ reference concrete numbers.
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 ``small`` (default, minutes for the whole directory) or ``medium``
 (closer to the paper's ratios).
+
+Every bench session also dumps a metrics snapshot of the process-global
+registry (``benchmarks/results/metrics_snapshot.json``) so throughput
+numbers can be read next to the flush/merge/estimate counters that
+produced them (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Iterator
 
 import pytest
 
@@ -22,6 +28,8 @@ from repro.eval.experiments.common import (
     SMALL_SCALE,
     ExperimentScale,
 )
+from repro.obs.export import write_snapshot
+from repro.obs.registry import get_registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -42,6 +50,13 @@ def results_dir() -> Path:
     """Directory the formatted result tables are written into."""
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_snapshot_dump() -> Iterator[None]:
+    """Write the session's metrics snapshot next to the result tables."""
+    yield
+    write_snapshot(get_registry(), RESULTS_DIR / "metrics_snapshot.json")
 
 
 def run_once(benchmark, func):

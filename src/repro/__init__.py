@@ -38,6 +38,16 @@ from repro.core import (
     StatisticsManager,
 )
 from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    NOOP_REGISTRY,
+    NoopRegistry,
+    get_registry,
+    set_registry,
+    span,
+    traced,
+    use_registry,
+)
 from repro.lsm import (
     ConstantMergePolicy,
     Dataset,
@@ -90,4 +100,12 @@ __all__ = [
     "MergedSynopsisCache",
     "CardinalityEstimator",
     "EstimateResult",
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NOOP_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "span",
+    "traced",
 ]

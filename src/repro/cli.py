@@ -9,6 +9,14 @@ prints/saves the result tables::
 
 Scales: ``small`` (default; the whole suite takes a couple of minutes)
 and ``medium`` (closer to the paper's ratios).
+
+The ``stats`` subcommand exercises the observability layer: it drives a
+scripted ingest (bulkload, flushes, merges, deletes, estimates) and
+dumps the resulting metrics snapshot::
+
+    python -m repro stats                  # JSON snapshot to stdout
+    python -m repro stats --format text
+    python -m repro stats --selfcheck      # validate against docs/OBSERVABILITY.md
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ from repro.eval.experiments import (
 )
 from repro.eval.experiments import extensions
 from repro.eval.experiments.common import ExperimentScale
+from repro.obs.export import render_json, render_text, write_snapshot
+from repro.obs.selfcheck import run_scripted_ingest, selfcheck
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -129,6 +139,29 @@ def main(argv: list[str] | None = None) -> int:
     all_parser = subparsers.add_parser("run-all", help="run every experiment")
     _add_common(all_parser)
 
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="run a scripted ingest and dump the metrics snapshot",
+    )
+    stats_parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["json", "text"],
+        default="json",
+        help="snapshot rendering (default: json)",
+    )
+    stats_parser.add_argument(
+        "--out",
+        default=None,
+        help="file to write the snapshot to (in addition to stdout)",
+    )
+    stats_parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="validate the snapshot against the documented metrics "
+        "contract; exit non-zero on any violation",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -136,12 +169,35 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name}: {description}")
         return 0
 
+    if args.command == "stats":
+        return _run_stats(args)
+
     scale = _SCALES[args.scale]
     out_dir = Path(args.out) if args.out else None
     names = [args.experiment] if args.command == "run" else sorted(EXPERIMENTS)
     for name in names:
         print(_run_experiment(name, scale, out_dir))
         print()
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """Handle ``repro stats``: scripted ingest, snapshot, selfcheck."""
+    snapshot = run_scripted_ingest()
+    rendered = (
+        render_json(snapshot) if args.fmt == "json" else render_text(snapshot)
+    )
+    print(rendered)
+    if args.out is not None:
+        write_snapshot(snapshot, args.out, fmt=args.fmt)
+        print(f"snapshot written to {args.out}", file=sys.stderr)
+    if args.selfcheck:
+        problems = selfcheck(snapshot)
+        if problems:
+            for problem in problems:
+                print(f"selfcheck: {problem}", file=sys.stderr)
+            return 1
+        print("selfcheck: ok", file=sys.stderr)
     return 0
 
 

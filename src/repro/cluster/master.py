@@ -14,6 +14,7 @@ from repro.core.catalog import StatisticsCatalog
 from repro.core.estimator import CardinalityEstimator, EstimateResult
 from repro.cluster.network import Network
 from repro.errors import ClusterError
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.synopses.factory import synopsis_from_payload
 
 __all__ = ["ClusterController"]
@@ -27,12 +28,16 @@ class ClusterController:
         network: Network,
         node_id: str = "cc",
         cache_merged: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.node_id = node_id
+        obs = registry if registry is not None else get_registry()
         self.catalog = StatisticsCatalog()
-        self.cache = MergedSynopsisCache() if cache_merged else None
-        self.estimator = CardinalityEstimator(self.catalog, self.cache)
+        self.cache = MergedSynopsisCache(obs) if cache_merged else None
+        self.estimator = CardinalityEstimator(self.catalog, self.cache, obs)
         self.stats_messages_received = 0
+        self._m_messages = obs.counter("cluster.stats.messages")
+        self._g_catalog_entries = obs.gauge("cluster.catalog.entries")
         network.register(node_id, self._on_message)
 
     def estimate(self, index_name: str, lo: int, hi: int) -> float:
@@ -56,6 +61,7 @@ class ClusterController:
 
     def _handle_publish(self, source: str, message: dict[str, Any]) -> None:
         self.stats_messages_received += 1
+        self._m_messages.inc()
         index_name = message["index"]
         self.catalog.put(
             index_name,
@@ -65,10 +71,12 @@ class ClusterController:
             synopsis_from_payload(message["synopsis"]),
             synopsis_from_payload(message["anti_synopsis"]),
         )
+        self._g_catalog_entries.set(self.catalog.entry_count())
         if self.cache is not None:
             self.cache.invalidate(index_name)
 
     def _handle_retract(self, source: str, message: dict[str, Any]) -> None:
+        self._m_messages.inc()
         index_name = message["index"]
         self.catalog.retract(
             index_name,
@@ -76,5 +84,6 @@ class ClusterController:
             message["partition"],
             message["component_uids"],
         )
+        self._g_catalog_entries.set(self.catalog.entry_count())
         if self.cache is not None:
             self.cache.invalidate(index_name)

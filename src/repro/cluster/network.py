@@ -1,14 +1,24 @@
 """A synchronous in-process network with serialisation accounting.
 
-Stands in for the Gigabit Ethernet of the paper's 4+1-node cluster.
-Messages are JSON-serialisable dicts; every send is charged its
-serialised size, so experiments can report how much synopsis traffic
-the statistics framework generates (Section 3.4: each local synopsis
-"is sent over the network to the master node").
+Implements the transport of the paper's Section 3.4 statistics
+protocol: "each local synopsis ... is sent over the network to the
+master node[;] the synopsis is persisted in the system catalog, so that
+it can be used during query optimization."  It stands in for the
+Gigabit Ethernet of the paper's 4+1-node AsterixDB cluster (Section
+4.1's testbed).  Messages are JSON-serialisable dicts; every send is
+charged its serialised size, so experiments can report exactly how much
+synopsis traffic the framework generates -- the paper's argument that
+shipping a few hundred bucket values is negligible next to the data
+itself.
 
 Delivery is synchronous and ordered -- adequate for the statistics
 protocol, which tolerates any interleaving anyway because the catalog
 is keyed by component.
+
+Traffic is observable twice over: the :class:`NetworkStats` attribute
+(per-destination byte accounting, used by the figure benchmarks) and
+the ``network.messages`` / ``network.bytes`` metrics of the injected
+:class:`~repro.obs.registry.MetricsRegistry` (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ClusterError
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["NetworkStats", "Network"]
 
@@ -44,9 +55,12 @@ class NetworkStats:
 class Network:
     """Registry of node endpoints with synchronous message delivery."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._handlers: dict[str, MessageHandler] = {}
         self.stats = NetworkStats()
+        obs = registry if registry is not None else get_registry()
+        self._m_messages = obs.counter("network.messages")
+        self._m_bytes = obs.counter("network.bytes")
 
     def register(self, node_id: str, handler: MessageHandler) -> None:
         """Attach a node endpoint; one handler per node id."""
@@ -61,6 +75,8 @@ class Network:
             raise ClusterError(f"unknown destination node {destination!r}")
         size = len(json.dumps(message, separators=(",", ":")).encode())
         self.stats.record(destination, size)
+        self._m_messages.inc()
+        self._m_bytes.inc(size)
         handler(source, message)
         return size
 

@@ -20,6 +20,7 @@ from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.merge_policy import MergePolicy
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.synopses.base import Synopsis
 from repro.types import Domain
 
@@ -30,12 +31,20 @@ class NetworkStatisticsSink:
     """Statistics sink that ships synopses to the master over the wire."""
 
     def __init__(
-        self, network: Network, node_id: str, master_id: str, partition_id: int
+        self,
+        network: Network,
+        node_id: str,
+        master_id: str,
+        partition_id: int,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._network = network
         self._node_id = node_id
         self._master_id = master_id
         self._partition_id = partition_id
+        obs = registry if registry is not None else get_registry()
+        self._m_shipped = obs.counter("cluster.synopses.shipped")
+        self._m_retractions = obs.counter("cluster.retractions.sent")
 
     def publish(
         self,
@@ -56,6 +65,7 @@ class NetworkStatisticsSink:
                 "anti_synopsis": anti_synopsis.to_payload(),
             },
         )
+        self._m_shipped.inc(2)  # regular + anti-matter twin
 
     def retract(self, index_name: str, component_uids: list[int]) -> None:
         self._network.send(
@@ -68,6 +78,7 @@ class NetworkStatisticsSink:
                 "component_uids": list(component_uids),
             },
         )
+        self._m_retractions.inc()
 
 
 class StorageNode:

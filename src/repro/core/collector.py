@@ -44,6 +44,7 @@ from repro.errors import ConfigurationError
 from repro.lsm.component import DiskComponent
 from repro.lsm.events import ComponentWriteContext, RecordSink
 from repro.lsm.record import Record
+from repro.obs.registry import Counter, Histogram, MetricsRegistry, get_registry
 from repro.synopses.base import Synopsis, SynopsisBuilder
 from repro.synopses.factory import create_builder
 from repro.types import Domain
@@ -103,6 +104,34 @@ class StatisticsSink(Protocol):
 
 
 @dataclass(frozen=True)
+class _Instruments:
+    """Registry instruments bound once per collector.
+
+    The per-record tap (:meth:`_RegistrationSink.accept`) runs inside
+    the ingestion hot path, so it only touches pre-bound counters --
+    with the no-op registry those are shared do-nothing objects.
+    """
+
+    component_writes: Counter
+    synopses_published: Counter
+    matter_records: Counter
+    antimatter_records: Counter
+    values_skipped: Counter
+    build_seconds: Histogram
+
+    @classmethod
+    def bind(cls, registry: MetricsRegistry) -> "_Instruments":
+        return cls(
+            component_writes=registry.counter("collector.component_writes"),
+            synopses_published=registry.counter("collector.synopses.published"),
+            matter_records=registry.counter("collector.records.matter"),
+            antimatter_records=registry.counter("collector.records.antimatter"),
+            values_skipped=registry.counter("collector.values.skipped"),
+            build_seconds=registry.histogram("synopsis.build.seconds"),
+        )
+
+
+@dataclass(frozen=True)
 class _Registration:
     """One statistics target riding on an index's component stream."""
 
@@ -123,6 +152,7 @@ class _RegistrationSink:
         anti_builder: SynopsisBuilder,
         sink: StatisticsSink,
         metrics: CollectorMetrics,
+        instruments: _Instruments,
     ) -> None:
         self._registration = registration
         self._extractor = (
@@ -134,6 +164,7 @@ class _RegistrationSink:
         self._anti_builder = anti_builder
         self._sink = sink
         self._metrics = metrics
+        self._instruments = instruments
 
     def accept(self, record: Record) -> None:
         value = self._extractor(record)
@@ -141,19 +172,24 @@ class _RegistrationSink:
             # Attribute extractors return None for tombstones (no
             # payload) or records missing the attribute.
             self._metrics.values_skipped += 1
+            self._instruments.values_skipped.inc()
             return
         if record.antimatter:
             self._metrics.antimatter_records_observed += 1
+            self._instruments.antimatter_records.inc()
             self._anti_builder.add(value)
         else:
             self._metrics.matter_records_observed += 1
+            self._instruments.matter_records.inc()
             self._builder.add(value)
 
     def finish(self, component: DiskComponent) -> None:
         started = time.perf_counter()
         synopsis = self._builder.build()
         anti_synopsis = self._anti_builder.build()
-        self._metrics.finalize_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._metrics.finalize_seconds += elapsed
+        self._instruments.build_seconds.observe(elapsed)
         self._sink.publish(
             self._registration.statistics_key,
             component.uid,
@@ -161,6 +197,7 @@ class _RegistrationSink:
             anti_synopsis,
         )
         self._metrics.synopses_published += 2
+        self._instruments.synopses_published.inc(2)
 
 
 class _CompositeSink:
@@ -181,7 +218,12 @@ class _CompositeSink:
 class StatisticsCollector:
     """LSM event observer building synopses for registered targets."""
 
-    def __init__(self, config: StatisticsConfig, sink: StatisticsSink) -> None:
+    def __init__(
+        self,
+        config: StatisticsConfig,
+        sink: StatisticsSink,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if not config.enabled:
             raise ConfigurationError(
                 "StatisticsCollector requires an enabled configuration; "
@@ -190,6 +232,9 @@ class StatisticsCollector:
         self.config = config
         self.sink = sink
         self.metrics = CollectorMetrics()
+        self._instruments = _Instruments.bind(
+            registry if registry is not None else get_registry()
+        )
         # index name -> registrations tapping that index's stream
         self._registrations: dict[str, list[_Registration]] = {}
 
@@ -267,6 +312,7 @@ class StatisticsCollector:
         synopsis_type = self.config.synopsis_type
         assert synopsis_type is not None
         self.metrics.record_event(context.event_type.value)
+        self._instruments.component_writes.inc()
         sinks = [
             _RegistrationSink(
                 registration,
@@ -285,6 +331,7 @@ class StatisticsCollector:
                 ),
                 self.sink,
                 self.metrics,
+                self._instruments,
             )
             for registration in registrations
         ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.cache import MergedSynopsisCache
 from repro.core.catalog import StatisticsCatalog
 from repro.errors import MergeabilityError
+from repro.obs.registry import MetricsRegistry, get_registry, sanitize_segment
 from repro.synopses.base import Synopsis
 
 __all__ = ["EstimateResult", "CardinalityEstimator"]
@@ -47,9 +48,26 @@ class CardinalityEstimator:
         self,
         catalog: StatisticsCatalog,
         cache: MergedSynopsisCache | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.catalog = catalog
         self.cache = cache
+        self._obs = registry if registry is not None else get_registry()
+        self._m_estimates = self._obs.counter("estimator.estimate.count")
+        self._m_cache_hits = self._obs.counter("estimator.cache_hit.count")
+        self._m_lazy_merges = self._obs.counter("estimator.lazy_merge.count")
+        self._h_estimate = self._obs.histogram("estimator.estimate.seconds")
+        self._h_lazy_merge = self._obs.histogram("estimator.lazy_merge.seconds")
+
+    def _observe(self, elapsed: float, synopsis: Synopsis | None) -> None:
+        """Record one estimate's latency, overall and per synopsis type."""
+        self._m_estimates.inc()
+        self._h_estimate.observe(elapsed)
+        if synopsis is not None:
+            label = sanitize_segment(synopsis.synopsis_type.value)
+            self._obs.histogram(
+                f"estimator.estimate.seconds.{label}"
+            ).observe(elapsed)
 
     def estimate(self, index_name: str, lo: int, hi: int) -> float:
         """The cardinality estimate for ``lo <= key <= hi``."""
@@ -69,9 +87,10 @@ class CardinalityEstimator:
                     - cached.anti_synopsis.estimate(lo, hi),
                     0.0,
                 )
-                return EstimateResult(
-                    estimate, 0, True, time.perf_counter() - started
-                )
+                elapsed = time.perf_counter() - started
+                self._m_cache_hits.inc()
+                self._observe(elapsed, cached.synopsis)
+                return EstimateResult(estimate, 0, True, elapsed)
 
         # Slow path: combine every per-component synopsis, merging along
         # the way when the type allows it.
@@ -87,6 +106,7 @@ class CardinalityEstimator:
             and e.synopsis.synopsis_type is entries[0].synopsis.synopsis_type
             for e in entries
         )
+        merge_seconds = 0.0
         for entry in entries:
             contribution = entry.synopsis.estimate(lo, hi)
             contribution -= entry.anti_synopsis.estimate(lo, hi)
@@ -96,6 +116,7 @@ class CardinalityEstimator:
                     merged, merged_anti = entry.synopsis, entry.anti_synopsis
                 else:
                     assert merged_anti is not None
+                    merge_started = time.perf_counter()
                     try:
                         merged = merged.merge_with(entry.synopsis)
                         merged_anti = merged_anti.merge_with(entry.anti_synopsis)
@@ -104,13 +125,19 @@ class CardinalityEstimator:
                         # give up on caching, keep summing.
                         mergeable = False
                         merged = merged_anti = None
+                    finally:
+                        merge_seconds += time.perf_counter() - merge_started
 
         if merged is not None and merged_anti is not None and self.cache is not None:
             self.cache.put(index_name, merged, merged_anti, version)
+            self._m_lazy_merges.inc()
+            self._h_lazy_merge.observe(merge_seconds)
 
+        elapsed = time.perf_counter() - started
+        self._observe(elapsed, entries[0].synopsis if entries else None)
         return EstimateResult(
             max(total, 0.0),
             len(entries),
             False,
-            time.perf_counter() - started,
+            elapsed,
         )

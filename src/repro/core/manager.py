@@ -15,6 +15,7 @@ from repro.core.collector import StatisticsCollector
 from repro.core.config import StatisticsConfig
 from repro.core.estimator import CardinalityEstimator, EstimateResult
 from repro.lsm.dataset import Dataset
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.synopses.base import Synopsis
 
 __all__ = ["LocalStatisticsSink", "StatisticsManager"]
@@ -66,15 +67,28 @@ class LocalStatisticsSink:
 class StatisticsManager:
     """Catalog + cache + collector + estimator for a local deployment."""
 
-    def __init__(self, config: StatisticsConfig) -> None:
+    def __init__(
+        self,
+        config: StatisticsConfig,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config
+        self.registry = registry if registry is not None else get_registry()
         self.catalog = StatisticsCatalog()
-        self.cache = MergedSynopsisCache() if config.cache_merged else None
+        self.cache = (
+            MergedSynopsisCache(self.registry) if config.cache_merged else None
+        )
         self.collector: StatisticsCollector | None = None
         if config.enabled:
             sink = LocalStatisticsSink(self.catalog, self.cache)
-            self.collector = StatisticsCollector(config, sink)
-        self.estimator = CardinalityEstimator(self.catalog, self.cache)
+            self.collector = StatisticsCollector(config, sink, self.registry)
+        self.estimator = CardinalityEstimator(
+            self.catalog, self.cache, self.registry
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready dump of this manager's metrics registry."""
+        return self.registry.snapshot()
 
     def attach(self, dataset: Dataset) -> None:
         """Enable statistics for a dataset's primary and secondary keys.

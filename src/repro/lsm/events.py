@@ -19,6 +19,7 @@ from typing import Any, Callable, Protocol
 
 from repro.lsm.component import DiskComponent
 from repro.lsm.record import Record
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = [
     "LSMEventType",
@@ -92,23 +93,36 @@ class LSMEventObserver(Protocol):
 
 
 class EventBus:
-    """Fan-out of LSM lifecycle notifications to registered observers."""
+    """Fan-out of LSM lifecycle notifications to registered observers.
 
-    def __init__(self) -> None:
+    Emits the ``lsm.events.*`` metrics (docs/OBSERVABILITY.md): one
+    count per component-write offer and per merge replacement notice,
+    plus an observer-population gauge -- enough to see whether a
+    statistics framework is actually riding the lifecycle.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._observers: list[LSMEventObserver] = []
+        obs = registry if registry is not None else get_registry()
+        self._m_writes = obs.counter("lsm.events.component_writes")
+        self._m_replacements = obs.counter("lsm.events.replacements")
+        self._g_observers = obs.gauge("lsm.events.observers")
 
     def subscribe(self, observer: LSMEventObserver) -> None:
         """Register an observer (idempotent)."""
         if observer not in self._observers:
             self._observers.append(observer)
+            self._g_observers.inc()
 
     def unsubscribe(self, observer: LSMEventObserver) -> None:
         """Remove an observer if registered."""
         if observer in self._observers:
             self._observers.remove(observer)
+            self._g_observers.inc(-1)
 
     def open_sinks(self, context: ComponentWriteContext) -> list[RecordSink]:
         """Collect sinks from all observers for one component write."""
+        self._m_writes.inc()
         sinks = []
         for observer in self._observers:
             sink = observer.begin_component_write(context)
@@ -123,5 +137,6 @@ class EventBus:
         new_component: DiskComponent,
     ) -> None:
         """Broadcast that a merge superseded components."""
+        self._m_replacements.inc()
         for observer in self._observers:
             observer.component_replaced(index_name, old_components, new_component)

@@ -29,6 +29,8 @@ from repro.lsm.memtable import MemTable
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
 from repro.lsm.record import Record
 from repro.lsm.storage import SimulatedDisk
+from repro.obs.registry import MetricsRegistry, get_registry, sanitize_segment
+from repro.obs.tracing import span
 
 __all__ = ["LSMTree", "SequenceGenerator", "DEFAULT_MEMTABLE_CAPACITY"]
 
@@ -76,6 +78,7 @@ class LSMTree:
         auto_flush: bool = True,
         bloom_fpp: float | None = 0.01,
         index_builder: Callable[..., Any] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if memtable_capacity < 1:
             raise StorageError(
@@ -107,6 +110,19 @@ class LSMTree:
         # a driver).  Failures are counted here and the sink is dropped
         # for the remainder of that component write.
         self.observer_failures = 0
+        # Instruments bind once at construction (docs/OBSERVABILITY.md);
+        # the per-record tap loop stays registry-free -- record counts
+        # are added in bulk when a component seals.
+        self._obs = registry if registry is not None else get_registry()
+        self._m_flush = self._obs.counter("lsm.flush.count")
+        self._m_merge = self._obs.counter("lsm.merge.count")
+        self._m_bulkload = self._obs.counter("lsm.bulkload.count")
+        self._m_matter = self._obs.counter("lsm.records.matter")
+        self._m_anti = self._obs.counter("lsm.records.antimatter")
+        self._m_observer_failures = self._obs.counter("lsm.observer.failures")
+        self._g_components = self._obs.gauge(
+            f"lsm.components.{sanitize_segment(name)}"
+        )
 
     # -- write path ------------------------------------------------------
 
@@ -139,15 +155,18 @@ class LSMTree:
             return None
         seq_range = self.memtable.seqnum_range
         assert seq_range is not None
-        component = self._write_component(
-            LSMEventType.FLUSH,
-            ComponentId(*seq_range),
-            self.memtable.sorted_records(),
-            expected_records=len(self.memtable),
-        )
-        self.memtable.reset()
-        self._components.insert(0, component)
-        self.flush_count += 1
+        with span("lsm.flush", self._obs):
+            component = self._write_component(
+                LSMEventType.FLUSH,
+                ComponentId(*seq_range),
+                self.memtable.sorted_records(),
+                expected_records=len(self.memtable),
+            )
+            self.memtable.reset()
+            self._components.insert(0, component)
+            self.flush_count += 1
+            self._m_flush.inc()
+            self._g_components.set(len(self._components))
         self._maybe_merge()
         return component
 
@@ -173,18 +192,21 @@ class LSMTree:
                 )
 
         start_seq = self.sequence.last + 1
-        component = self._write_component(
-            LSMEventType.BULKLOAD,
-            # Placeholder id; fixed below once seqnums are known.
-            None,
-            stamped(),
-            expected_records=expected_records,
-        )
-        end_seq = self.sequence.last
-        if end_seq < start_seq:  # empty load
-            end_seq = start_seq
-        component.component_id = ComponentId(start_seq, end_seq)
-        self._components.insert(0, component)
+        with span("lsm.bulkload", self._obs):
+            component = self._write_component(
+                LSMEventType.BULKLOAD,
+                # Placeholder id; fixed below once seqnums are known.
+                None,
+                stamped(),
+                expected_records=expected_records,
+            )
+            end_seq = self.sequence.last
+            if end_seq < start_seq:  # empty load
+                end_seq = start_seq
+            component.component_id = ComponentId(start_seq, end_seq)
+            self._components.insert(0, component)
+            self._m_bulkload.inc()
+            self._g_components.set(len(self._components))
         return component
 
     def merge(self, components: list[DiskComponent]) -> DiskComponent:
@@ -207,21 +229,24 @@ class LSMTree:
             merge_streams([c.scan() for c in ordered]),
             keep_antimatter=not includes_oldest,
         )
-        component = self._write_component(
-            LSMEventType.MERGE,
-            ComponentId.merged([c.component_id for c in ordered]),
-            merged_stream,
-            expected_records=sum(c.record_count for c in ordered),
-            merged_components=tuple(ordered),
-        )
-        # Splice the new component in place of the merged run.
-        self._components[indices[0] : indices[-1] + 1] = [component]
-        for old in ordered:
-            old.mark_merged()
-        self.event_bus.notify_replaced(self.name, tuple(ordered), component)
-        for old in ordered:
-            old.destroy()
-        self.merge_count += 1
+        with span("lsm.merge", self._obs):
+            component = self._write_component(
+                LSMEventType.MERGE,
+                ComponentId.merged([c.component_id for c in ordered]),
+                merged_stream,
+                expected_records=sum(c.record_count for c in ordered),
+                merged_components=tuple(ordered),
+            )
+            # Splice the new component in place of the merged run.
+            self._components[indices[0] : indices[-1] + 1] = [component]
+            for old in ordered:
+                old.mark_merged()
+            self.event_bus.notify_replaced(self.name, tuple(ordered), component)
+            for old in ordered:
+                old.destroy()
+            self.merge_count += 1
+            self._m_merge.inc()
+            self._g_components.set(len(self._components))
         return component
 
     def _maybe_merge(self) -> None:
@@ -269,6 +294,7 @@ class LSMTree:
                     except Exception:
                         live_sinks.remove(sink)
                         self.observer_failures += 1
+                        self._m_observer_failures.inc()
                 yield record
 
         btree = self.index_builder(
@@ -281,6 +307,10 @@ class LSMTree:
             antimatter_count=counts["anti"],
             bloom=bloom,
         )
+        # Bulk-increment once per component so the per-record loop above
+        # never touches the registry.
+        self._m_matter.inc(counts["matter"])
+        self._m_anti.inc(counts["anti"])
         self._finish_sinks(live_sinks, component)
         return component
 
@@ -292,6 +322,7 @@ class LSMTree:
                 sink.finish(component)
             except Exception:
                 self.observer_failures += 1
+                self._m_observer_failures.inc()
 
     # -- read path ---------------------------------------------------------
 

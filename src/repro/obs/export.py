@@ -1,0 +1,90 @@
+"""Exporters for metrics snapshots.
+
+Two formats: JSON (machine-readable; what ``repro stats`` emits and
+what ``benchmarks/conftest.py`` drops next to the result tables) and a
+fixed-width text rendering for terminals.  Both operate on the
+JSON-ready dict produced by :meth:`MetricsRegistry.snapshot`, so they
+also round-trip snapshots loaded back from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["render_json", "render_text", "write_snapshot"]
+
+
+def _as_snapshot(source: MetricsRegistry | dict[str, Any]) -> dict[str, Any]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def render_json(
+    source: MetricsRegistry | dict[str, Any], indent: int | None = 2
+) -> str:
+    """The snapshot as a JSON document."""
+    return json.dumps(_as_snapshot(source), indent=indent, sort_keys=True)
+
+
+def render_text(source: MetricsRegistry | dict[str, Any]) -> str:
+    """The snapshot as aligned, human-readable text."""
+    snapshot = _as_snapshot(source)
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    width = max(
+        (len(name) for name in (*counters, *gauges, *histograms)), default=0
+    )
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<{width}}  {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name, h in sorted(histograms.items()):
+            lines.append(
+                f"  {name:<{width}}  count={h['count']} sum={h['sum']:.6g} "
+                f"mean={h['mean']:.3g} p50={h['p50']:.3g} "
+                f"p90={h['p90']:.3g} p99={h['p99']:.3g} max={h['max']:.3g}"
+            )
+    extra = {
+        key: value
+        for key, value in snapshot.items()
+        if key not in ("counters", "gauges", "histograms")
+    }
+    for key, section in sorted(extra.items()):
+        lines.append(f"{key}:")
+        if isinstance(section, dict):
+            for name, value in sorted(section.items()):
+                lines.append(f"  {name:<{width}}  {value}")
+        else:
+            lines.append(f"  {section}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_snapshot(
+    source: MetricsRegistry | dict[str, Any],
+    path: str | Path,
+    fmt: str = "json",
+) -> Path:
+    """Write the snapshot to ``path`` in ``fmt`` ('json' or 'text')."""
+    if fmt == "json":
+        text = render_json(source) + "\n"
+    elif fmt == "text":
+        text = render_text(source)
+    else:
+        raise ValueError(f"unknown snapshot format {fmt!r} (json|text)")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return target

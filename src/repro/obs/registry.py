@@ -1,0 +1,381 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Dependency-free and deliberately small.  Three instrument kinds cover
+everything the repro system reports:
+
+* :class:`Counter` -- monotonically increasing event counts
+  (``lsm.flush.count``, ``cache.merged.hit``, ...).
+* :class:`Gauge` -- last-written values (``lsm.components.<index>``,
+  ``cluster.catalog.entries``).
+* :class:`Histogram` -- value distributions over *fixed* bucket
+  boundaries, giving cheap O(#buckets) percentile estimates without
+  storing observations (``lsm.flush.seconds``, ...).
+
+Instruments are memoized by name, so ``registry.counter(name)`` is a
+dict lookup after the first call; hot paths bind instruments once and
+call ``inc()``/``observe()`` directly.  The :class:`NoopRegistry`
+variant hands out shared do-nothing instruments, which is how
+instrumentation is disabled without touching any call site.
+
+Metric names follow the dotted-lowercase contract documented in
+``docs/OBSERVABILITY.md``; the registry enforces the syntax at
+instrument-creation time so typos fail fast.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NOOP_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "sanitize_segment",
+]
+
+# Dotted lowercase segments; a segment may contain [a-z0-9_] and also
+# '#' because attribute-statistics keys ("index#attr") appear inside
+# per-index metric names.
+_NAME_RE = re.compile(r"^[a-z0-9_#]+(\.[a-z0-9_#-]+)*$")
+
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    m * (10.0 ** e) for e in range(-7, 1) for m in (1.0, 2.5, 5.0)
+) + (10.0,)
+"""Log-spaced seconds buckets from 100ns to 10s (overflow above)."""
+
+
+def sanitize_segment(label: str) -> str:
+    """Fold an arbitrary label (index name, synopsis type, ...) into a
+    legal metric-name suffix: lowercased, illegal runs collapsed to '_'.
+    Dots are preserved so 'tweets.value_idx' stays a dotted suffix."""
+    cleaned = re.sub(r"[^a-z0-9_#.\-]+", "_", label.lower()).strip("._")
+    return cleaned or "unnamed"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: expected dotted lowercase "
+            "segments like 'lsm.flush.count'"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self._value = float(value)
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The last written value."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    Buckets are cumulative-style upper bounds (ascending); one implicit
+    overflow bucket catches everything above the largest bound.  Exact
+    min/max/sum are tracked alongside, so means and rates need no
+    bucket arithmetic.
+    """
+
+    __slots__ = ("name", "_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError(
+                f"histogram {name} buckets must be a non-empty strictly "
+                f"ascending sequence, got {buckets!r}"
+            )
+        self.name = name
+        self._bounds: tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self._bounds) + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``).
+
+        Linear interpolation inside the bucket containing the rank;
+        observations in the overflow bucket report the exact maximum.
+        Returns 0.0 when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for i, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if i >= len(self._bounds):  # overflow bucket
+                    return self._max
+                lo = self._bounds[i - 1] if i > 0 else 0.0
+                hi = self._bounds[i]
+                fraction = (rank - cumulative) / bucket_count
+                return min(max(lo + (hi - lo) * fraction, self._min), self._max)
+            cumulative += bucket_count
+        return self._max  # pragma: no cover - defensive
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready summary of this histogram."""
+        buckets = {
+            f"{bound:g}": count
+            for bound, count in zip(self._bounds, self._counts)
+            if count
+        }
+        if self._counts[-1]:
+            buckets["+inf"] = self._counts[-1]
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, memoized; the unit of snapshot/export.
+
+    Thread-safe at the instrument-creation level (a lock guards the
+    name tables); individual increments are plain int/float updates,
+    which is the same guarantee CPython gives the pre-existing ad-hoc
+    counters this registry replaces.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(
+                    name, Counter(_check_name(name))
+                )
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(_check_name(name)))
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        """The histogram under ``name`` (created on first use; the
+        bucket layout of the first creation wins)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(_check_name(name), buckets)
+                )
+        return histogram
+
+    def metric_names(self) -> list[str]:
+        """All registered instrument names, sorted."""
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (used between test cases/bench runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _NoopCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NoopGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, delta: float = 1.0) -> None:
+        pass
+
+
+class _NoopHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NoopRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing.
+
+    Every ``counter()``/``gauge()``/``histogram()`` call returns a
+    process-wide shared no-op instrument, so instrumented code pays one
+    attribute lookup plus an empty method call -- and span timing is
+    skipped entirely because ``enabled`` is False.
+    """
+
+    enabled = False
+
+    _COUNTER = _NoopCounter("noop")
+    _GAUGE = _NoopGauge("noop")
+    _HISTOGRAM = _NoopHistogram("noop")
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NOOP_REGISTRY = NoopRegistry()
+"""The shared disabled registry; install it to turn instrumentation off."""
+
+_global_registry: MetricsRegistry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-global default; returns the
+    previous one.  Note that components bind their instruments at
+    construction time, so swap the registry *before* building the
+    objects you want measured (or measured-for-free with
+    :data:`NOOP_REGISTRY`)."""
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the global default."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,56 @@
+"""Exporter round-trips: JSON, text, file output."""
+
+import json
+
+import pytest
+
+from repro.obs.export import render_json, render_text, write_snapshot
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("lsm.flush.count").inc(3)
+    registry.gauge("cache.merged.size").set(2)
+    registry.histogram("lsm.flush.seconds").observe(0.004)
+    return registry
+
+
+def test_json_round_trip():
+    registry = populated_registry()
+    loaded = json.loads(render_json(registry))
+    assert loaded == registry.snapshot()
+    # A loaded snapshot renders identically to the live registry.
+    assert render_json(loaded) == render_json(registry)
+
+
+def test_text_rendering_lists_every_metric():
+    text = render_text(populated_registry())
+    assert "lsm.flush.count" in text
+    assert "cache.merged.size" in text
+    assert "lsm.flush.seconds" in text
+    assert "count=1" in text
+
+
+def test_text_rendering_includes_extra_sections():
+    snapshot = populated_registry().snapshot()
+    snapshot["derived"] = {"cache.merged.hit_ratio": 0.9}
+    text = render_text(snapshot)
+    assert "derived:" in text
+    assert "cache.merged.hit_ratio" in text
+
+
+def test_write_snapshot_json_and_text(tmp_path):
+    registry = populated_registry()
+    json_path = write_snapshot(registry, tmp_path / "snap.json")
+    assert json.loads(json_path.read_text()) == registry.snapshot()
+    text_path = write_snapshot(registry, tmp_path / "snap.txt", fmt="text")
+    assert "lsm.flush.count" in text_path.read_text()
+    with pytest.raises(ValueError):
+        write_snapshot(registry, tmp_path / "snap.xml", fmt="xml")
+
+
+def test_empty_registry_renders_cleanly():
+    registry = MetricsRegistry()
+    assert json.loads(render_json(registry)) == registry.snapshot()
+    assert render_text(registry) == ""

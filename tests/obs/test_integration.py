@@ -1,0 +1,166 @@
+"""End-to-end: real flushes/merges produce the documented metrics."""
+
+from pathlib import Path
+
+from repro.core.config import StatisticsConfig
+from repro.core.manager import StatisticsManager
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.merge_policy import ConstantMergePolicy
+from repro.lsm.storage import SimulatedDisk
+from repro.obs.registry import (
+    MetricsRegistry,
+    NOOP_REGISTRY,
+    use_registry,
+)
+from repro.obs.selfcheck import (
+    documented_metric_names,
+    is_documented,
+    run_scripted_ingest,
+    selfcheck,
+)
+from repro.synopses.base import SynopsisType
+from repro.types import Domain
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+
+def ingest(registry) -> None:
+    """One bulkload, several flushes, at least one merge, estimates."""
+    with use_registry(registry):
+        dataset = Dataset(
+            "t",
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 2**16 - 1),
+            indexes=[IndexSpec("v_idx", "v", Domain(0, 255))],
+            memtable_capacity=64,
+            merge_policy=ConstantMergePolicy(max_components=2),
+        )
+        stats = StatisticsManager(
+            StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=16), registry
+        )
+        stats.attach(dataset)
+        dataset.bulkload({"id": pk, "v": pk % 256} for pk in range(128))
+        for pk in range(128, 384):
+            dataset.insert({"id": pk, "v": pk % 256})
+        dataset.flush()
+        for _ in range(4):
+            stats.estimate(dataset, "v_idx", 10, 99)
+
+
+class TestFlushAndMergeMetrics:
+    def test_lifecycle_counters_are_plausible(self):
+        registry = MetricsRegistry()
+        ingest(registry)
+        counters = registry.snapshot()["counters"]
+        # 128 bulkloaded + 256 inserted, on primary + one secondary.
+        assert counters["lsm.bulkload.count"] == 2
+        assert counters["lsm.flush.count"] >= 4
+        assert counters["lsm.merge.count"] >= 1
+        assert counters["lsm.records.matter"] >= 2 * 384
+        assert counters["lsm.observer.failures"] == 0
+        # The collector tapped every component write the bus announced.
+        assert (
+            counters["collector.component_writes"]
+            == counters["lsm.events.component_writes"]
+        )
+        assert counters["collector.synopses.published"] == (
+            2 * counters["collector.component_writes"]
+        )
+        assert counters["estimator.estimate.count"] == 4
+        assert counters["cache.merged.hit"] + counters["cache.merged.miss"] == 4
+
+    def test_latency_histograms_are_populated(self):
+        registry = MetricsRegistry()
+        ingest(registry)
+        histograms = registry.snapshot()["histograms"]
+        for name in (
+            "lsm.flush.seconds",
+            "lsm.merge.seconds",
+            "lsm.bulkload.seconds",
+            "synopsis.build.seconds",
+            "estimator.estimate.seconds",
+            "estimator.estimate.seconds.equi_width",
+        ):
+            assert histograms[name]["count"] > 0, name
+            assert histograms[name]["sum"] >= 0.0
+            assert histograms[name]["max"] >= histograms[name]["min"]
+
+    def test_component_gauges_track_live_components(self):
+        registry = MetricsRegistry()
+        ingest(registry)
+        gauges = registry.snapshot()["gauges"]
+        # Constant policy caps at 2 components; the merge that fires on
+        # overflow leaves exactly one.
+        assert 1 <= gauges["lsm.components.t.primary"] <= 2
+        assert 1 <= gauges["lsm.components.t.v_idx"] <= 2
+
+    def test_every_emitted_metric_is_documented(self):
+        registry = MetricsRegistry()
+        ingest(registry)
+        documented = documented_metric_names(DOCS)
+        assert documented, "docs/OBSERVABILITY.md must declare metric names"
+        snapshot = registry.snapshot()
+        emitted = (
+            list(snapshot["counters"])
+            + list(snapshot["gauges"])
+            + list(snapshot["histograms"])
+        )
+        undocumented = [
+            name for name in emitted if not is_documented(name, documented)
+        ]
+        assert not undocumented, (
+            f"metrics emitted but missing from docs/OBSERVABILITY.md: "
+            f"{undocumented}"
+        )
+
+
+class TestNoopMode:
+    def test_ingestion_works_and_records_nothing(self):
+        ingest(NOOP_REGISTRY)
+        assert NOOP_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_legacy_counters_survive_noop_registry(self):
+        with use_registry(NOOP_REGISTRY):
+            dataset = Dataset(
+                "t",
+                SimulatedDisk(),
+                primary_key="id",
+                primary_domain=Domain(0, 1023),
+                memtable_capacity=16,
+            )
+            for pk in range(32):
+                dataset.insert({"id": pk})
+            dataset.flush()
+            assert dataset.primary.flush_count >= 2
+
+
+class TestSelfcheck:
+    def test_scripted_ingest_passes_selfcheck(self):
+        problems = selfcheck(run_scripted_ingest(), docs_path=DOCS)
+        assert problems == []
+
+    def test_selfcheck_flags_missing_and_undocumented(self):
+        snapshot = run_scripted_ingest()
+        snapshot["counters"].pop("lsm.flush.count")
+        snapshot["counters"]["made.up.metric"] = 1
+        problems = selfcheck(snapshot, docs_path=DOCS)
+        assert any("lsm.flush.count" in p for p in problems)
+        assert any("made.up.metric" in p for p in problems)
+
+    def test_selfcheck_reports_missing_docs(self):
+        problems = selfcheck(
+            run_scripted_ingest(), docs_path=Path("/nonexistent/OBS.md")
+        )
+        assert any("not found" in p for p in problems)
+
+    def test_placeholder_matching(self):
+        documented = ["lsm.components.<index>", "lsm.flush.count"]
+        assert is_documented("lsm.components.t.primary", documented)
+        assert is_documented("lsm.flush.count", documented)
+        assert not is_documented("lsm.flushes.count", documented)
+        assert not is_documented("lsm.components", documented)

@@ -1,0 +1,160 @@
+"""Registry semantics: counters, gauges, histograms, no-op mode."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NOOP_REGISTRY,
+    NoopRegistry,
+    get_registry,
+    sanitize_segment,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("test.count")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("test.count")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.counter("a.b") is not registry.counter("a.c")
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        gauge = MetricsRegistry().gauge("test.size")
+        gauge.set(10)
+        assert gauge.value == 10.0
+        gauge.inc(-3)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        histogram = Histogram("test.seconds", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+        assert histogram.mean == pytest.approx(555.5 / 4)
+        snap = histogram.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500.0
+        assert snap["buckets"] == {"1": 1, "10": 1, "100": 1, "+inf": 1}
+
+    def test_percentiles_interpolate_and_clamp(self):
+        histogram = Histogram("test.seconds", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        # All mass in the (1, 2] bucket: every quantile stays there.
+        assert 1.0 <= histogram.percentile(0.5) <= 2.0
+        assert 1.0 <= histogram.percentile(0.99) <= 2.0
+        # Overflow observations report the exact maximum.
+        histogram.observe(1000.0)
+        assert histogram.percentile(1.0) == 1000.0
+
+    def test_empty_histogram_is_quiet(self):
+        histogram = Histogram("test.seconds")
+        assert histogram.percentile(0.99) == 0.0
+        snap = histogram.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_rejects_bad_buckets_and_quantiles(self):
+        with pytest.raises(ValueError):
+            Histogram("test.seconds", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("test.seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("test.seconds").percentile(1.5)
+
+    def test_default_buckets_ascend(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-7)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+
+
+class TestRegistry:
+    def test_rejects_illegal_names(self):
+        registry = MetricsRegistry()
+        for bad in ("", "UPPER.case", "spaced name", ".leading", "trailing."):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_snapshot_shape_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(2)
+        registry.gauge("a.size").set(3)
+        registry.histogram("a.seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a.count": 2}
+        assert snap["gauges"] == {"a.size": 3.0}
+        assert snap["histograms"]["a.seconds"]["count"] == 1
+        assert registry.metric_names() == ["a.count", "a.seconds", "a.size"]
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_sanitize_segment(self):
+        assert sanitize_segment("tweets.value_idx") == "tweets.value_idx"
+        assert sanitize_segment("My Index!") == "my_index"
+        assert sanitize_segment("...") == "unnamed"
+
+
+class TestNoopRegistry:
+    def test_instruments_do_nothing_and_are_shared(self):
+        registry = NoopRegistry()
+        counter = registry.counter("x.count")
+        counter.inc(100)
+        assert counter.value == 0
+        assert counter is registry.counter("y.count")
+        gauge = registry.gauge("x.size")
+        gauge.set(5)
+        assert gauge.value == 0.0
+        histogram = registry.histogram("x.seconds")
+        histogram.observe(1.0)
+        assert histogram.count == 0
+
+    def test_disabled_and_empty_snapshot(self):
+        assert NOOP_REGISTRY.enabled is False
+        assert NOOP_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestGlobalRegistry:
+    def test_set_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        try:
+            assert set_registry(replacement) is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+
+    def test_use_registry_restores_even_on_error(self):
+        original = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()) as scoped:
+                assert get_registry() is scoped
+                raise RuntimeError("boom")
+        assert get_registry() is original

@@ -1,0 +1,65 @@
+"""Span/traced semantics: timing, error counting, disabled mode."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, NoopRegistry
+from repro.obs.tracing import span, traced
+
+
+def test_span_records_into_seconds_histogram():
+    registry = MetricsRegistry()
+    with span("work", registry):
+        pass
+    histogram = registry.histogram("work.seconds")
+    assert histogram.count == 1
+    assert histogram.sum >= 0.0
+
+
+def test_span_on_exception_counts_error_and_still_times():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        with span("work", registry):
+            raise ValueError("boom")
+    assert registry.counter("work.errors").value == 1
+    assert registry.histogram("work.seconds").count == 1
+
+
+def test_span_disabled_registry_records_nothing():
+    registry = NoopRegistry()
+    with span("work", registry):
+        pass
+    assert registry.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def test_traced_decorator_wraps_and_records():
+    registry = MetricsRegistry()
+
+    @traced("func", registry)
+    def add(a, b):
+        return a + b
+
+    assert add(2, 3) == 5
+    assert add(1, 1) == 2
+    assert add.__name__ == "add"
+    assert registry.histogram("func.seconds").count == 2
+
+
+def test_traced_follows_global_registry_per_call():
+    from repro.obs.registry import use_registry
+
+    @traced("func")
+    def noop():
+        return None
+
+    first, second = MetricsRegistry(), MetricsRegistry()
+    with use_registry(first):
+        noop()
+    with use_registry(second):
+        noop()
+        noop()
+    assert first.histogram("func.seconds").count == 1
+    assert second.histogram("func.seconds").count == 2

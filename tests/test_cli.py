@@ -1,5 +1,7 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -42,3 +44,28 @@ def test_invalid_experiment():
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_stats_emits_json_snapshot(capsys):
+    assert main(["stats"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    counters = snapshot["counters"]
+    assert counters["lsm.flush.count"] > 0
+    assert counters["lsm.merge.count"] > 0
+    assert counters["lsm.bulkload.count"] > 0
+    assert 0.0 <= snapshot["derived"]["cache.merged.hit_ratio"] <= 1.0
+    assert snapshot["histograms"]["estimator.estimate.seconds"]["count"] > 0
+
+
+def test_stats_text_format_and_out_file(tmp_path, capsys):
+    out = tmp_path / "snap.txt"
+    assert main(["stats", "--format", "text", "--out", str(out)]) == 0
+    rendered = capsys.readouterr().out
+    assert "lsm.flush.count" in rendered
+    assert "lsm.flush.count" in out.read_text()
+
+
+def test_stats_selfcheck_smoke():
+    """The CI smoke invocation: `python -m repro.cli stats --selfcheck`
+    must validate the snapshot against docs/OBSERVABILITY.md."""
+    assert main(["stats", "--selfcheck"]) == 0
