@@ -17,6 +17,14 @@ dumps the resulting metrics snapshot::
     python -m repro stats                  # JSON snapshot to stdout
     python -m repro stats --format text
     python -m repro stats --selfcheck      # validate against docs/OBSERVABILITY.md
+
+The ``faultcheck`` subcommand runs a seeded chaos ingest (dropped,
+duplicated, reordered and delayed statistics messages plus a master
+outage window) and verifies the catalog converges bit-identically to a
+fault-free run::
+
+    python -m repro faultcheck
+    python -m repro faultcheck --seed 7 --records 1024 --drop 0.2
 """
 
 from __future__ import annotations
@@ -40,6 +48,8 @@ from repro.eval.experiments import (
     fig9,
 )
 from repro.eval.experiments import extensions
+from repro.cluster.faultcheck import format_report, run_faultcheck
+from repro.errors import ClusterError
 from repro.eval.experiments.common import ExperimentScale
 from repro.obs.export import render_json, render_text, write_snapshot
 from repro.obs.selfcheck import run_scripted_ingest, selfcheck
@@ -162,6 +172,39 @@ def main(argv: list[str] | None = None) -> int:
         "contract; exit non-zero on any violation",
     )
 
+    fault_parser = subparsers.add_parser(
+        "faultcheck",
+        help="seeded chaos ingest: verify the statistics transport "
+        "converges the catalog despite injected network faults",
+    )
+    fault_parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan RNG seed (default: 0)"
+    )
+    fault_parser.add_argument(
+        "--records",
+        type=int,
+        default=512,
+        help="documents to ingest per run (default: 512)",
+    )
+    fault_parser.add_argument(
+        "--drop", type=float, default=0.10, help="per-send drop probability"
+    )
+    fault_parser.add_argument(
+        "--duplicate",
+        type=float,
+        default=0.10,
+        help="per-send duplication probability",
+    )
+    fault_parser.add_argument(
+        "--reorder",
+        type=float,
+        default=0.10,
+        help="per-send reordering probability",
+    )
+    fault_parser.add_argument(
+        "--delay", type=float, default=0.05, help="per-send delay probability"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -171,6 +214,24 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stats":
         return _run_stats(args)
+
+    if args.command == "faultcheck":
+        try:
+            report = run_faultcheck(
+                seed=args.seed,
+                records=args.records,
+                drop=args.drop,
+                duplicate=args.duplicate,
+                reorder=args.reorder,
+                delay=args.delay,
+            )
+        except (ClusterError, ValueError) as exc:
+            # A plan hostile enough that recovery cannot converge (e.g.
+            # --drop 1.0), or invalid probabilities.
+            print(f"faultcheck failed: {exc}", file=sys.stderr)
+            return 1
+        print(format_report(report))
+        return 0 if report.converged else 1
 
     scale = _SCALES[args.scale]
     out_dir = Path(args.out) if args.out else None

@@ -1,6 +1,8 @@
 """Simulated shared-nothing cluster (the paper's 4+1-node testbed)."""
 
 from repro.cluster.cluster import LSMCluster
+from repro.cluster.faultcheck import FaultCheckReport, format_report, run_faultcheck
+from repro.cluster.faults import FaultPlan, LinkFaults
 from repro.cluster.feeds import (
     ChangeableFeed,
     DatasetFeedAdapter,
@@ -11,7 +13,7 @@ from repro.cluster.feeds import (
 )
 from repro.cluster.master import ClusterController
 from repro.cluster.network import Network, NetworkStats
-from repro.cluster.node import NetworkStatisticsSink, StorageNode
+from repro.cluster.node import NetworkStatisticsSink, RetryPolicy, StorageNode
 from repro.cluster.partitioner import HashPartitioner
 from repro.cluster.query import DistributedQueryExecutor, DistributedQueryResult
 
@@ -22,6 +24,12 @@ __all__ = [
     "NetworkStatisticsSink",
     "Network",
     "NetworkStats",
+    "FaultPlan",
+    "LinkFaults",
+    "RetryPolicy",
+    "FaultCheckReport",
+    "run_faultcheck",
+    "format_report",
     "HashPartitioner",
     "DistributedQueryExecutor",
     "DistributedQueryResult",

@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.core.config import StatisticsConfig
+from repro.cluster.faults import FaultPlan
 from repro.cluster.master import ClusterController
 from repro.cluster.network import Network
-from repro.cluster.node import StorageNode
+from repro.cluster.node import DEFAULT_OUTBOX_LIMIT, RetryPolicy, StorageNode
 from repro.cluster.partitioner import HashPartitioner
 from repro.core.estimator import EstimateResult
 from repro.errors import ClusterError
@@ -39,13 +40,16 @@ class LSMCluster:
         num_nodes: int = 4,
         partitions_per_node: int = 2,
         stats_config: StatisticsConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
     ) -> None:
         if num_nodes < 1 or partitions_per_node < 1:
             raise ClusterError("cluster needs at least one node and partition")
         self.stats_config = (
             stats_config if stats_config is not None else StatisticsConfig()
         )
-        self.network = Network()
+        self.network = Network(fault_plan=fault_plan)
         self.master = ClusterController(
             self.network, cache_merged=self.stats_config.cache_merged
         )
@@ -63,6 +67,8 @@ class LSMCluster:
                 self.master.node_id,
                 partition_ids,
                 self.stats_config,
+                retry_policy=retry_policy,
+                outbox_limit=outbox_limit,
             )
             self.nodes.append(node)
             for owned in partition_ids:
@@ -188,6 +194,39 @@ class LSMCluster:
         """Live disk components of one index across the cluster."""
         self._check_dataset(name)
         return sum(node.component_count(name, index_name) for node in self.nodes)
+
+    # -- fault recovery -------------------------------------------------------
+
+    def statistics_backlog(self) -> int:
+        """Statistics messages parked in node outboxes, cluster-wide."""
+        return sum(node.statistics_backlog() for node in self.nodes)
+
+    def recover_statistics(self, max_rounds: int = 1000) -> int:
+        """Drain the wire and flush every node's statistics backlog.
+
+        The graceful-degradation loop: ingestion may have parked
+        messages while the master was unreachable, and a faulty wire
+        may still hold reordered/delayed traffic.  Alternating drain
+        and flush rounds until both are empty converges the catalog to
+        the state a perfect wire would have produced (retries advance
+        the fault plan's tick clock, so unavailability windows pass).
+
+        Returns the number of rounds used; raises
+        :class:`~repro.errors.ClusterError` when the backlog has not
+        cleared after ``max_rounds`` (a fault plan so hostile that
+        delivery never succeeds).
+        """
+        for round_number in range(1, max_rounds + 1):
+            self.network.drain()
+            remaining = sum(
+                node.flush_statistics_outboxes() for node in self.nodes
+            )
+            if remaining == 0 and self.network.pending_count == 0:
+                return round_number
+        raise ClusterError(
+            f"statistics backlog did not clear within {max_rounds} recovery "
+            f"rounds ({self.statistics_backlog()} messages still parked)"
+        )
 
     # -- internals --------------------------------------------------------------
 

@@ -1,0 +1,165 @@
+"""Seeded fault plans for the simulated statistics network.
+
+The paper's statistics protocol was evaluated on a perfect wire:
+synchronous, ordered, exactly-once.  Production transports misbehave --
+Luo & Carey's stability work argues LSM subsystems must be exercised
+under adverse conditions, not just happy paths -- so this module lets a
+test (or the ``repro faultcheck`` CLI) describe exactly *how* the wire
+should misbehave, reproducibly.
+
+A :class:`FaultPlan` is consulted by :class:`~repro.cluster.network.Network`
+on every send.  It combines:
+
+* per-link (source, destination) fault probabilities -- drop,
+  duplicate, reorder and delay (:class:`LinkFaults`), with a
+  cluster-wide default and per-link overrides;
+* node-unavailability windows expressed in network *ticks* (one tick
+  per send attempt -- the simulation's clock), during which every send
+  to that node fails;
+* a single seeded :class:`random.Random` driving all sampling, so a
+  chaos run is bit-reproducible from its seed.
+
+The plan is pure policy: it decides what should happen to a message,
+while the :class:`~repro.cluster.network.Network` executes the decision
+(raising :class:`~repro.errors.NetworkUnavailableError` for losses,
+holding messages back for reordering/delay, double-delivering
+duplicates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["LinkFaults", "FaultDecision", "FaultPlan"]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault probabilities of one directed network link.
+
+    Attributes:
+        drop: Chance a send is lost in flight (sender sees a timeout).
+        duplicate: Chance a delivered message arrives twice.
+        reorder: Chance a message is held back and delivered after the
+            link's subsequent traffic (swapped past later sends).
+        delay: Chance a message is held for several ticks before
+            delivery (a longer reordering).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "delay"):
+            _check_probability(name, getattr(self, name))
+
+    @property
+    def faulty(self) -> bool:
+        """Whether any fault has a non-zero probability."""
+        return bool(self.drop or self.duplicate or self.reorder or self.delay)
+
+
+class _Disposition(Enum):
+    DELIVER = "deliver"
+    DROP = "drop"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one send attempt.
+
+    ``release_tick`` is meaningful only for held (reordered/delayed)
+    messages: the network delivers the message after the first send
+    whose tick is >= ``release_tick``.
+    """
+
+    disposition: _Disposition
+    duplicate: bool = False
+    release_tick: int = 0
+    reason: str = ""
+
+    DELIVER = _Disposition.DELIVER
+    DROP = _Disposition.DROP
+    HOLD = _Disposition.HOLD
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, per-link description of how the wire misbehaves.
+
+    Args:
+        seed: Seed of the RNG driving every probabilistic choice.
+        default: Fault probabilities applied to links without overrides.
+        links: Per ``(source, destination)`` overrides.
+        unavailable: Per node, half-open tick windows ``[start, end)``
+            during which every send to the node fails.
+        max_delay_ticks: Upper bound (inclusive) of the sampled hold
+            duration of delayed messages, in ticks.
+    """
+
+    seed: int = 0
+    default: LinkFaults = field(default_factory=LinkFaults)
+    links: dict[tuple[str, str], LinkFaults] = field(default_factory=dict)
+    unavailable: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    max_delay_ticks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_delay_ticks < 1:
+            raise ValueError(
+                f"max_delay_ticks must be >= 1, got {self.max_delay_ticks}"
+            )
+        for node, windows in self.unavailable.items():
+            for start, end in windows:
+                if start < 0 or end <= start:
+                    raise ValueError(
+                        f"invalid unavailability window [{start}, {end}) "
+                        f"for node {node!r}"
+                    )
+        self._rng = random.Random(self.seed)
+
+    def faults_for(self, source: str, destination: str) -> LinkFaults:
+        """The fault probabilities of one directed link."""
+        return self.links.get((source, destination), self.default)
+
+    def unavailable_at(self, node_id: str, tick: int) -> bool:
+        """Whether ``node_id`` refuses traffic at ``tick``."""
+        return any(
+            start <= tick < end
+            for start, end in self.unavailable.get(node_id, ())
+        )
+
+    def decide(self, source: str, destination: str, tick: int) -> FaultDecision:
+        """Sample the fate of one send attempt at ``tick``.
+
+        Consumes RNG state; calling order is the reproducibility
+        contract, which the synchronous network guarantees.
+        """
+        if self.unavailable_at(destination, tick):
+            return FaultDecision(FaultDecision.DROP, reason="unavailable")
+        faults = self.faults_for(source, destination)
+        if not faults.faulty:
+            return FaultDecision(FaultDecision.DELIVER)
+        rng = self._rng
+        if faults.drop and rng.random() < faults.drop:
+            return FaultDecision(FaultDecision.DROP, reason="dropped")
+        duplicate = bool(faults.duplicate) and rng.random() < faults.duplicate
+        if faults.delay and rng.random() < faults.delay:
+            release = tick + 1 + rng.randint(1, self.max_delay_ticks)
+            return FaultDecision(
+                FaultDecision.HOLD, duplicate, release, reason="delayed"
+            )
+        if faults.reorder and rng.random() < faults.reorder:
+            return FaultDecision(
+                FaultDecision.HOLD, duplicate, tick + 1, reason="reordered"
+            )
+        return FaultDecision(FaultDecision.DELIVER, duplicate)

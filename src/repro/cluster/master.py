@@ -3,6 +3,17 @@
 Receives per-component synopses from storage nodes, persists them in
 the system catalog, and serves cardinality estimates to the query
 optimizer -- including the merged-synopsis cache of Algorithm 2.
+
+Message application is idempotent so the retrying sink's at-least-once
+delivery is safe: exact redeliveries are recognised by their
+``(node, partition, seq)`` stamp and skipped, the catalog itself
+tombstones retracted components against late publishes, and the merged-
+synopsis cache is invalidated only when the catalog actually changed.
+
+``stats_messages_received`` counts every statistics message handled --
+publishes *and* retracts -- and therefore always equals the
+``cluster.stats.messages`` metric (they moved at different rates before
+this was pinned down; tests assert the equality).
 """
 
 from __future__ import annotations
@@ -36,7 +47,11 @@ class ClusterController:
         self.cache = MergedSynopsisCache(obs) if cache_merged else None
         self.estimator = CardinalityEstimator(self.catalog, self.cache, obs)
         self.stats_messages_received = 0
+        # (source node, partition) -> seqs already applied; messages
+        # re-delivered by the at-least-once transport are skipped.
+        self._applied_seqs: dict[tuple[str, int], set[int]] = {}
         self._m_messages = obs.counter("cluster.stats.messages")
+        self._m_duplicates = obs.counter("cluster.stats.duplicates")
         self._g_catalog_entries = obs.gauge("cluster.catalog.entries")
         network.register(node_id, self._on_message)
 
@@ -52,38 +67,71 @@ class ClusterController:
 
     def _on_message(self, source: str, message: dict[str, Any]) -> None:
         kind = message.get("kind")
-        if kind == "stats.publish":
-            self._handle_publish(source, message)
-        elif kind == "stats.retract":
-            self._handle_retract(source, message)
-        else:
+        if kind not in ("stats.publish", "stats.retract"):
             raise ClusterError(f"unknown message kind {kind!r} from {source}")
-
-    def _handle_publish(self, source: str, message: dict[str, Any]) -> None:
+        # Legacy attribute and metric count the same thing: every
+        # statistics message handled, publishes and retracts alike.
         self.stats_messages_received += 1
         self._m_messages.inc()
-        index_name = message["index"]
-        self.catalog.put(
-            index_name,
-            source,
-            message["partition"],
-            message["component_uid"],
-            synopsis_from_payload(message["synopsis"]),
-            synopsis_from_payload(message["anti_synopsis"]),
-        )
+        if self._is_duplicate(source, message):
+            self._m_duplicates.inc()
+            return
+        if kind == "stats.publish":
+            self._handle_publish(source, message)
+        else:
+            self._handle_retract(source, message)
+
+    def _is_duplicate(self, source: str, message: dict[str, Any]) -> bool:
+        """Whether this exact message was applied before.
+
+        Messages are stamped ``(partition, seq)`` by the sending sink
+        (unique per node/partition); unstamped messages -- hand-rolled
+        tests, pre-stamp senders -- bypass deduplication and rely on
+        the catalog's own idempotency.
+        """
+        seq = message.get("seq")
+        if seq is None:
+            return False
+        channel = (source, int(message.get("partition", -1)))
+        applied = self._applied_seqs.setdefault(channel, set())
+        if seq in applied:
+            return True
+        applied.add(seq)
+        return False
+
+    def _apply(self, index_name: str, apply_change) -> None:
+        """Run a catalog mutation; refresh gauge and cache only when
+        the catalog version actually moved."""
+        before = self.catalog.version_for(index_name)
+        apply_change()
+        if self.catalog.version_for(index_name) == before:
+            return
         self._g_catalog_entries.set(self.catalog.entry_count())
         if self.cache is not None:
             self.cache.invalidate(index_name)
 
-    def _handle_retract(self, source: str, message: dict[str, Any]) -> None:
-        self._m_messages.inc()
+    def _handle_publish(self, source: str, message: dict[str, Any]) -> None:
         index_name = message["index"]
-        self.catalog.retract(
+        self._apply(
             index_name,
-            source,
-            message["partition"],
-            message["component_uids"],
+            lambda: self.catalog.put(
+                index_name,
+                source,
+                message["partition"],
+                message["component_uid"],
+                synopsis_from_payload(message["synopsis"]),
+                synopsis_from_payload(message["anti_synopsis"]),
+            ),
         )
-        self._g_catalog_entries.set(self.catalog.entry_count())
-        if self.cache is not None:
-            self.cache.invalidate(index_name)
+
+    def _handle_retract(self, source: str, message: dict[str, Any]) -> None:
+        index_name = message["index"]
+        self._apply(
+            index_name,
+            lambda: self.catalog.retract(
+                index_name,
+                source,
+                message["partition"],
+                message["component_uids"],
+            ),
+        )

@@ -11,14 +11,22 @@ synopsis traffic the framework generates -- the paper's argument that
 shipping a few hundred bucket values is negligible next to the data
 itself.
 
-Delivery is synchronous and ordered -- adequate for the statistics
-protocol, which tolerates any interleaving anyway because the catalog
-is keyed by component.
+By default delivery is synchronous, ordered and exactly-once --
+adequate for the happy-path statistics protocol.  Installing a
+:class:`~repro.cluster.faults.FaultPlan` turns the wire adversarial:
+sends may be lost (the sender sees
+:class:`~repro.errors.NetworkUnavailableError`, the simulated send
+timeout), duplicated, held back past later traffic (reordering) or
+delayed for several ticks.  The fault path is entirely bypassed when no
+plan is installed, so the perfect-wire byte accounting of the figure
+benchmarks is unchanged.
 
 Traffic is observable twice over: the :class:`NetworkStats` attribute
 (per-destination byte accounting, used by the figure benchmarks) and
-the ``network.messages`` / ``network.bytes`` metrics of the injected
-:class:`~repro.obs.registry.MetricsRegistry` (docs/OBSERVABILITY.md).
+the ``network.*`` metrics of the injected
+:class:`~repro.obs.registry.MetricsRegistry` (docs/OBSERVABILITY.md),
+including the fault counters ``network.dropped`` /
+``network.duplicated`` / ``network.reordered`` / ``network.delayed``.
 """
 
 from __future__ import annotations
@@ -27,7 +35,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import ClusterError
+from repro.cluster.faults import FaultDecision, FaultPlan
+from repro.errors import ClusterError, NetworkUnavailableError
 from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["NetworkStats", "Network"]
@@ -52,15 +61,46 @@ class NetworkStats:
         )
 
 
-class Network:
-    """Registry of node endpoints with synchronous message delivery."""
+@dataclass(frozen=True)
+class _HeldMessage:
+    """A message parked for reordering/delay until ``release_tick``."""
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    release_tick: int
+    order: int  # FIFO among equal release ticks
+    source: str
+    destination: str
+    message: dict[str, Any]
+    size: int
+
+
+class Network:
+    """Registry of node endpoints with synchronous message delivery.
+
+    Args:
+        registry: Metrics registry (default: the process-global one).
+        fault_plan: Optional seeded :class:`FaultPlan`; ``None`` (the
+            default) keeps the wire perfect and the hot path identical
+            to the pre-fault implementation.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self._handlers: dict[str, MessageHandler] = {}
         self.stats = NetworkStats()
+        self.fault_plan = fault_plan
+        self._clock = 0  # one tick per send attempt: the fault-plan time base
+        self._held: list[_HeldMessage] = []
+        self._held_order = 0
         obs = registry if registry is not None else get_registry()
         self._m_messages = obs.counter("network.messages")
         self._m_bytes = obs.counter("network.bytes")
+        self._m_dropped = obs.counter("network.dropped")
+        self._m_duplicated = obs.counter("network.duplicated")
+        self._m_reordered = obs.counter("network.reordered")
+        self._m_delayed = obs.counter("network.delayed")
 
     def register(self, node_id: str, handler: MessageHandler) -> None:
         """Attach a node endpoint; one handler per node id."""
@@ -69,18 +109,117 @@ class Network:
         self._handlers[node_id] = handler
 
     def send(self, source: str, destination: str, message: dict[str, Any]) -> int:
-        """Serialise, account and deliver a message; returns its size."""
+        """Serialise, account and deliver a message; returns its size.
+
+        Raises :class:`NetworkUnavailableError` when the installed
+        fault plan loses the message or the destination is inside an
+        unavailability window -- the sender cannot tell which, exactly
+        like a timed-out send.
+        """
         handler = self._handlers.get(destination)
         if handler is None:
             raise ClusterError(f"unknown destination node {destination!r}")
         size = len(json.dumps(message, separators=(",", ":")).encode())
-        self.stats.record(destination, size)
-        self._m_messages.inc()
-        self._m_bytes.inc(size)
-        handler(source, message)
+        plan = self.fault_plan
+        if plan is None:
+            self._deliver(handler, source, destination, message, size)
+            return size
+
+        tick = self._clock
+        self._clock += 1
+        decision = plan.decide(source, destination, tick)
+        if decision.disposition is FaultDecision.DROP:
+            self._m_dropped.inc()
+            # Losses still advance time, releasing any due held traffic.
+            self._release_due(tick)
+            raise NetworkUnavailableError(
+                f"send {source!r} -> {destination!r} {decision.reason or 'lost'}"
+                f" at tick {tick}"
+            )
+        copies = 1
+        if decision.duplicate:
+            copies = 2
+            self._m_duplicated.inc()
+        if decision.disposition is FaultDecision.HOLD:
+            counter = (
+                self._m_delayed
+                if decision.reason == "delayed"
+                else self._m_reordered
+            )
+            counter.inc()
+            for _ in range(copies):
+                self._held.append(
+                    _HeldMessage(
+                        decision.release_tick,
+                        self._held_order,
+                        source,
+                        destination,
+                        message,
+                        size,
+                    )
+                )
+                self._held_order += 1
+        else:
+            for _ in range(copies):
+                self._deliver(handler, source, destination, message, size)
+        self._release_due(tick)
         return size
+
+    def drain(self) -> int:
+        """Deliver every held (reordered/delayed) message immediately.
+
+        Recovery hook for chaos runs: once ingestion stops, no further
+        sends advance the clock, so parked messages would otherwise
+        never be released.  Returns how many messages were delivered.
+        """
+        return self._release_due(None)
+
+    @property
+    def pending_count(self) -> int:
+        """Messages currently parked for reordering/delay."""
+        return len(self._held)
 
     @property
     def node_ids(self) -> list[str]:
         """All registered endpoints."""
         return sorted(self._handlers)
+
+    # -- internals -----------------------------------------------------------
+
+    def _deliver(
+        self,
+        handler: MessageHandler,
+        source: str,
+        destination: str,
+        message: dict[str, Any],
+        size: int,
+    ) -> None:
+        self.stats.record(destination, size)
+        self._m_messages.inc()
+        self._m_bytes.inc(size)
+        handler(source, message)
+
+    def _release_due(self, tick: int | None) -> int:
+        """Deliver held messages whose release tick has passed
+        (``tick=None`` releases everything)."""
+        if not self._held:
+            return 0
+        due: list[_HeldMessage] = []
+        keep: list[_HeldMessage] = []
+        for held in self._held:
+            if tick is None or held.release_tick <= tick:
+                due.append(held)
+            else:
+                keep.append(held)
+        if not due:
+            return 0
+        self._held = keep
+        for held in sorted(due, key=lambda h: (h.release_tick, h.order)):
+            handler = self._handlers.get(held.destination)
+            if handler is None:  # endpoint vanished; count as a loss
+                self._m_dropped.inc()
+                continue
+            self._deliver(
+                handler, held.source, held.destination, held.message, held.size
+            )
+        return len(due)

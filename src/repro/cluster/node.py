@@ -10,12 +10,16 @@ network channel rather than written into a local catalog.
 
 from __future__ import annotations
 
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.core.collector import StatisticsCollector
 from repro.core.config import StatisticsConfig
 from repro.cluster.network import Network
-from repro.errors import ClusterError
+from repro.errors import ClusterError, NetworkUnavailableError
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.merge_policy import MergePolicy
 from repro.lsm.storage import SimulatedDisk
@@ -24,11 +28,80 @@ from repro.obs.registry import MetricsRegistry, get_registry
 from repro.synopses.base import Synopsis
 from repro.types import Domain
 
-__all__ = ["NetworkStatisticsSink", "StorageNode"]
+__all__ = ["RetryPolicy", "NetworkStatisticsSink", "StorageNode"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff behaviour of a :class:`NetworkStatisticsSink`.
+
+    One delivery attempt plus up to ``max_attempts - 1`` retries, with
+    exponential backoff (``base_backoff * 2^retry``, capped at
+    ``max_backoff``) and proportional jitter.  ``timeout`` is the
+    per-message send budget: once the cumulative backoff would exceed
+    it, the sink gives up for now and parks the message in its outbox
+    (to be retried by later traffic or an explicit
+    :meth:`NetworkStatisticsSink.flush_outbox`).
+
+    ``sleep`` is the wall-clock hook; tests and the chaos harness
+    install a no-op to keep backoff purely simulated.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 0.001
+    max_backoff: float = 0.05
+    jitter: float = 0.5
+    timeout: float = 0.25
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < self.base_backoff:
+            raise ValueError(
+                "need 0 <= base_backoff <= max_backoff, got "
+                f"{self.base_backoff}/{self.max_backoff}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_for(self, retry: int, rng: random.Random) -> float:
+        """The jittered pause before retry number ``retry`` (0-based)."""
+        base = min(self.base_backoff * (2.0 ** retry), self.max_backoff)
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    @classmethod
+    def immediate(cls, max_attempts: int = 4) -> "RetryPolicy":
+        """A policy that retries without sleeping (tests, chaos runs)."""
+        return cls(
+            max_attempts=max_attempts,
+            base_backoff=0.0,
+            max_backoff=0.0,
+            jitter=0.0,
+            sleep=lambda _s: None,
+        )
+
+
+DEFAULT_OUTBOX_LIMIT = 1024
 
 
 class NetworkStatisticsSink:
-    """Statistics sink that ships synopses to the master over the wire."""
+    """Statistics sink that ships synopses to the master over the wire.
+
+    Delivery is at-least-once: every message is stamped with a
+    ``(node, partition, sequence)`` identity (the sequence is unique per
+    node/partition pair, shared across the partition's datasets), sent
+    through a bounded FIFO outbox, and retried with exponential backoff
+    and jitter when the wire misbehaves.  Ingestion never blocks on the
+    master: when delivery keeps failing the message stays parked in the
+    outbox -- the collector keeps building synopses -- and the backlog
+    is flushed by later traffic or an explicit :meth:`flush_outbox`
+    once the master recovers.  When the outbox overflows, the *oldest*
+    message is dropped (counted in ``sink.outbox.dropped``); the
+    master-side idempotency layer tolerates the resulting gaps.
+    """
 
     def __init__(
         self,
@@ -37,14 +110,41 @@ class NetworkStatisticsSink:
         master_id: str,
         partition_id: int,
         registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
+        sequence_source: Callable[[], int] | None = None,
     ) -> None:
+        if outbox_limit < 1:
+            raise ClusterError(f"outbox_limit must be >= 1, got {outbox_limit}")
         self._network = network
         self._node_id = node_id
         self._master_id = master_id
         self._partition_id = partition_id
+        self._policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._outbox: deque[dict[str, Any]] = deque()
+        self._outbox_limit = outbox_limit
+        self._sequence = 0
+        self._next_sequence = (
+            sequence_source if sequence_source is not None else self._own_sequence
+        )
+        # Deterministic jitter: seeded from the sink's identity.
+        self._rng = random.Random(f"{node_id}:{partition_id}")
         obs = registry if registry is not None else get_registry()
         self._m_shipped = obs.counter("cluster.synopses.shipped")
         self._m_retractions = obs.counter("cluster.retractions.sent")
+        self._m_retries = obs.counter("sink.retries")
+        self._m_send_failures = obs.counter("sink.send.failures")
+        self._m_outbox_dropped = obs.counter("sink.outbox.dropped")
+        self._g_outbox_depth = obs.gauge("sink.outbox.depth")
+
+    def _own_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    @property
+    def outbox_depth(self) -> int:
+        """Messages awaiting (re-)delivery."""
+        return len(self._outbox)
 
     def publish(
         self,
@@ -53,32 +153,78 @@ class NetworkStatisticsSink:
         synopsis: Synopsis,
         anti_synopsis: Synopsis,
     ) -> None:
-        self._network.send(
-            self._node_id,
-            self._master_id,
+        self._enqueue(
             {
                 "kind": "stats.publish",
                 "index": index_name,
                 "partition": self._partition_id,
+                "seq": self._next_sequence(),
                 "component_uid": component_uid,
                 "synopsis": synopsis.to_payload(),
                 "anti_synopsis": anti_synopsis.to_payload(),
-            },
+            }
         )
         self._m_shipped.inc(2)  # regular + anti-matter twin
+        self._pump()
 
     def retract(self, index_name: str, component_uids: list[int]) -> None:
-        self._network.send(
-            self._node_id,
-            self._master_id,
+        self._enqueue(
             {
                 "kind": "stats.retract",
                 "index": index_name,
                 "partition": self._partition_id,
+                "seq": self._next_sequence(),
                 "component_uids": list(component_uids),
-            },
+            }
         )
         self._m_retractions.inc()
+        self._pump()
+
+    def flush_outbox(self) -> int:
+        """Retry the parked backlog; returns the remaining depth."""
+        self._pump()
+        return len(self._outbox)
+
+    # -- internals -----------------------------------------------------------
+
+    def _enqueue(self, message: dict[str, Any]) -> None:
+        # The depth gauge is maintained additively so it aggregates the
+        # total backlog across every sink sharing the registry.
+        if len(self._outbox) >= self._outbox_limit:
+            self._outbox.popleft()  # shed the oldest, keep ingesting
+            self._m_outbox_dropped.inc()
+            self._g_outbox_depth.inc(-1)
+        self._outbox.append(message)
+        self._g_outbox_depth.inc(1)
+
+    def _pump(self) -> None:
+        """Send from the head of the outbox until it empties or a
+        message exhausts its retry budget (FIFO order is preserved --
+        no message overtakes an undelivered predecessor)."""
+        while self._outbox:
+            if not self._try_send(self._outbox[0]):
+                break
+            self._outbox.popleft()
+            self._g_outbox_depth.inc(-1)
+
+    def _try_send(self, message: dict[str, Any]) -> bool:
+        policy = self._policy
+        waited = 0.0
+        for attempt in range(policy.max_attempts):
+            try:
+                self._network.send(self._node_id, self._master_id, message)
+                return True
+            except NetworkUnavailableError:
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                pause = policy.backoff_for(attempt, self._rng)
+                if waited + pause > policy.timeout:
+                    break  # send budget exhausted; park the message
+                self._m_retries.inc()
+                policy.sleep(pause)
+                waited += pause
+        self._m_send_failures.inc()
+        return False
 
 
 class StorageNode:
@@ -91,6 +237,8 @@ class StorageNode:
         master_id: str,
         partition_ids: Iterable[int],
         stats_config: StatisticsConfig,
+        retry_policy: RetryPolicy | None = None,
+        outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -99,10 +247,24 @@ class StorageNode:
         if not self.partition_ids:
             raise ClusterError(f"node {node_id!r} owns no partitions")
         self.stats_config = stats_config
+        self.retry_policy = retry_policy
+        self.outbox_limit = outbox_limit
         self.disk = SimulatedDisk()
         # dataset name -> partition id -> Dataset
         self._datasets: dict[str, dict[int, Dataset]] = {}
+        # Message sequences are unique per (node, partition) -- shared
+        # across that partition's datasets -- so the master can
+        # deduplicate at-least-once deliveries by (node, partition, seq).
+        self._sequences: dict[int, int] = {p: 0 for p in self.partition_ids}
+        self._sinks: list[NetworkStatisticsSink] = []
         network.register(node_id, self._on_message)
+
+    def _sequence_source(self, partition_id: int) -> Callable[[], int]:
+        def next_sequence() -> int:
+            self._sequences[partition_id] += 1
+            return self._sequences[partition_id]
+
+        return next_sequence
 
     def create_dataset(
         self,
@@ -132,8 +294,15 @@ class StorageNode:
             )
             if self.stats_config.enabled:
                 sink = NetworkStatisticsSink(
-                    self.network, self.node_id, self.master_id, partition_id
+                    self.network,
+                    self.node_id,
+                    self.master_id,
+                    partition_id,
+                    retry_policy=self.retry_policy,
+                    outbox_limit=self.outbox_limit,
+                    sequence_source=self._sequence_source(partition_id),
                 )
+                self._sinks.append(sink)
                 collector = StatisticsCollector(self.stats_config, sink)
                 collector.register_index(dataset.primary.name, primary_domain)
                 for spec in index_specs:
@@ -196,6 +365,15 @@ class StorageNode:
             len(dataset.secondary_tree(index_name).components)
             for dataset in self._datasets.get(name, {}).values()
         )
+
+    def flush_statistics_outboxes(self) -> int:
+        """Retry every sink's parked backlog; returns the remaining
+        total depth (0 means the node has fully caught up)."""
+        return sum(sink.flush_outbox() for sink in self._sinks)
+
+    def statistics_backlog(self) -> int:
+        """Messages currently parked across this node's sinks."""
+        return sum(sink.outbox_depth for sink in self._sinks)
 
     def _on_message(self, source: str, message: dict[str, Any]) -> None:
         raise ClusterError(

@@ -7,6 +7,22 @@ system catalog, so that it can be used during query optimization"
 partition, component) -- one regular synopsis plus its anti-matter twin
 per disk component -- and keeps a per-index version counter so the
 merged-synopsis cache can detect staleness (Algorithm 2's ``isStale``).
+
+The catalog is safe under *at-least-once* delivery, the contract of the
+retrying network sink:
+
+* a duplicate publish (same key, identical payload) is a no-op and does
+  not bump the version, so cache invalidation only fires on actual
+  change;
+* a retract leaves a *tombstone* per retracted component, so a publish
+  that was delayed past its own retraction cannot resurrect a
+  merged-away component's statistics;
+* a duplicate retract removes nothing and does not bump the version.
+
+Component uids are allocated from a process-global counter and never
+reused, so a tombstone can never block a legitimate future publish;
+tombstones are kept for the catalog's lifetime (they are three-element
+tuples -- bounded by the total number of components ever merged away).
 """
 
 from __future__ import annotations
@@ -48,6 +64,9 @@ class StatisticsCatalog:
     def __init__(self) -> None:
         self._entries: dict[str, dict[tuple[str, int, int], StatisticsEntry]] = {}
         self._versions: dict[str, int] = {}
+        # Per index: (node, partition, uid) triples whose statistics
+        # were retracted -- late/replayed publishes for them are no-ops.
+        self._tombstones: dict[str, set[tuple[str, int, int]]] = {}
 
     def put(
         self,
@@ -57,8 +76,25 @@ class StatisticsCatalog:
         component_uid: int,
         synopsis: Synopsis,
         anti_synopsis: Synopsis,
-    ) -> StatisticsEntry:
-        """Insert (or replace) the statistics of one component."""
+    ) -> StatisticsEntry | None:
+        """Insert (or replace) the statistics of one component.
+
+        Idempotent under redelivery: returns ``None`` without touching
+        the catalog when the component was already retracted (its
+        tombstone wins over a late publish), and returns the existing
+        entry -- no version bump -- when an identical publish is
+        already stored.  A put carrying *different* statistics for an
+        existing key still replaces the entry (a deliberate re-publish).
+        """
+        key = (node_id, partition_id, component_uid)
+        if key in self._tombstones.get(index_name, ()):
+            return None
+        bucket = self._entries.setdefault(index_name, {})
+        existing = bucket.get(key)
+        if existing is not None and self._same_payload(
+            existing, synopsis, anti_synopsis
+        ):
+            return existing
         version = self._bump(index_name)
         entry = StatisticsEntry(
             index_name,
@@ -69,8 +105,7 @@ class StatisticsCatalog:
             anti_synopsis,
             version,
         )
-        bucket = self._entries.setdefault(index_name, {})
-        bucket[(node_id, partition_id, component_uid)] = entry
+        bucket[key] = entry
         return entry
 
     def retract(
@@ -81,15 +116,35 @@ class StatisticsCatalog:
         component_uids: list[int],
     ) -> int:
         """Drop the entries of superseded (merged-away) components;
-        returns how many were actually removed."""
+        returns how many were actually removed.
+
+        Every named component is tombstoned (even when its publish has
+        not arrived yet), so delayed or replayed publishes cannot
+        resurrect it.  The version bumps only when live entries actually
+        changed, keeping cache invalidation tied to real catalog change.
+        """
         bucket = self._entries.get(index_name, {})
+        tombstones = self._tombstones.setdefault(index_name, set())
         removed = 0
         for component_uid in component_uids:
-            if bucket.pop((node_id, partition_id, component_uid), None) is not None:
+            key = (node_id, partition_id, component_uid)
+            tombstones.add(key)
+            if bucket.pop(key, None) is not None:
                 removed += 1
         if removed:
             self._bump(index_name)
         return removed
+
+    @staticmethod
+    def _same_payload(
+        existing: StatisticsEntry, synopsis: Synopsis, anti_synopsis: Synopsis
+    ) -> bool:
+        if existing.synopsis is synopsis and existing.anti_synopsis is anti_synopsis:
+            return True
+        return (
+            existing.synopsis.to_payload() == synopsis.to_payload()
+            and existing.anti_synopsis.to_payload() == anti_synopsis.to_payload()
+        )
 
     def entries_for(self, index_name: str) -> list[StatisticsEntry]:
         """All live entries for an index, in insertion-version order."""

@@ -107,6 +107,7 @@ class CardinalityEstimator:
             for e in entries
         )
         merge_seconds = 0.0
+        merges_ran = 0
         for entry in entries:
             contribution = entry.synopsis.estimate(lo, hi)
             contribution -= entry.anti_synopsis.estimate(lo, hi)
@@ -120,6 +121,7 @@ class CardinalityEstimator:
                     try:
                         merged = merged.merge_with(entry.synopsis)
                         merged_anti = merged_anti.merge_with(entry.anti_synopsis)
+                        merges_ran += 1
                     except MergeabilityError:
                         # Incompatible parameters (domain/budget drift):
                         # give up on caching, keep summing.
@@ -128,7 +130,14 @@ class CardinalityEstimator:
                     finally:
                         merge_seconds += time.perf_counter() - merge_started
 
-        if merged is not None and merged_anti is not None and self.cache is not None:
+        # Cache (and account for) a lazy merge only when one actually
+        # ran.  With a single catalog entry nothing was merged: caching
+        # it would alias the catalog-owned synopsis objects into the
+        # cache and inflate the lazy-merge metrics with zero-time
+        # observations, while the summation path is already as cheap as
+        # a cache hit.
+        if merges_ran and merged is not None and merged_anti is not None:
+            assert self.cache is not None
             self.cache.put(index_name, merged, merged_anti, version)
             self._m_lazy_merges.inc()
             self._h_lazy_merge.observe(merge_seconds)

@@ -48,5 +48,16 @@ class ClusterError(ReproError):
     """A simulated cluster operation failed."""
 
 
+class NetworkUnavailableError(ClusterError):
+    """A send was lost in flight or refused by an unavailable node.
+
+    This is the simulated stand-in for a send timeout: the transport
+    could not confirm delivery, so the sender must assume the worst and
+    retry (the message may or may not have arrived -- at-least-once
+    semantics).  Raised only when a :class:`~repro.cluster.faults.FaultPlan`
+    is installed; the perfect default wire never raises it.
+    """
+
+
 class QueryError(ReproError):
     """A query or predicate was malformed."""

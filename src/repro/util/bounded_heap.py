@@ -25,8 +25,10 @@ class BoundedMinHeap:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        # Entries are (weight, insertion_index, item); the index makes
-        # comparison total and the eviction order deterministic.
+        # Entries are (weight, -insertion_index, item); the negated
+        # index makes comparison total and puts the *latest* of several
+        # tied-weight items at the heap root, so it is evicted first and
+        # earlier insertions win ties (the documented contract).
         self._heap: list[tuple[float, int, Any]] = []
         self._counter = 0
 
@@ -45,7 +47,7 @@ class BoundedMinHeap:
         the heap was full and a lighter item got pushed out, or ``item``
         itself when it was too light to be admitted.
         """
-        entry = (weight, self._counter, item)
+        entry = (weight, -self._counter, item)
         self._counter += 1
         if len(self._heap) < self._capacity:
             heapq.heappush(self._heap, entry)

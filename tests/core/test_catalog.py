@@ -88,3 +88,38 @@ def test_total_bytes():
     assert catalog.total_bytes("idx") == catalog.total_bytes()
     with pytest.raises(CatalogError):
         catalog.total_bytes("missing")
+
+
+def test_put_identical_payload_is_noop():
+    catalog = StatisticsCatalog()
+    first = _put(catalog, uid=1, values=(1, 2))
+    version = catalog.version_for("idx")
+    second = _put(catalog, uid=1, values=(1, 2))  # redelivered publish
+    assert second is first
+    assert catalog.version_for("idx") == version
+    assert catalog.entry_count("idx") == 1
+
+
+def test_tombstone_blocks_late_publish():
+    catalog = StatisticsCatalog()
+    catalog.retract("idx", "n1", 0, [7])  # retract arrives before the publish
+    assert _put(catalog, uid=7) is None
+    assert catalog.entry_count("idx") == 0
+
+
+def test_tombstone_is_scoped_to_one_component():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1)
+    catalog.retract("idx", "n1", 0, [1])
+    assert _put(catalog, uid=2) is not None  # other uids unaffected
+    assert _put(catalog, node="n2", uid=1) is not None  # other nodes too
+    assert catalog.entry_count("idx") == 2
+
+
+def test_duplicate_retract_is_noop():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1)
+    assert catalog.retract("idx", "n1", 0, [1]) == 1
+    version = catalog.version_for("idx")
+    assert catalog.retract("idx", "n1", 0, [1]) == 0
+    assert catalog.version_for("idx") == version

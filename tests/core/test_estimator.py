@@ -5,6 +5,7 @@ import pytest
 from repro.core.cache import MergedSynopsisCache
 from repro.core.catalog import StatisticsCatalog
 from repro.core.estimator import CardinalityEstimator
+from repro.obs.registry import MetricsRegistry
 from repro.synopses import SynopsisType, create_builder
 from repro.types import Domain
 
@@ -18,10 +19,10 @@ def _synopsis(values=(), synopsis_type=SynopsisType.EQUI_WIDTH, budget=10):
     return builder.build()
 
 
-def _estimator(cache=True):
+def _estimator(cache=True, registry=None):
     catalog = StatisticsCatalog()
     estimator = CardinalityEstimator(
-        catalog, MergedSynopsisCache() if cache else None
+        catalog, MergedSynopsisCache(registry) if cache else None, registry
     )
     return catalog, estimator
 
@@ -101,6 +102,40 @@ def test_mixed_synopsis_types_fall_back_to_per_component():
         # Mixed types cannot merge; the estimator must not try.
         _synopsis([1]).merge_with(_synopsis((), SynopsisType.EQUI_HEIGHT))
     assert estimator.estimate("idx", 0, 99) == pytest.approx(2)
+
+
+def test_single_entry_counts_no_lazy_merge():
+    """Regression: one catalog entry means nothing was merged, so the
+    lazy-merge counter/histogram must not move and the catalog-owned
+    synopsis objects must not be aliased into the cache."""
+    registry = MetricsRegistry()
+    catalog, estimator = _estimator(registry=registry)
+    catalog.put("idx", "n", 0, 1, _synopsis([10, 20, 30]), _synopsis())
+    estimator.estimate("idx", 0, 99)
+    counters = registry.snapshot()["counters"]
+    histograms = registry.snapshot()["histograms"]
+    assert counters.get("estimator.lazy_merge.count", 0) == 0
+    assert histograms.get("estimator.lazy_merge.seconds", {}).get("count", 0) == 0
+    assert len(estimator.cache) == 0
+
+
+def test_multi_entry_counts_one_lazy_merge_and_does_not_alias():
+    registry = MetricsRegistry()
+    catalog, estimator = _estimator(registry=registry)
+    entry1 = catalog.put("idx", "n", 0, 1, _synopsis([1, 2]), _synopsis())
+    entry2 = catalog.put("idx", "n", 0, 2, _synopsis([3]), _synopsis([1]))
+    estimator.estimate("idx", 0, 99)
+    counters = registry.snapshot()["counters"]
+    assert counters["estimator.lazy_merge.count"] == 1
+    assert registry.snapshot()["histograms"]["estimator.lazy_merge.seconds"]["count"] == 1
+    cached = estimator.cache.get("idx", catalog.version_for("idx"))
+    assert cached is not None
+    catalog_objects = {
+        id(entry1.synopsis), id(entry1.anti_synopsis),
+        id(entry2.synopsis), id(entry2.anti_synopsis),
+    }
+    assert id(cached.synopsis) not in catalog_objects
+    assert id(cached.anti_synopsis) not in catalog_objects
 
 
 def test_overhead_recorded():

@@ -164,3 +164,41 @@ class TestSelfcheck:
         assert is_documented("lsm.flush.count", documented)
         assert not is_documented("lsm.flushes.count", documented)
         assert not is_documented("lsm.components", documented)
+
+
+class TestClusterCounterAgreement:
+    def test_master_legacy_counter_matches_metric(self):
+        """``stats_messages_received`` and ``cluster.stats.messages``
+        count the same thing (publishes *and* retracts); they drifted
+        apart before the semantics were pinned down."""
+        from repro.cluster.cluster import LSMCluster
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cluster = LSMCluster(
+                num_nodes=2,
+                partitions_per_node=1,
+                stats_config=StatisticsConfig(
+                    SynopsisType.EQUI_WIDTH, budget=16
+                ),
+            )
+            cluster.create_dataset(
+                "t",
+                primary_key="id",
+                primary_domain=Domain(0, 2**16 - 1),
+                memtable_capacity=16,
+                merge_policy_factory=lambda: ConstantMergePolicy(
+                    max_components=2
+                ),
+            )
+            for pk in range(200):
+                cluster.insert("t", {"id": pk})
+            cluster.flush_all("t")
+        counters = registry.snapshot()["counters"]
+        # The ingest must have produced retract traffic (merges ran),
+        # otherwise the regression this guards against cannot show.
+        assert counters["cluster.retractions.sent"] > 0
+        assert (
+            cluster.master.stats_messages_received
+            == counters["cluster.stats.messages"]
+        )

@@ -46,6 +46,28 @@ def test_tie_earlier_wins():
     assert list(heap.items()) == ["first"]
 
 
+def test_tie_in_full_heap_evicts_latest():
+    """Regression: with a full heap of tied weights, a heavier arrival
+    must evict the *latest* tied item, keeping the earlier ones (the
+    docstring's "earlier wins" determinism contract)."""
+    heap = BoundedMinHeap(2)
+    heap.add(1.0, "a")
+    heap.add(1.0, "b")
+    evicted = heap.add(2.0, "c")
+    assert evicted == "b"
+    assert set(heap.items()) == {"a", "c"}
+
+
+def test_tie_eviction_order_is_lifo_among_ties():
+    heap = BoundedMinHeap(3)
+    for name in ("a", "b", "c"):
+        heap.add(1.0, name)
+    assert heap.add(5.0, "x") == "c"
+    assert heap.add(5.0, "y") == "b"
+    assert heap.add(5.0, "z") == "a"
+    assert set(heap.items()) == {"x", "y", "z"}
+
+
 def test_min_weight():
     heap = BoundedMinHeap(3)
     with pytest.raises(IndexError):

@@ -150,3 +150,94 @@ def test_range_matches_filter(keys, a, b):
         m.put(key, key)
     expected = sorted(k for k in keys if lo <= k <= hi)
     assert [k for k, _ in m.range_items(lo, hi)] == expected
+
+
+class TestRangeBounds:
+    """Open/closed bound combinations of ``range_items``."""
+
+    def setup_method(self):
+        self.m = SortedMap()
+        for k in range(0, 100, 2):  # even keys 0..98
+            self.m.put(k, k)
+
+    def test_lo_equals_smallest_key_is_inclusive(self):
+        assert [k for k, _ in self.m.range_items(0, 4)] == [0, 2, 4]
+
+    def test_hi_equals_largest_key_is_inclusive(self):
+        assert [k for k, _ in self.m.range_items(96, 98)] == [96, 98]
+
+    def test_single_key_range(self):
+        assert [k for k, _ in self.m.range_items(10, 10)] == [10]
+
+    def test_inverted_range_is_empty(self):
+        assert list(self.m.range_items(20, 10)) == []
+
+    def test_open_low_with_bound_between_keys(self):
+        assert [k for k, _ in self.m.range_items(None, 5)] == [0, 2, 4]
+
+    def test_open_high_with_bound_between_keys(self):
+        assert [k for k, _ in self.m.range_items(93, None)] == [94, 96, 98]
+
+    def test_range_on_empty_map(self):
+        assert list(SortedMap().range_items(None, None)) == []
+
+
+@settings(max_examples=40)
+@given(
+    st.sets(st.integers(0, 200)),
+    st.one_of(st.none(), st.integers(-10, 210)),
+    st.one_of(st.none(), st.integers(-10, 210)),
+)
+def test_half_open_ranges_match_filter(keys, lo, hi):
+    m = SortedMap()
+    for key in keys:
+        m.put(key, key)
+    expected = sorted(
+        k
+        for k in keys
+        if (lo is None or k >= lo) and (hi is None or k <= hi)
+    )
+    assert [k for k, _ in m.range_items(lo, hi)] == expected
+
+
+def _assert_avl(node):
+    """Validate the AVL invariants of a subtree; returns its height."""
+    if node is None:
+        return 0
+    left = _assert_avl(node.left)
+    right = _assert_avl(node.right)
+    assert node.height == 1 + max(left, right), "stale cached height"
+    assert abs(left - right) <= 1, "balance factor out of range"
+    if node.left is not None:
+        assert node.left.key < node.key
+    if node.right is not None:
+        assert node.right.key > node.key
+    return node.height
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 63)),
+        max_size=200,
+    )
+)
+def test_tree_stays_balanced_under_interleaved_put_remove(operations):
+    """The AVL invariants (cached heights, |balance| <= 1, BST order)
+    hold after every single mutation, not just at the end."""
+    m = SortedMap()
+    reference = {}
+    for is_put, key in operations:
+        if is_put:
+            m.put(key, key)
+            reference[key] = key
+        else:
+            assert m.remove(key) == (key in reference)
+            reference.pop(key, None)
+        _assert_avl(m._root)
+    assert list(m.keys()) == sorted(reference)
+    if reference:
+        # A balanced tree of n nodes has height <= ~1.44 log2(n) + 2.
+        import math
+
+        assert m._root.height <= 1.44 * math.log2(len(reference) + 1) + 2
