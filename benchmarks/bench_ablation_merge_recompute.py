@@ -94,6 +94,9 @@ def bench_ablation_merge_recompute(benchmark, bench_scale, results_dir):
                 [r["chain_length"], r["recompute_l1"], r["chained_merge_l1"]]
                 for r in rows
             ],
-            title=f"Ablation — rebuild-on-merge vs. synopsis merging (budget {BUDGET})",
+            title=(
+                "Ablation — rebuild-on-merge vs. synopsis merging "
+                f"(budget {BUDGET})"
+            ),
         )
     )

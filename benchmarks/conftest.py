@@ -10,13 +10,18 @@ Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 (closer to the paper's ratios).
 
 Every bench session also dumps a metrics snapshot of the process-global
-registry (``benchmarks/results/metrics_snapshot.json``) so throughput
-numbers can be read next to the flush/merge/estimate counters that
-produced them (see docs/OBSERVABILITY.md).
+registry (``benchmarks/results/metrics_snapshot_<scale>.json``) so
+throughput numbers can be read next to the flush/merge/estimate
+counters that produced them (see docs/OBSERVABILITY.md).  The filename
+is scale-suffixed and the payload stamped with the scale and the
+session's collected-test count, so a small run no longer silently
+clobbers a medium run's snapshot (and a partial ``-k`` session is
+distinguishable from a full one).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Iterator
@@ -34,15 +39,18 @@ from repro.obs.registry import get_registry
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _scale_name() -> str:
+    """The (validated) scale selected via REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name not in ("small", "medium"):
+        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r} (small|medium)")
+    return name
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     """The experiment scale selected via REPRO_BENCH_SCALE."""
-    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
-    if name == "medium":
-        return MEDIUM_SCALE
-    if name == "small":
-        return SMALL_SCALE
-    raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r} (small|medium)")
+    return MEDIUM_SCALE if _scale_name() == "medium" else SMALL_SCALE
 
 
 @pytest.fixture(scope="session")
@@ -53,10 +61,24 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session", autouse=True)
-def metrics_snapshot_dump() -> Iterator[None]:
-    """Write the session's metrics snapshot next to the result tables."""
+def metrics_snapshot_dump(request: pytest.FixtureRequest) -> Iterator[None]:
+    """Write the session's metrics snapshot next to the result tables.
+
+    One file per scale (``metrics_snapshot_small.json`` / ``_medium``),
+    stamped with the scale and this session's collected-test count, so
+    runs at different scales coexist and partial sessions are visible.
+    """
     yield
-    write_snapshot(get_registry(), RESULTS_DIR / "metrics_snapshot.json")
+    scale = _scale_name()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"metrics_snapshot_{scale}.json"
+    write_snapshot(get_registry(), target)
+    payload = json.loads(target.read_text())
+    payload["bench_session"] = {
+        "scale": scale,
+        "tests_collected": request.session.testscollected,
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, func):

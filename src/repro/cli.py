@@ -25,6 +25,17 @@ fault-free run::
 
     python -m repro faultcheck
     python -m repro faultcheck --seed 7 --records 1024 --drop 0.2
+
+The ``bench`` subcommand runs the perf suite (ingest-throughput,
+flush-latency, merge-throughput, estimate-latency, network-ship),
+writes a schema-versioned ``BENCH_<timestamp>.json`` report, and can
+gate against a committed baseline (see docs/BENCHMARKING.md)::
+
+    python -m repro bench --quick
+    python -m repro bench --quick --compare benchmarks/baseline.json
+
+Exit codes for ``bench``: 0 on success, 1 when any metric regresses
+beyond tolerance, 2 when a report or baseline is malformed.
 """
 
 from __future__ import annotations
@@ -205,6 +216,56 @@ def main(argv: list[str] | None = None) -> int:
         "--delay", type=float, default=0.05, help="per-send delay probability"
     )
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the perf suite, write a BENCH_<timestamp>.json report, "
+        "optionally gate against a baseline",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-friendly scale (seconds instead of minutes)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default: 0)"
+    )
+    bench_parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override the scale preset's repetition count",
+    )
+    bench_parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run just this benchmark (repeatable); see docs/BENCHMARKING.md",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="benchmarks/results",
+        help="directory for the BENCH_<timestamp>.json report "
+        "(default: benchmarks/results)",
+    )
+    bench_parser.add_argument(
+        "--no-report",
+        action="store_true",
+        help="skip writing the report file (print-only / compare-only)",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH json to gate against; exit 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="fractional regression tolerance for --compare (default: 0.25)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -214,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stats":
         return _run_stats(args)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.command == "faultcheck":
         try:
@@ -260,6 +324,45 @@ def _run_stats(args: argparse.Namespace) -> int:
             return 1
         print("selfcheck: ok", file=sys.stderr)
     return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """Handle ``repro bench``: run suite, write report, gate baseline.
+
+    Exit codes: 0 ok, 1 regression beyond tolerance, 2 malformed
+    report/baseline or invalid suite arguments.
+    """
+    # Imported here: the perf suite pulls in the cluster stack, which
+    # `repro list` etc. should not pay for.
+    from repro.errors import BenchmarkError
+    from repro.eval import perfsuite
+
+    try:
+        report = perfsuite.run_suite(
+            quick=args.quick,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            only=tuple(args.only) if args.only else None,
+        )
+    except BenchmarkError as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 2
+    print(perfsuite.format_report(report))
+    if not args.no_report:
+        target = perfsuite.write_report(report, args.out)
+        print(f"report written to {target}", file=sys.stderr)
+    if args.compare is None:
+        return 0
+    try:
+        baseline = perfsuite.load_report(args.compare)
+        regressions = perfsuite.compare_reports(
+            report, baseline, tolerance=args.tolerance
+        )
+    except BenchmarkError as exc:
+        print(f"bench compare failed: {exc}", file=sys.stderr)
+        return 2
+    print(perfsuite.format_regressions(regressions))
+    return 1 if regressions else 0
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:

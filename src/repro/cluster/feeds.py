@@ -168,7 +168,9 @@ class ChangeableFeed:
         self.stages_completed = 0
         self.failed_operations = 0
 
-    def run(self, target: IngestTarget, pk_field: str = "id") -> dict[FeedOperation, int]:
+    def run(
+        self, target: IngestTarget, pk_field: str = "id"
+    ) -> dict[FeedOperation, int]:
         """Apply all operations; returns per-operation counts."""
         in_stage = 0
         for record in self._records:

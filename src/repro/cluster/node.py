@@ -327,6 +327,14 @@ class StorageNode:
     def insert(self, name: str, partition_id: int, document: dict[str, Any]) -> None:
         self.dataset(name, partition_id).insert(document)
 
+    def insert_many(
+        self, name: str, partition_id: int, documents: Iterable[dict[str, Any]]
+    ) -> int:
+        """Batched ingest into one local partition (the hot path the
+        feed adaptors use once the router has grouped documents by
+        partition); returns the number of documents inserted."""
+        return self.dataset(name, partition_id).insert_many(documents)
+
     def update(self, name: str, partition_id: int, document: dict[str, Any]) -> bool:
         return self.dataset(name, partition_id).update(document)
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.core.config import StatisticsConfig
 from repro.errors import ConfigurationError
@@ -183,6 +183,39 @@ class _RegistrationSink:
             self._instruments.matter_records.inc()
             self._builder.add(value)
 
+    def accept_many(self, records: Sequence[Record]) -> None:
+        """Observe one slice of the bulkload stream (batched hot path).
+
+        Splits the chunk into matter/anti-matter value lists in one
+        pass and feeds each builder's ``add_many`` tight loop; produces
+        bit-identical synopses to per-record :meth:`accept` calls.
+        """
+        extractor = self._extractor
+        matter_values: list[Any] = []
+        anti_values: list[Any] = []
+        skipped = 0
+        for record in records:
+            value = extractor(record)
+            if value is None:
+                skipped += 1
+            elif record.antimatter:
+                anti_values.append(value)
+            else:
+                matter_values.append(value)
+        metrics = self._metrics
+        instruments = self._instruments
+        if skipped:
+            metrics.values_skipped += skipped
+            instruments.values_skipped.inc(skipped)
+        if anti_values:
+            metrics.antimatter_records_observed += len(anti_values)
+            instruments.antimatter_records.inc(len(anti_values))
+            self._anti_builder.add_many(anti_values)
+        if matter_values:
+            metrics.matter_records_observed += len(matter_values)
+            instruments.matter_records.inc(len(matter_values))
+            self._builder.add_many(matter_values)
+
     def finish(self, component: DiskComponent) -> None:
         started = time.perf_counter()
         synopsis = self._builder.build()
@@ -209,6 +242,10 @@ class _CompositeSink:
     def accept(self, record: Record) -> None:
         for sink in self._sinks:
             sink.accept(record)
+
+    def accept_many(self, records: Sequence[Record]) -> None:
+        for sink in self._sinks:
+            sink.accept_many(records)
 
     def finish(self, component: DiskComponent) -> None:
         for sink in self._sinks:

@@ -61,3 +61,7 @@ class NetworkUnavailableError(ClusterError):
 
 class QueryError(ReproError):
     """A query or predicate was malformed."""
+
+
+class BenchmarkError(ReproError):
+    """A perf-suite report or baseline was malformed or incomparable."""

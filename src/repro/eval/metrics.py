@@ -15,7 +15,9 @@ from repro.errors import ConfigurationError
 __all__ = ["normalized_absolute_error", "ErrorAccumulator", "ErrorMetrics"]
 
 
-def normalized_absolute_error(true_count: float, estimate: float, total_records: int) -> float:
+def normalized_absolute_error(
+    true_count: float, estimate: float, total_records: int
+) -> float:
     """``|C - C_hat| / N`` for one query."""
     if total_records <= 0:
         raise ConfigurationError("total_records must be positive")

@@ -19,7 +19,13 @@ from repro.errors import BulkloadError, StorageError
 from repro.lsm.record import Record
 from repro.lsm.storage import FileHandle, SimulatedDisk
 
-__all__ = ["DiskBTree", "build_btree", "DEFAULT_LEAF_CAPACITY", "DEFAULT_FANOUT"]
+__all__ = [
+    "DiskBTree",
+    "build_btree",
+    "build_btree_chunks",
+    "DEFAULT_LEAF_CAPACITY",
+    "DEFAULT_FANOUT",
+]
 
 DEFAULT_LEAF_CAPACITY = 64
 """Records per leaf page."""
@@ -202,6 +208,72 @@ def build_btree(
     if buffer:
         _emit_leaf(file, buffer, leaf_page_nos, leaf_min_keys, leaves)
 
+    return _seal_tree(
+        file, leaf_page_nos, leaf_min_keys, leaves, fanout, num_records
+    )
+
+
+def build_btree_chunks(
+    disk: SimulatedDisk,
+    chunks: Iterable[list[Record]],
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    fanout: int = DEFAULT_FANOUT,
+) -> DiskBTree:
+    """Bulkload an immutable B-tree from a stream of key-sorted chunks.
+
+    The chunked twin of :func:`build_btree` (the batched ingestion hot
+    path): each chunk is validated in one tight pass and leaves are
+    filled by slicing, so the per-record generator machinery disappears
+    from the bulkload loop.  The resulting tree is structurally
+    identical to the per-record build of the flattened stream.
+    """
+    if leaf_capacity <= 1 or fanout <= 1:
+        raise BulkloadError("leaf_capacity and fanout must both exceed 1")
+
+    file = disk.create_file()
+    leaf_page_nos: list[int] = []
+    leaf_min_keys: list[Any] = []
+    leaves: list[_LeafPage] = []
+
+    buffer: list[Record] = []
+    previous_key: Any = None
+    num_records = 0
+    for chunk in chunks:
+        if not chunk:
+            continue
+        key = previous_key
+        for record in chunk:
+            if key is not None and not key < record.key:
+                raise BulkloadError(
+                    f"bulkload stream not strictly sorted: {key!r} "
+                    f"followed by {record.key!r}"
+                )
+            key = record.key
+        previous_key = key
+        num_records += len(chunk)
+        buffer.extend(chunk)
+        while len(buffer) >= leaf_capacity:
+            _emit_leaf(
+                file, buffer[:leaf_capacity], leaf_page_nos, leaf_min_keys, leaves
+            )
+            del buffer[:leaf_capacity]
+    if buffer:
+        _emit_leaf(file, buffer, leaf_page_nos, leaf_min_keys, leaves)
+
+    return _seal_tree(
+        file, leaf_page_nos, leaf_min_keys, leaves, fanout, num_records
+    )
+
+
+def _seal_tree(
+    file: FileHandle,
+    leaf_page_nos: list[int],
+    leaf_min_keys: list[Any],
+    leaves: list[_LeafPage],
+    fanout: int,
+    num_records: int,
+) -> DiskBTree:
+    """Chain sibling leaves, stack interior levels and seal the file."""
     # Chain the sibling pointers now that page numbers are known.
     for leaf, next_page in zip(leaves, leaf_page_nos[1:]):
         leaf.next_leaf = next_page
@@ -243,7 +315,9 @@ def _emit_leaf(
     min_keys: list[Any],
     leaves: list[_LeafPage],
 ) -> None:
-    leaf = _LeafPage(list(buffer))
+    # Callers hand over a fresh list (rebound or sliced), so the page
+    # takes ownership without copying.
+    leaf = _LeafPage(buffer)
     page_nos.append(file.append_page(leaf))
     min_keys.append(leaf.keys[0])
     leaves.append(leaf)

@@ -25,7 +25,12 @@ from repro.lsm.component import DiskComponent
 from repro.lsm.events import EventBus
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
 from repro.lsm.record import Record
-from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY, LSMTree, SequenceGenerator
+from repro.lsm.tree import (
+    DEFAULT_MEMTABLE_CAPACITY,
+    DEFAULT_WRITE_BATCH_SIZE,
+    LSMTree,
+    SequenceGenerator,
+)
 from repro.lsm.storage import SimulatedDisk
 from repro.types import Domain
 
@@ -140,6 +145,7 @@ class Dataset:
         memtable_capacity: int = DEFAULT_MEMTABLE_CAPACITY,
         merge_policy: MergePolicy | None = None,
         event_bus: EventBus | None = None,
+        write_batch_size: int | None = DEFAULT_WRITE_BATCH_SIZE,
     ) -> None:
         self.name = name
         self.primary_key = primary_key
@@ -147,6 +153,7 @@ class Dataset:
         self.event_bus = event_bus if event_bus is not None else EventBus()
         self.sequence = SequenceGenerator()
         self.memtable_capacity = memtable_capacity
+        self.write_batch_size = write_batch_size
         self._pending_writes = 0
         merge_policy = merge_policy if merge_policy is not None else NoMergePolicy()
 
@@ -158,6 +165,7 @@ class Dataset:
             event_bus=self.event_bus,
             sequence=self.sequence,
             auto_flush=False,
+            write_batch_size=write_batch_size,
         )
         self.indexes: dict[str, IndexSpec] = {}
         self.composite_indexes: dict[str, CompositeIndexSpec] = {}
@@ -189,6 +197,7 @@ class Dataset:
                 key_extractor=extractor,
                 auto_flush=False,
                 index_builder=index_builder,
+                write_batch_size=write_batch_size,
             )
 
     def _all_specs(
@@ -210,6 +219,31 @@ class Dataset:
                 Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
             )
         self._after_write()
+
+    def insert_many(self, documents: Iterable[dict[str, Any]]) -> int:
+        """Insert a batch of new records; returns the number inserted.
+
+        Semantically identical to calling :meth:`insert` per document
+        (one sequence number per operation, flush cadence preserved),
+        but the per-document Python dispatch is amortised: extractors
+        and trees are bound once for the whole batch.
+        """
+        specs = list(self._all_specs())
+        trees = [self._secondary[spec.name] for spec in specs]
+        primary_write = self.primary.write_record
+        next_seq = self.sequence.next
+        inserted = 0
+        for document in documents:
+            pk = self._pk_of(document)
+            seqnum = next_seq()
+            primary_write(Record.matter(pk, document, seqnum=seqnum))
+            for spec, tree in zip(specs, trees):
+                tree.write_record(
+                    Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
+                )
+            inserted += 1
+            self._after_write()
+        return inserted
 
     def update(self, document: dict[str, Any]) -> bool:
         """Replace the record with the same PK; returns False when the

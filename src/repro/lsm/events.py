@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.lsm.component import DiskComponent
 from repro.lsm.record import Record
@@ -25,8 +25,10 @@ __all__ = [
     "LSMEventType",
     "ComponentWriteContext",
     "RecordSink",
+    "BatchingRecordSink",
     "LSMEventObserver",
     "EventBus",
+    "accept_batch",
 ]
 
 
@@ -72,6 +74,31 @@ class RecordSink(Protocol):
 
     def finish(self, component: DiskComponent) -> None:
         """The write completed and produced ``component``."""
+
+
+class BatchingRecordSink(RecordSink, Protocol):
+    """A sink that can consume the bulkload stream a slice at a time.
+
+    The batched ingestion path drains the stream in chunks and offers
+    each chunk through :meth:`accept_many`; sinks without the method
+    fall back transparently to per-record :meth:`accept` via
+    :func:`accept_batch`.  ``accept_many(chunk)`` must be semantically
+    identical to ``for r in chunk: accept(r)``.
+    """
+
+    def accept_many(self, records: Sequence[Record]) -> None:
+        """Observe a slice of consecutive stream records."""
+
+
+def accept_batch(sink: RecordSink, records: Sequence[Record]) -> None:
+    """Feed one stream chunk to ``sink``, batched when it supports it."""
+    accept_many = getattr(sink, "accept_many", None)
+    if accept_many is not None:
+        accept_many(records)
+        return
+    accept = sink.accept
+    for record in records:
+        accept(record)
 
 
 class LSMEventObserver(Protocol):

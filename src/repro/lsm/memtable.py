@@ -10,6 +10,7 @@ flushed through ``bulkload()`` into an immutable disk component.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterator
 
 from repro.lsm.record import Record
@@ -67,6 +68,22 @@ class MemTable:
         This is exactly the stream handed to ``bulkload()`` on a flush.
         """
         return iter(self._map.values())
+
+    def sorted_record_chunks(self, chunk_size: int) -> Iterator[list[Record]]:
+        """All entries in key order, drained ``chunk_size`` at a time.
+
+        The batched flush path consumes this instead of
+        :meth:`sorted_records` so downstream sinks and the component
+        builder observe slices rather than single records.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        records = iter(self._map.values())
+        while True:
+            chunk = list(itertools.islice(records, chunk_size))
+            if not chunk:
+                return
+            yield chunk
 
     def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
         """Entries with keys in ``[lo, hi]`` in key order."""

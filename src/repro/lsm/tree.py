@@ -16,14 +16,20 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import BulkloadError, StorageError
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.btree import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY, build_btree
+from repro.lsm.btree import (
+    DEFAULT_FANOUT,
+    DEFAULT_LEAF_CAPACITY,
+    build_btree,
+    build_btree_chunks,
+)
 from repro.lsm.component import ComponentId, DiskComponent
-from repro.lsm.cursor import merge_streams, reconcile
+from repro.lsm.cursor import chunk_stream, merge_streams, reconcile
 from repro.lsm.events import (
     ComponentWriteContext,
     EventBus,
     LSMEventType,
     RecordSink,
+    accept_batch,
 )
 from repro.lsm.memtable import MemTable
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
@@ -32,10 +38,25 @@ from repro.lsm.storage import SimulatedDisk
 from repro.obs.registry import MetricsRegistry, get_registry, sanitize_segment
 from repro.obs.tracing import span
 
-__all__ = ["LSMTree", "SequenceGenerator", "DEFAULT_MEMTABLE_CAPACITY"]
+__all__ = [
+    "LSMTree",
+    "SequenceGenerator",
+    "DEFAULT_MEMTABLE_CAPACITY",
+    "DEFAULT_WRITE_BATCH_SIZE",
+]
 
 DEFAULT_MEMTABLE_CAPACITY = 4096
 """Records buffered in memory before an automatic flush."""
+
+DEFAULT_WRITE_BATCH_SIZE = 512
+"""Records drained per chunk on the batched component-write path."""
+
+_CHUNK_INDEX_BUILDERS: dict[Any, Callable[..., Any]] = {
+    build_btree: build_btree_chunks,
+}
+"""Chunk-consuming twins of per-record index builders.  Builders
+without a twin (e.g. the LSM-ified R-tree) receive a flattened record
+stream, so custom physical structures keep working unchanged."""
 
 
 class SequenceGenerator:
@@ -79,19 +100,30 @@ class LSMTree:
         bloom_fpp: float | None = 0.01,
         index_builder: Callable[..., Any] | None = None,
         registry: MetricsRegistry | None = None,
+        write_batch_size: int | None = DEFAULT_WRITE_BATCH_SIZE,
     ) -> None:
         if memtable_capacity < 1:
             raise StorageError(
                 f"memtable_capacity must be >= 1, got {memtable_capacity}"
             )
+        if write_batch_size is not None and write_batch_size < 1:
+            raise StorageError(
+                f"write_batch_size must be >= 1 or None, got {write_batch_size}"
+            )
         self.name = name
         self.disk = disk
         self.memtable = MemTable()
         self.memtable_capacity = memtable_capacity
-        self.merge_policy = merge_policy if merge_policy is not None else NoMergePolicy()
+        self.merge_policy = (
+            merge_policy if merge_policy is not None else NoMergePolicy()
+        )
         self.event_bus = event_bus if event_bus is not None else EventBus()
         self.sequence = sequence if sequence is not None else SequenceGenerator()
-        self.key_extractor = key_extractor if key_extractor is not None else _default_key_extractor
+        self.key_extractor = (
+            key_extractor
+            if key_extractor is not None
+            else _default_key_extractor
+        )
         self.leaf_capacity = leaf_capacity
         self.fanout = fanout
         self.auto_flush = auto_flush
@@ -101,6 +133,10 @@ class LSMTree:
         # builder must accept (disk, records, leaf_capacity, fanout)
         # and return the DiskBTree scan/lookup interface.
         self.index_builder = index_builder if index_builder is not None else build_btree
+        # None disables batching: the legacy per-record tap/build path
+        # (kept as the compatibility fallback and the perf baseline).
+        self.write_batch_size = write_batch_size
+        self._index_chunk_builder = _CHUNK_INDEX_BUILDERS.get(self.index_builder)
         # Newest first, matching lookup order.
         self._components: list[DiskComponent] = []
         self.flush_count = 0
@@ -155,11 +191,19 @@ class LSMTree:
             return None
         seq_range = self.memtable.seqnum_range
         assert seq_range is not None
+        batch = self.write_batch_size
         with span("lsm.flush", self._obs):
             component = self._write_component(
                 LSMEventType.FLUSH,
                 ComponentId(*seq_range),
-                self.memtable.sorted_records(),
+                stream=(
+                    self.memtable.sorted_records() if batch is None else None
+                ),
+                chunks=(
+                    self.memtable.sorted_record_chunks(batch)
+                    if batch is not None
+                    else None
+                ),
                 expected_records=len(self.memtable),
             )
             self.memtable.reset()
@@ -259,9 +303,10 @@ class LSMTree:
         self,
         event_type: LSMEventType,
         component_id: ComponentId | None,
-        stream: Iterable[Record],
-        expected_records: int,
+        stream: Iterable[Record] | None = None,
+        expected_records: int = 0,
         merged_components: tuple[DiskComponent, ...] = (),
+        chunks: Iterable[list[Record]] | None = None,
     ) -> DiskComponent:
         context = ComponentWriteContext(
             event_type=event_type,
@@ -279,6 +324,42 @@ class LSMTree:
         )
 
         live_sinks = list(sinks)
+        batch = self.write_batch_size
+
+        if batch is not None:
+            if chunks is None:
+                assert stream is not None
+                chunks = chunk_stream(stream, batch)
+            btree = self._build_index_chunked(chunks, counts, bloom, live_sinks)
+        else:
+            if stream is None:
+                assert chunks is not None
+                stream = (record for chunk in chunks for record in chunk)
+            btree = self._build_index_per_record(
+                stream, counts, bloom, live_sinks
+            )
+        component = DiskComponent(
+            component_id if component_id is not None else ComponentId(0, 0),
+            btree,
+            matter_count=counts["matter"],
+            antimatter_count=counts["anti"],
+            bloom=bloom,
+        )
+        # Bulk-increment once per component so the per-record loop above
+        # never touches the registry.
+        self._m_matter.inc(counts["matter"])
+        self._m_anti.inc(counts["anti"])
+        self._finish_sinks(live_sinks, component)
+        return component
+
+    def _build_index_per_record(
+        self,
+        stream: Iterable[Record],
+        counts: dict[str, int],
+        bloom: BloomFilter | None,
+        live_sinks: list[RecordSink],
+    ) -> Any:
+        """The legacy per-record tap/build path (compatibility fallback)."""
 
         def tapped() -> Iterator[Record]:
             for record in stream:
@@ -297,22 +378,58 @@ class LSMTree:
                         self._m_observer_failures.inc()
                 yield record
 
-        btree = self.index_builder(
+        return self.index_builder(
             self.disk, tapped(), leaf_capacity=self.leaf_capacity, fanout=self.fanout
         )
-        component = DiskComponent(
-            component_id if component_id is not None else ComponentId(0, 0),
-            btree,
-            matter_count=counts["matter"],
-            antimatter_count=counts["anti"],
-            bloom=bloom,
+
+    def _build_index_chunked(
+        self,
+        chunks: Iterable[list[Record]],
+        counts: dict[str, int],
+        bloom: BloomFilter | None,
+        live_sinks: list[RecordSink],
+    ) -> Any:
+        """The batched hot path: observers and the Bloom filter see one
+        slice at a time, and chunk-aware index builders fill leaves by
+        slicing.  Observer fault isolation moves to chunk granularity:
+        a sink that raises is dropped for the rest of the write, exactly
+        as on the per-record path."""
+
+        def tapped_chunks() -> Iterator[list[Record]]:
+            for chunk in chunks:
+                anti = 0
+                for record in chunk:
+                    if record.antimatter:
+                        anti += 1
+                counts["anti"] += anti
+                counts["matter"] += len(chunk) - anti
+                if bloom is not None:
+                    bloom.add_all([record.key for record in chunk])
+                for sink in list(live_sinks):
+                    try:
+                        accept_batch(sink, chunk)
+                    except Exception:
+                        live_sinks.remove(sink)
+                        self.observer_failures += 1
+                        self._m_observer_failures.inc()
+                yield chunk
+
+        if self._index_chunk_builder is not None:
+            return self._index_chunk_builder(
+                self.disk,
+                tapped_chunks(),
+                leaf_capacity=self.leaf_capacity,
+                fanout=self.fanout,
+            )
+        flattened = (
+            record for chunk in tapped_chunks() for record in chunk
         )
-        # Bulk-increment once per component so the per-record loop above
-        # never touches the registry.
-        self._m_matter.inc(counts["matter"])
-        self._m_anti.inc(counts["anti"])
-        self._finish_sinks(live_sinks, component)
-        return component
+        return self.index_builder(
+            self.disk,
+            flattened,
+            leaf_capacity=self.leaf_capacity,
+            fanout=self.fanout,
+        )
 
     def _finish_sinks(
         self, sinks: list[RecordSink], component: DiskComponent

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar
+from typing import Any, ClassVar, Iterable
 
 from repro.errors import MergeabilityError, SynopsisError
 from repro.types import Domain
@@ -190,6 +190,42 @@ class SynopsisBuilder(ABC):
         self._count += 1
         self._add(value)
 
+    def add_many(self, values: Iterable[int]) -> None:
+        """Observe a chunk of values from the stream (batched hot path).
+
+        Semantically identical to calling :meth:`add` once per value --
+        builders override :meth:`_add_many` with a tight loop, and the
+        validation (finalised-builder, domain membership, sort order) is
+        amortised over the whole chunk.  The batched and per-record
+        paths produce bit-identical synopses; the test suite asserts
+        this for every registered synopsis family.
+        """
+        if self._built:
+            raise SynopsisError("builder already finalised")
+        chunk = [int(value) for value in values]  # normalise numpy scalars
+        if not chunk:
+            return
+        lo, hi = self.domain.lo, self.domain.hi
+        if min(chunk) < lo or max(chunk) > hi:
+            bad = next(v for v in chunk if v < lo or v > hi)
+            raise SynopsisError(
+                f"value {bad} outside domain [{lo}, {hi}]"
+            )
+        if self.requires_sorted_input:
+            if self._last_value is not None and chunk[0] < self._last_value:
+                raise SynopsisError(
+                    f"builder requires non-decreasing input: {chunk[0]} "
+                    f"after {self._last_value}"
+                )
+            for left, right in zip(chunk, chunk[1:]):
+                if right < left:
+                    raise SynopsisError(
+                        f"builder requires non-decreasing input: {right} "
+                        f"after {left}"
+                    )
+        self._last_value = chunk[-1]
+        self._add_many(chunk)
+
     def build(self) -> Synopsis:
         """Finalise and return the synopsis (single use)."""
         if self._built:
@@ -200,6 +236,19 @@ class SynopsisBuilder(ABC):
     @abstractmethod
     def _add(self, value: int) -> None:
         """Type-specific streaming step."""
+
+    def _add_many(self, values: list[int]) -> None:
+        """Type-specific batched step over pre-validated values.
+
+        The default is the per-record fallback; hot builders override
+        it with a loop that binds attributes once.  Overrides must keep
+        ``_count`` bookkeeping identical to the per-record path (some
+        builders, e.g. GK sketches and reservoir samples, read the
+        running count inside ``_add``).
+        """
+        for value in values:
+            self._count += 1
+            self._add(value)
 
     @abstractmethod
     def _build(self) -> Synopsis:

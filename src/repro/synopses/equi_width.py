@@ -106,5 +106,13 @@ class EquiWidthBuilder(SynopsisBuilder):
     def _add(self, value: int) -> None:
         self._counts[(value - self.domain.lo) // self._width] += 1
 
+    def _add_many(self, values: list[int]) -> None:
+        counts = self._counts
+        lo = self.domain.lo
+        width = self._width
+        for value in values:
+            counts[(value - lo) // width] += 1
+        self._count += len(values)
+
     def _build(self) -> EquiWidthHistogram:
         return EquiWidthHistogram(self.domain, self.budget, self._counts)

@@ -192,6 +192,28 @@ class GKSketchBuilder(SynopsisBuilder):
         if self._since_compress >= self._compress_period:
             self._run_compress()
 
+    def _add_many(self, values: list[int]) -> None:
+        # Inlined _add: identical insertion/compression cadence (the
+        # running count feeds each tuple's delta), minus the per-call
+        # wrapper overhead.  _run_compress rebinds the tuple/cache
+        # lists, so they are re-read every iteration.
+        epsilon2 = 2.0 * self._epsilon
+        period = self._compress_period
+        for value in values:
+            self._count += 1
+            tuples = self._tuples
+            cache = self._values_cache
+            index = bisect.bisect_left(cache, value)
+            if index == 0 or index == len(tuples):
+                delta = 0  # new minimum or maximum is exact
+            else:
+                delta = max(0, int(epsilon2 * self._count) - 1)
+            tuples.insert(index, _Tuple(value, 1, delta))
+            cache.insert(index, value)
+            self._since_compress += 1
+            if self._since_compress >= period:
+                self._run_compress()
+
     def _run_compress(self) -> None:
         threshold = 2.0 * self._epsilon * self._count
         self._tuples = _compress(self._tuples, threshold)

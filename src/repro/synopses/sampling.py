@@ -115,6 +115,21 @@ class ReservoirSampleBuilder(SynopsisBuilder):
         if slot < self.budget:
             self._reservoir[slot] = value
 
+    def _add_many(self, values: list[int]) -> None:
+        # Identical RNG call sequence to per-value _add: one draw per
+        # value once the reservoir is full, bounded by the running count.
+        reservoir = self._reservoir
+        budget = self.budget
+        draw = self._rng.integers
+        for value in values:
+            self._count += 1
+            if len(reservoir) < budget:
+                reservoir.append(value)
+                continue
+            slot = int(draw(0, self._count))
+            if slot < budget:
+                reservoir[slot] = value
+
     def _build(self) -> ReservoirSample:
         return ReservoirSample(
             self.domain, self.budget, self._reservoir, self._count

@@ -154,6 +154,26 @@ class WaveletBuilder(SynopsisBuilder):
         self._current_value = value
         self._current_frequency = 1
 
+    def _add_many(self, values: list[int]) -> None:
+        # Run-length aggregate the chunk before touching the transform:
+        # duplicate values only bump the pending frequency, so the
+        # stack cascade runs once per distinct value, as in _add.
+        current = self._current_value
+        frequency = self._current_frequency
+        transform_add = self._transform.add
+        position = self.domain.position
+        for value in values:
+            if value == current:
+                frequency += 1
+            else:
+                if current is not None:
+                    transform_add(position(current), float(frequency))
+                current = value
+                frequency = 1
+        self._current_value = current
+        self._current_frequency = frequency
+        self._count += len(values)
+
     def _flush_pending(self) -> None:
         if self._current_value is not None:
             self._transform.add(

@@ -135,3 +135,21 @@ class TestDistributedStatistics:
         for node, snapshot in zip(cluster.nodes, before):
             delta = node.disk.stats.delta(snapshot)
             assert delta.pages_read == 0
+
+
+class TestInsertMany:
+    def test_routed_batch_matches_per_document(self):
+        many = _cluster()
+        loop = _cluster()
+        docs = [_doc(pk, pk % 1000) for pk in range(300)]
+        assert many.insert_many("ds", docs) == 300
+        for doc in docs:
+            loop.insert("ds", doc)
+        assert many.count_records("ds") == loop.count_records("ds") == 300
+        assert many.count_secondary_range(
+            "ds", "value_idx", 0, 499
+        ) == loop.count_secondary_range("ds", "value_idx", 0, 499)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ClusterError):
+            _cluster().insert_many("nope", [_doc(1, 1)])

@@ -63,7 +63,8 @@ class TestFileFeed:
         paths = []
         for i in range(3):
             path = tmp_path / f"part{i}.jsonl"
-            FileFeed.write_file(path, (_doc(pk, pk) for pk in range(i * 10, i * 10 + 10)))
+            docs = (_doc(pk, pk) for pk in range(i * 10, i * 10 + 10))
+            FileFeed.write_file(path, docs)
             paths.append(path)
         cluster, target = _target()
         assert FileFeed(paths).run(target) == 30
@@ -87,7 +88,8 @@ class TestChangeableFeed:
             FeedRecord(FeedOperation.INSERT, _doc(pk, pk)) for pk in range(60)
         ]
         records += [
-            FeedRecord(FeedOperation.UPDATE, _doc(pk, pk + 500)) for pk in range(0, 60, 2)
+            FeedRecord(FeedOperation.UPDATE, _doc(pk, pk + 500))
+            for pk in range(0, 60, 2)
         ]
         records += [
             FeedRecord(FeedOperation.DELETE, _doc(pk, 0)) for pk in range(0, 60, 3)

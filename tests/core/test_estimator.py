@@ -127,7 +127,8 @@ def test_multi_entry_counts_one_lazy_merge_and_does_not_alias():
     estimator.estimate("idx", 0, 99)
     counters = registry.snapshot()["counters"]
     assert counters["estimator.lazy_merge.count"] == 1
-    assert registry.snapshot()["histograms"]["estimator.lazy_merge.seconds"]["count"] == 1
+    histograms = registry.snapshot()["histograms"]
+    assert histograms["estimator.lazy_merge.seconds"]["count"] == 1
     cached = estimator.cache.get("idx", catalog.version_for("idx"))
     assert cached is not None
     catalog_objects = {

@@ -1,0 +1,190 @@
+"""Unit tests for the perf suite: report schema + regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.eval import perfsuite
+from repro.eval.perfsuite import (
+    BENCHMARK_NAMES,
+    SCHEMA_VERSION,
+    compare_reports,
+    load_report,
+    report_filename,
+    run_suite,
+    write_report,
+)
+
+
+def _fake_report(**medians):
+    """A structurally valid report with the given metric medians."""
+    metrics = {}
+    for name, median in medians.items():
+        unit, direction = perfsuite.METRIC_SPECS.get(name, ("x/s", "higher"))
+        metrics[name] = {
+            "unit": unit,
+            "direction": direction,
+            "median": median,
+            "p95": median,
+            "samples": [median],
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "repro-perfsuite",
+        "quick": True,
+        "seed": 0,
+        "repetitions": 1,
+        "benchmarks": list(BENCHMARK_NAMES),
+        "scale": perfsuite.QUICK_SCALE.as_dict(),
+        "env": {"python": "3.x"},
+        "created_unix": 1_700_000_000.0,
+        "metrics": metrics,
+    }
+
+
+class TestRunSuite:
+    def test_quick_single_benchmark_schema(self):
+        # network-ship is the cheapest benchmark; one repetition keeps
+        # this a schema test, not a perf test.
+        report = run_suite(quick=True, seed=3, repetitions=1, only=("network-ship",))
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["quick"] is True
+        assert report["seed"] == 3
+        assert report["benchmarks"] == ["network-ship"]
+        assert report["scale"] == perfsuite.QUICK_SCALE.as_dict()
+        assert "python" in report["env"]
+        entry = report["metrics"]["ship.throughput"]
+        assert entry["unit"] == "messages/s"
+        assert entry["direction"] == "higher"
+        assert entry["median"] > 0
+        assert len(entry["samples"]) == 1
+        # Everything must survive a JSON round-trip (the report IS the
+        # interchange format).
+        assert json.loads(json.dumps(report)) == report
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown benchmark"):
+            run_suite(quick=True, only=("no-such-bench",))
+
+    def test_bad_repetitions_rejected(self):
+        with pytest.raises(BenchmarkError, match="repetitions"):
+            run_suite(quick=True, repetitions=0)
+
+    def test_every_benchmark_name_registered(self):
+        assert set(BENCHMARK_NAMES) == set(perfsuite._BENCHMARKS)
+
+
+class TestReportFiles:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        report = _fake_report(**{"ship.throughput": 100.0})
+        target = write_report(report, tmp_path)
+        assert target.name == report_filename(report)
+        assert target.name.startswith("BENCH_") and target.name.endswith(".json")
+        assert load_report(target) == report
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="does not exist"):
+            load_report(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BenchmarkError, match="not valid JSON"):
+            load_report(bad)
+
+    def test_load_wrong_schema_version(self, tmp_path):
+        report = _fake_report(**{"ship.throughput": 100.0})
+        report["schema_version"] = SCHEMA_VERSION + 1
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps(report))
+        with pytest.raises(BenchmarkError, match="schema_version"):
+            load_report(bad)
+
+    def test_load_missing_metrics(self, tmp_path):
+        bad = tmp_path / "empty.json"
+        bad.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        with pytest.raises(BenchmarkError, match="metrics"):
+            load_report(bad)
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = _fake_report(
+            **{"ship.throughput": 100.0, "flush.latency": 0.5}
+        )
+        assert compare_reports(report, copy.deepcopy(report)) == []
+
+    def test_higher_is_better_regression(self):
+        baseline = _fake_report(**{"ship.throughput": 100.0})
+        current = _fake_report(**{"ship.throughput": 70.0})
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        assert "ship.throughput" in regressions[0]
+
+    def test_higher_is_better_within_tolerance(self):
+        baseline = _fake_report(**{"ship.throughput": 100.0})
+        current = _fake_report(**{"ship.throughput": 80.0})
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_lower_is_better_regression(self):
+        baseline = _fake_report(**{"flush.latency": 1.0})
+        current = _fake_report(**{"flush.latency": 1.5})
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        assert "flush.latency" in regressions[0]
+
+    def test_lower_is_better_improvement_passes(self):
+        baseline = _fake_report(**{"flush.latency": 1.0})
+        current = _fake_report(**{"flush.latency": 0.1})
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_huge_improvement_passes(self):
+        baseline = _fake_report(**{"ship.throughput": 100.0})
+        current = _fake_report(**{"ship.throughput": 100_000.0})
+        assert compare_reports(current, baseline, tolerance=0.0) == []
+
+    def test_metric_missing_from_current_run_fails(self):
+        baseline = _fake_report(
+            **{"ship.throughput": 100.0, "merge.throughput": 50.0}
+        )
+        current = _fake_report(**{"ship.throughput": 100.0})
+        regressions = compare_reports(current, baseline)
+        assert len(regressions) == 1
+        assert "merge.throughput" in regressions[0]
+
+    def test_new_metric_in_current_run_ignored(self):
+        baseline = _fake_report(**{"ship.throughput": 100.0})
+        current = _fake_report(
+            **{"ship.throughput": 100.0, "merge.throughput": 50.0}
+        )
+        assert compare_reports(current, baseline) == []
+
+    def test_negative_tolerance_rejected(self):
+        report = _fake_report(**{"ship.throughput": 100.0})
+        with pytest.raises(BenchmarkError, match="tolerance"):
+            compare_reports(report, report, tolerance=-0.1)
+
+    def test_malformed_baseline_rejected(self):
+        report = _fake_report(**{"ship.throughput": 100.0})
+        broken = copy.deepcopy(report)
+        broken["metrics"]["ship.throughput"]["median"] = "fast"
+        with pytest.raises(BenchmarkError, match="numeric median"):
+            compare_reports(report, broken)
+
+    def test_bad_direction_rejected(self):
+        report = _fake_report(**{"ship.throughput": 100.0})
+        broken = copy.deepcopy(report)
+        broken["metrics"]["ship.throughput"]["direction"] = "sideways"
+        with pytest.raises(BenchmarkError, match="direction"):
+            compare_reports(report, broken)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert perfsuite._percentile([4.2], 0.95) == 4.2
+
+    def test_orders_input(self):
+        assert perfsuite._percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+        assert perfsuite._percentile([3.0, 1.0, 2.0], 1.0) == 3.0

@@ -129,7 +129,9 @@ class TestFigureDrivers:
         assert fig5.format_results(rows)
 
     def test_fig6_component_control(self):
-        rows = fig6.run(TINY, component_counts=[4, 8], spreads=[SpreadDistribution.UNIFORM])
+        rows = fig6.run(
+            TINY, component_counts=[4, 8], spreads=[SpreadDistribution.UNIFORM]
+        )
         counts = {r["components"] for r in rows}
         assert counts == {4, 8}
         budgets = {r["components"]: r["budget_per_component"] for r in rows}

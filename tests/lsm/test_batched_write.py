@@ -1,0 +1,258 @@
+"""The batched component-write path vs. the per-record fallback.
+
+``write_batch_size=None`` keeps the original per-record tap/build
+pipeline; any positive batch size switches flush/merge/bulkload to
+chunk-at-a-time draining.  Both must produce identical components
+(same records, same scans) and identical observer traffic -- the
+statistics piggybacking contract is that batching changes *cost*,
+never *content*.
+"""
+
+import pytest
+
+from repro.core.collector import StatisticsCollector
+from repro.core.config import StatisticsConfig
+from repro.errors import StorageError, SynopsisError
+from repro.lsm.btree import build_btree, build_btree_chunks
+from repro.lsm.events import EventBus, accept_batch
+from repro.lsm.record import Record
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.tree import LSMTree
+from repro.synopses.base import SynopsisType
+from repro.types import Domain
+
+DOMAIN = Domain(0, 4095)
+BATCH_SIZES = [None, 512, 7, 1]
+
+
+class _CaptureSink:
+    """Records publish/retract traffic, uid-free.
+
+    Component uids come from a process-global counter, so they differ
+    between otherwise identical runs; comparisons use payloads only.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def publish(self, index_name, component_uid, synopsis, anti_synopsis):
+        self.events.append(
+            ("publish", index_name, synopsis.to_payload(), anti_synopsis.to_payload())
+        )
+
+    def retract(self, index_name, component_uids):
+        self.events.append(("retract", index_name, len(component_uids)))
+
+
+def _scripted_run(write_batch_size):
+    """One full lifecycle: upserts, deletes, flushes, and a merge."""
+    tree = LSMTree(
+        "t.primary",
+        SimulatedDisk(),
+        memtable_capacity=4096,
+        event_bus=EventBus(),
+        auto_flush=False,
+        write_batch_size=write_batch_size,
+    )
+    sink = _CaptureSink()
+    collector = StatisticsCollector(
+        StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=32), sink
+    )
+    collector.register_index(tree.name, DOMAIN)
+    tree.event_bus.subscribe(collector)
+    for key in range(0, 600, 2):
+        tree.upsert(key, {"k": key})
+    tree.flush()
+    for key in range(100, 300):
+        tree.upsert(key, {"k": -key})
+    for key in range(0, 100, 4):
+        tree.delete(key)
+    tree.flush()
+    tree.merge(tree.components)
+    scan = [(r.key, r.antimatter) for r in tree.scan()]
+    return sink.events, scan, tree.observer_failures
+
+
+class TestBatchedEquivalence:
+    def test_scripted_lifecycle_identical_across_batch_sizes(self):
+        reference = _scripted_run(None)
+        for batch in BATCH_SIZES[1:]:
+            assert _scripted_run(batch) == reference, batch
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES, ids=str)
+    def test_bulkload_synopses_and_scan(self, batch):
+        def run(size):
+            tree = LSMTree(
+                "t.primary",
+                SimulatedDisk(),
+                event_bus=EventBus(),
+                write_batch_size=size,
+            )
+            sink = _CaptureSink()
+            collector = StatisticsCollector(
+                StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=32), sink
+            )
+            collector.register_index(tree.name, DOMAIN)
+            tree.event_bus.subscribe(collector)
+            tree.bulkload(
+                (Record.matter(key) for key in range(0, 3000, 3)),
+                expected_records=1000,
+            )
+            return sink.events, [r.key for r in tree.scan()]
+
+        assert run(batch) == run(None)
+
+    def test_write_batch_size_validated(self):
+        with pytest.raises(StorageError, match="write_batch_size"):
+            LSMTree("t", SimulatedDisk(), write_batch_size=0)
+
+
+class TestChunkedBTreeBuilder:
+    def test_chunked_build_matches_per_record(self):
+        records = [Record.matter(key) for key in range(1000)]
+        flat = build_btree(SimulatedDisk(), iter(records))
+
+        def chunks():
+            for start in range(0, len(records), 64):
+                yield records[start : start + 64]
+
+        chunked = build_btree_chunks(SimulatedDisk(), chunks())
+        assert [r.key for r in chunked.scan()] == [r.key for r in flat.scan()]
+        assert chunked.num_records == flat.num_records
+        assert chunked.lookup(517).key == 517
+        assert chunked.lookup(-1) is None
+
+    def test_chunked_build_rejects_unsorted_input(self):
+        from repro.errors import BulkloadError
+
+        records = [Record.matter(2), Record.matter(1)]
+        with pytest.raises(BulkloadError):
+            build_btree_chunks(SimulatedDisk(), iter([records]))
+
+    def test_unsorted_across_chunk_boundary_rejected(self):
+        from repro.errors import BulkloadError
+
+        with pytest.raises(BulkloadError):
+            build_btree_chunks(
+                SimulatedDisk(),
+                iter([[Record.matter(5)], [Record.matter(4)]]),
+            )
+
+
+class TestBatchedFaultIsolation:
+    def test_failing_batched_sink_dropped_not_fatal(self):
+        class _ExplodingObserver:
+            def begin_component_write(self, context):
+                class _Sink:
+                    def accept_many(self, records):
+                        raise RuntimeError("boom")
+
+                    def accept(self, record):
+                        raise RuntimeError("boom")
+
+                    def finish(self, component):
+                        pass
+
+                return _Sink()
+
+        tree = LSMTree(
+            "t.primary",
+            SimulatedDisk(),
+            event_bus=EventBus(),
+            auto_flush=False,
+            write_batch_size=8,
+        )
+        tree.event_bus.subscribe(_ExplodingObserver())
+        for key in range(100):
+            tree.upsert(key)
+        tree.flush()
+        assert [r.key for r in tree.scan()] == list(range(100))
+        assert tree.observer_failures >= 1
+
+
+class TestAcceptBatch:
+    def test_prefers_accept_many(self):
+        calls = []
+
+        class _Batched:
+            def accept(self, record):
+                calls.append(("one", record.key))
+
+            def accept_many(self, records):
+                calls.append(("many", len(records)))
+
+        accept_batch(_Batched(), [Record.matter(1), Record.matter(2)])
+        assert calls == [("many", 2)]
+
+    def test_falls_back_to_per_record(self):
+        calls = []
+
+        class _Plain:
+            def accept(self, record):
+                calls.append(record.key)
+
+        accept_batch(_Plain(), [Record.matter(1), Record.matter(2)])
+        assert calls == [1, 2]
+
+
+class TestCollectorBatchedTap:
+    def test_accept_many_matches_accept(self):
+        def run(batched):
+            sink = _CaptureSink()
+            collector = StatisticsCollector(
+                StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=32), sink
+            )
+            collector.register_index("idx", DOMAIN)
+            from repro.lsm.events import ComponentWriteContext, LSMEventType
+
+            context = ComponentWriteContext(
+                index_name="idx",
+                event_type=LSMEventType.FLUSH,
+                expected_records=6,
+                key_extractor=lambda record: record.key,
+            )
+            tap = collector.begin_component_write(context)
+            records = [
+                Record.matter(1),
+                Record.anti(2),
+                Record.matter(3),
+                Record.matter(5),
+                Record.anti(8),
+                Record.matter(9),
+            ]
+            if batched:
+                tap.accept_many(records[:3])
+                tap.accept_many(records[3:])
+            else:
+                for record in records:
+                    tap.accept(record)
+
+            class _Component:
+                uid = 0
+
+            tap.finish(_Component())
+            counts = (
+                collector.metrics.matter_records_observed,
+                collector.metrics.antimatter_records_observed,
+            )
+            return sink.events, counts
+
+        assert run(batched=True) == run(batched=False)
+
+    def test_sorted_family_rejects_unsorted_batch(self):
+        sink = _CaptureSink()
+        collector = StatisticsCollector(
+            StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=32), sink
+        )
+        collector.register_index("idx", DOMAIN)
+        from repro.lsm.events import ComponentWriteContext, LSMEventType
+
+        context = ComponentWriteContext(
+            index_name="idx",
+            event_type=LSMEventType.FLUSH,
+            expected_records=2,
+            key_extractor=lambda record: record.key,
+        )
+        tap = collector.begin_component_write(context)
+        with pytest.raises(SynopsisError):
+            tap.accept_many([Record.matter(9), Record.matter(3)])

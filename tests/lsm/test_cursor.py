@@ -64,7 +64,11 @@ class TestReconcile:
             ]
         )
         out = list(reconcile(merged, keep_antimatter=False))
-        assert [(r.key, r.antimatter) for r in out] == [(2, False), (3, False), (4, False)]
+        assert [(r.key, r.antimatter) for r in out] == [
+            (2, False),
+            (3, False),
+            (4, False),
+        ]
 
 
 @settings(max_examples=50)

@@ -158,3 +158,24 @@ class TestEndToEnd:
         expected = sum(1 for v in live.values() if 100 <= v <= 400)
         assert ds.count_secondary_range("value_idx", 100, 400) == expected
         assert ds.count_records() == len(live)
+
+
+class TestInsertMany:
+    def test_matches_per_document_inserts(self):
+        many = _dataset(memtable_capacity=64)
+        loop = _dataset(memtable_capacity=64)
+        docs = [_doc(pk, pk % 1000) for pk in range(200)]
+        assert many.insert_many(docs) == 200
+        for doc in docs:
+            loop.insert(doc)
+        assert many.count_records() == loop.count_records()
+        assert many.get(123) == loop.get(123)
+        # Same flush cadence: the batched path must honour the
+        # memtable-capacity trigger per document, not per batch.
+        assert len(many.primary.components) == len(loop.primary.components)
+        assert many.count_secondary_range(
+            "value_idx", 100, 300
+        ) == loop.count_secondary_range("value_idx", 100, 300)
+
+    def test_empty_batch(self):
+        assert _dataset().insert_many([]) == 0

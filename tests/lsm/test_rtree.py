@@ -15,7 +15,10 @@ from repro.types import Domain
 
 def _tree(points, leaf_capacity=4, fanout=4):
     disk = SimulatedDisk()
-    records = [Record.matter((x, y, pk)) for pk, (x, y) in enumerate(sorted_points(points))]
+    records = [
+        Record.matter((x, y, pk))
+        for pk, (x, y) in enumerate(sorted_points(points))
+    ]
     return disk, build_rtree(
         disk, records, leaf_capacity=leaf_capacity, fanout=fanout
     )

@@ -1,0 +1,118 @@
+"""Batched ``add_many`` must be bit-identical to per-record ``add``.
+
+The batched ingestion hot path feeds every synopsis builder through
+``add_many``; the whole point of the compatibility contract is that
+batching is *purely* an optimisation: for any chunking of any input
+stream, the built synopsis (payload bytes included) must equal the one
+produced by per-value ``add`` calls.  This holds even for the stateful
+families -- GK compression cadence and reservoir RNG draws depend on
+the running count, so the overrides must preserve the exact call
+sequence.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses.base import SynopsisType
+from repro.synopses.factory import create_builder
+from repro.types import Domain
+
+DOMAIN = Domain(0, 1023)
+BUDGET = 16
+
+ALL_TYPES = sorted(SynopsisType, key=lambda t: t.value)
+
+
+def _prepare(synopsis_type: SynopsisType, values: list[int]) -> list[int]:
+    """Sort the stream when the family demands sorted input."""
+    if synopsis_type.requires_sorted_input:
+        return sorted(values)
+    return values
+
+
+def _build(synopsis_type, values, chunk_sizes):
+    """Build once, feeding ``values`` split into ``chunk_sizes`` runs.
+
+    A chunk size of 1 uses plain ``add`` so the same helper produces
+    the per-record reference build.
+    """
+    builder = create_builder(synopsis_type, DOMAIN, BUDGET, len(values))
+    position = 0
+    index = 0
+    while position < len(values):
+        size = chunk_sizes[index % len(chunk_sizes)]
+        index += 1
+        chunk = values[position : position + size]
+        position += len(chunk)
+        if size == 1:
+            builder.add(chunk[0])
+        else:
+            builder.add_many(chunk)
+    return builder.build()
+
+
+@pytest.mark.parametrize("synopsis_type", ALL_TYPES, ids=lambda t: t.value)
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_add_many_bit_identical(synopsis_type, data):
+    values = data.draw(
+        st.lists(st.integers(DOMAIN.lo, DOMAIN.hi), min_size=0, max_size=200)
+    )
+    chunking = data.draw(
+        st.lists(st.integers(2, 17), min_size=1, max_size=4)
+    )
+    stream = _prepare(synopsis_type, values)
+    reference = _build(synopsis_type, stream, [1])
+    batched = _build(synopsis_type, stream, chunking)
+    assert batched.to_payload() == reference.to_payload(), synopsis_type
+
+
+@pytest.mark.parametrize("synopsis_type", ALL_TYPES, ids=lambda t: t.value)
+def test_add_many_seeded_large_stream(synopsis_type):
+    rng = random.Random(1234)
+    values = [rng.randint(DOMAIN.lo, DOMAIN.hi) for _ in range(5_000)]
+    stream = _prepare(synopsis_type, values)
+    reference = _build(synopsis_type, stream, [1])
+    batched = _build(synopsis_type, stream, [512])
+    ragged = _build(synopsis_type, stream, [7, 64, 1, 255])
+    assert batched.to_payload() == reference.to_payload()
+    assert ragged.to_payload() == reference.to_payload()
+
+
+class TestAddManyContract:
+    def test_empty_chunk_is_a_noop(self):
+        builder = create_builder(SynopsisType.EQUI_WIDTH, DOMAIN, BUDGET, 0)
+        builder.add_many([])
+        builder.add_many([5])
+        assert builder.build().total_count == 1
+
+    def test_domain_violation_rejected(self):
+        builder = create_builder(SynopsisType.EQUI_WIDTH, DOMAIN, BUDGET, 0)
+        with pytest.raises(SynopsisError, match="outside domain"):
+            builder.add_many([1, DOMAIN.hi + 1])
+
+    def test_unsorted_chunk_rejected_for_sorted_family(self):
+        builder = create_builder(SynopsisType.EQUI_WIDTH, DOMAIN, BUDGET, 0)
+        with pytest.raises(SynopsisError):
+            builder.add_many([5, 3])
+
+    def test_chunk_behind_previous_value_rejected(self):
+        builder = create_builder(SynopsisType.EQUI_WIDTH, DOMAIN, BUDGET, 0)
+        builder.add_many([10, 20])
+        with pytest.raises(SynopsisError):
+            builder.add_many([19, 21])
+
+    def test_unsorted_chunk_fine_for_order_insensitive_family(self):
+        builder = create_builder(SynopsisType.GK_SKETCH, DOMAIN, BUDGET, 0)
+        builder.add_many([5, 3, 900, 0])
+        assert builder.build().total_count == 4
+
+    def test_add_many_after_build_rejected(self):
+        builder = create_builder(SynopsisType.EQUI_WIDTH, DOMAIN, BUDGET, 0)
+        builder.build()
+        with pytest.raises(SynopsisError, match="finalised"):
+            builder.add_many([1])

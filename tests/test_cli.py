@@ -69,3 +69,80 @@ def test_stats_selfcheck_smoke():
     """The CI smoke invocation: `python -m repro.cli stats --selfcheck`
     must validate the snapshot against docs/OBSERVABILITY.md."""
     assert main(["stats", "--selfcheck"]) == 0
+
+
+def test_faultcheck_converges_and_exits_zero(capsys):
+    assert main(["faultcheck", "--records", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "converged" in out.lower()
+
+
+def test_faultcheck_invalid_probability_exits_nonzero(capsys):
+    assert main(["faultcheck", "--records", "64", "--drop", "1.5"]) == 1
+    assert "faultcheck failed" in capsys.readouterr().err
+
+
+# `--only network-ship --repetitions 1` keeps the bench CLI tests to a
+# few milliseconds of measured work; the full quick suite runs in CI's
+# bench-smoke job, not here.
+_BENCH_FAST = ["bench", "--quick", "--repetitions", "1", "--only", "network-ship"]
+
+
+def test_bench_writes_schema_versioned_report(tmp_path, capsys):
+    assert main([*_BENCH_FAST, "--out", str(tmp_path)]) == 0
+    reports = list(tmp_path.glob("BENCH_*.json"))
+    assert len(reports) == 1
+    payload = json.loads(reports[0].read_text())
+    assert payload["schema_version"] == 1
+    assert payload["metrics"]["ship.throughput"]["median"] > 0
+    out = capsys.readouterr().out
+    assert "ship.throughput" in out
+
+
+def test_bench_no_report_writes_nothing(tmp_path):
+    assert main([*_BENCH_FAST, "--no-report", "--out", str(tmp_path)]) == 0
+    assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+def test_bench_compare_pass_and_regression(tmp_path, capsys):
+    out_dir = tmp_path / "reports"
+    assert main([*_BENCH_FAST, "--out", str(out_dir)]) == 0
+    report_path = next(out_dir.glob("BENCH_*.json"))
+    baseline = json.loads(report_path.read_text())
+
+    # Trivially slow baseline: the fresh run must pass the gate.
+    easy = tmp_path / "easy.json"
+    relaxed = json.loads(report_path.read_text())
+    relaxed["metrics"]["ship.throughput"]["median"] = 1e-6
+    easy.write_text(json.dumps(relaxed))
+    assert (
+        main([*_BENCH_FAST, "--no-report", "--compare", str(easy)]) == 0
+    )
+    assert "bench compare: ok" in capsys.readouterr().out
+
+    # Impossible baseline: the fresh run must regress -> exit 1.
+    hard = tmp_path / "hard.json"
+    baseline["metrics"]["ship.throughput"]["median"] = 1e15
+    hard.write_text(json.dumps(baseline))
+    assert (
+        main([*_BENCH_FAST, "--no-report", "--compare", str(hard)]) == 1
+    )
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_compare_malformed_baseline_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    assert main([*_BENCH_FAST, "--no-report", "--compare", str(bad)]) == 2
+    assert "bench compare failed" in capsys.readouterr().err
+
+
+def test_bench_compare_missing_baseline_exits_two(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main([*_BENCH_FAST, "--no-report", "--compare", str(missing)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_bench_unknown_benchmark_exits_two(capsys):
+    assert main(["bench", "--quick", "--only", "nope"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err

@@ -77,7 +77,10 @@ def test_min_weight():
     assert heap.min_weight() == 1.0
 
 
-@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1), st.integers(1, 20))
+@given(
+    st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1),
+    st.integers(1, 20),
+)
 def test_keeps_top_k(weights, capacity):
     heap = BoundedMinHeap(capacity)
     for index, weight in enumerate(weights):

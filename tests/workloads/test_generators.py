@@ -85,7 +85,8 @@ class TestWorldCupGenerator:
         assert spread < 2**31 * 1e-4
 
     def test_size_heavy_tailed(self):
-        sizes = np.array([d["size"] for d in WorldCupGenerator(2000, seed=0).generate()])
+        docs = WorldCupGenerator(2000, seed=0).generate()
+        sizes = np.array([d["size"] for d in docs])
         assert np.median(sizes) * 10 < sizes.max()
 
     def test_categorical_fields_spiky(self):
