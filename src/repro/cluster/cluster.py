@@ -20,6 +20,7 @@ from repro.cluster.node import DEFAULT_OUTBOX_LIMIT, RetryPolicy, StorageNode
 from repro.cluster.partitioner import HashPartitioner
 from repro.core.estimator import EstimateResult
 from repro.errors import ClusterError
+from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import IndexSpec, secondary_index_name
 from repro.lsm.merge_policy import MergePolicy
 from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
@@ -43,6 +44,9 @@ class LSMCluster:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
+        durable: bool = False,
+        wal_enabled: bool = True,
+        crash_injector: CrashInjector | None = None,
     ) -> None:
         if num_nodes < 1 or partitions_per_node < 1:
             raise ClusterError("cluster needs at least one node and partition")
@@ -69,6 +73,9 @@ class LSMCluster:
                 self.stats_config,
                 retry_policy=retry_policy,
                 outbox_limit=outbox_limit,
+                durable=durable,
+                wal_enabled=wal_enabled,
+                crash_injector=crash_injector,
             )
             self.nodes.append(node)
             for owned in partition_ids:
@@ -145,6 +152,13 @@ class LSMCluster:
         partition_id = self.partitioner.partition_of(pk)
         return self._partition_owner[partition_id].delete(name, partition_id, pk)
 
+    def get(self, name: str, pk: Any) -> dict[str, Any] | None:
+        """Point lookup routed to the owning partition."""
+        self._check_dataset(name)
+        partition_id = self.partitioner.partition_of(pk)
+        node = self._partition_owner[partition_id]
+        return node.dataset(name, partition_id).get(pk)
+
     def bulkload(self, name: str, documents: Iterable[dict[str, Any]]) -> None:
         """Partitioned parallel load: split by PK hash, one bulkload per
         partition, each producing a single disk component."""
@@ -219,6 +233,17 @@ class LSMCluster:
 
     # -- fault recovery -------------------------------------------------------
 
+    def restart_nodes(self) -> int:
+        """Crash-restart every storage node (the cluster-wide power
+        failure); returns the total number of orphan files GC'd.
+
+        Durable nodes rebuild their partitions from manifest and WAL
+        and republish re-derived statistics under a fresh epoch; call
+        :meth:`recover_statistics` afterwards to drain the republished
+        backlog into the master's catalog.
+        """
+        return sum(len(node.restart()) for node in self.nodes)
+
     def statistics_backlog(self) -> int:
         """Statistics messages parked in node outboxes, cluster-wide."""
         return sum(node.statistics_backlog() for node in self.nodes)
@@ -245,9 +270,13 @@ class LSMCluster:
             )
             if remaining == 0 and self.network.pending_count == 0:
                 return round_number
+        backlog = ", ".join(
+            f"{node.node_id}={node.statistics_backlog()}" for node in self.nodes
+        )
         raise ClusterError(
             f"statistics backlog did not clear within {max_rounds} recovery "
-            f"rounds ({self.statistics_backlog()} messages still parked)"
+            f"rounds ({self.statistics_backlog()} messages still parked: "
+            f"{backlog})"
         )
 
     # -- internals --------------------------------------------------------------

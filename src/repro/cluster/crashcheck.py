@@ -1,0 +1,346 @@
+"""Seeded crash-recovery verification behind ``repro crashcheck``.
+
+Runs a scripted durable-cluster ingest once crash-free (the baseline),
+then once per registered crash point with a seeded
+:class:`~repro.lsm.crashpoints.CrashInjector` armed.  When the
+simulated process death fires, every node is crash-restarted (all
+in-memory state lost, disks survive), statistics recovery drains, the
+interrupted operation is retried if and only if its effect is absent
+(the client-side at-least-once retry), and the rest of the script runs
+to completion.  The run must then be *bit-identical* to the baseline
+in three respects:
+
+1. reconciled primary and secondary scans of every partition,
+2. the master catalog (entries and synopsis payloads, uid-rank
+   normalised), and
+3. a sweep of range estimates.
+
+A negative control runs the same harness on a durable cluster with the
+WAL disabled and must demonstrably lose acknowledged records -- the
+check that the WAL is the thing earning the durability, not the
+harness accidentally re-executing everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.cluster import LSMCluster
+from repro.cluster.faultcheck import _catalog_image
+from repro.cluster.node import RetryPolicy
+from repro.core.config import StatisticsConfig
+from repro.lsm.crashpoints import (
+    CRASH_POINTS,
+    CrashInjector,
+    CrashPlan,
+    SimulatedCrash,
+)
+from repro.lsm.dataset import IndexSpec
+from repro.lsm.merge_policy import ConstantMergePolicy
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.synopses.base import SynopsisType
+from repro.types import Domain
+
+__all__ = ["CrashCheckReport", "run_crashcheck", "format_report"]
+
+_DATASET = "crash"
+_BULKLOAD_COUNT = 64
+
+
+@dataclass(frozen=True)
+class CrashCheckReport:
+    """Outcome of the per-crash-point recovery comparisons."""
+
+    seed: int
+    records: int
+    converged: bool
+    points_checked: tuple[str, ...]
+    crashes_fired: int
+    orphans_deleted: int
+    replayed_ops: int
+    rederived_synopses: int
+    stale_epoch_drops: int
+    control_records_lost: int
+    problems: tuple[str, ...]
+
+
+def _doc(pk: int) -> dict[str, Any]:
+    return {"id": pk, "value": (pk * 13) % 1024}
+
+
+def _build_cluster(
+    wal_enabled: bool = True,
+    crash_injector: CrashInjector | None = None,
+) -> LSMCluster:
+    cluster = LSMCluster(
+        num_nodes=2,
+        partitions_per_node=2,
+        stats_config=StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=32),
+        retry_policy=RetryPolicy.immediate(max_attempts=3),
+        durable=True,
+        wal_enabled=wal_enabled,
+        crash_injector=crash_injector,
+    )
+    cluster.create_dataset(
+        _DATASET,
+        primary_key="id",
+        primary_domain=Domain(0, 2**20 - 1),
+        indexes=[IndexSpec("value_idx", "value", Domain(0, 1023))],
+        memtable_capacity=32,
+        merge_policy_factory=lambda: ConstantMergePolicy(max_components=3),
+    )
+    return cluster
+
+
+def _ops(records: int) -> list[tuple[str, Any]]:
+    """The scripted workload: an initial bulkload, then inserts,
+    deletes and an explicit final flush -- enough lifecycle traffic to
+    pass every registered crash point several times."""
+    ops: list[tuple[str, Any]] = [
+        ("bulkload", tuple(range(_BULKLOAD_COUNT)))
+    ]
+    for pk in range(_BULKLOAD_COUNT, records):
+        ops.append(("insert", pk))
+    for pk in range(0, records, 17):
+        ops.append(("delete", pk))
+    ops.append(("flush", None))
+    return ops
+
+
+def _apply(cluster: LSMCluster, op: str, arg: Any) -> None:
+    if op == "bulkload":
+        cluster.bulkload(_DATASET, [_doc(pk) for pk in arg])
+    elif op == "insert":
+        cluster.insert(_DATASET, _doc(arg))
+    elif op == "delete":
+        cluster.delete(_DATASET, arg)
+    else:
+        cluster.flush_all(_DATASET)
+
+
+def _retry(cluster: LSMCluster, op: str, arg: Any) -> None:
+    """Re-apply the operation the crash interrupted, but only where
+    its effect is absent -- the client-side at-least-once retry that a
+    durable engine's idempotence must tolerate."""
+    if op == "bulkload":
+        _retry_bulkload(cluster, arg)
+    elif op == "insert":
+        if cluster.get(_DATASET, arg) is None:
+            cluster.insert(_DATASET, _doc(arg))
+    elif op == "delete":
+        if cluster.get(_DATASET, arg) is not None:
+            cluster.delete(_DATASET, arg)
+    else:
+        cluster.flush_all(_DATASET)
+
+
+def _retry_bulkload(cluster: LSMCluster, pks: tuple[int, ...]) -> None:
+    """Reload only the partitions whose load transaction was voided.
+
+    A bulkload commits per partition (one manifest transaction each),
+    so after a mid-load crash some partitions hold their component and
+    the rest recovered empty; reloading an already-loaded partition
+    would violate the load-into-empty contract.
+    """
+    batches: dict[int, list[dict[str, Any]]] = {}
+    for pk in pks:
+        batches.setdefault(cluster.partitioner.partition_of(pk), []).append(
+            _doc(pk)
+        )
+    for partition_id, batch in batches.items():
+        node = cluster._partition_owner[partition_id]
+        dataset = node.dataset(_DATASET, partition_id)
+        if dataset.primary.components or dataset.primary.memtable:
+            continue  # this partition's load already committed
+        batch.sort(key=lambda document: document["id"])
+        node.bulkload(_DATASET, partition_id, batch)
+
+
+def _run_script(
+    cluster: LSMCluster, records: int
+) -> SimulatedCrash | None:
+    """Run the workload; on a simulated crash, restart every node,
+    recover, retry the interrupted op and finish the script."""
+    ops = _ops(records)
+    position = 0
+    try:
+        for position, (op, arg) in enumerate(ops):
+            _apply(cluster, op, arg)
+    except SimulatedCrash as crash:
+        cluster.restart_nodes()
+        cluster.recover_statistics()
+        op, arg = ops[position]
+        _retry(cluster, op, arg)
+        for op, arg in ops[position + 1 :]:
+            _apply(cluster, op, arg)
+        cluster.recover_statistics()
+        return crash
+    cluster.recover_statistics()
+    return None
+
+
+def _contents_image(cluster: LSMCluster) -> dict:
+    """Reconciled per-partition scans as comparable plain data."""
+    image: dict = {}
+    for node in cluster.nodes:
+        for partition_id in node.partition_ids:
+            dataset = node.dataset(_DATASET, partition_id)
+            image[(node.node_id, partition_id, "primary")] = tuple(
+                (record.key, record.value["value"])
+                for record in dataset.primary.scan()
+            )
+            image[(node.node_id, partition_id, "value_idx")] = tuple(
+                record.key
+                for record in dataset.scan_secondary("value_idx")
+            )
+    return image
+
+
+def _estimate_sweep(cluster: LSMCluster) -> list[float]:
+    return [
+        cluster.estimate(_DATASET, "value_idx", lo, lo + width)
+        for lo in range(0, 1024, 64)
+        for width in (0, 15, 255)
+    ]
+
+
+def _compare(point: str, baseline: dict, recovered: dict) -> list[str]:
+    """Diff the three baseline images against a recovered run's."""
+    problems: list[str] = []
+    if baseline["contents"] != recovered["contents"]:
+        diverged = sorted(
+            key
+            for key in baseline["contents"]
+            if baseline["contents"][key] != recovered["contents"].get(key)
+        )
+        problems.append(f"{point}: partition contents diverged: {diverged[:4]}")
+    expected, actual = baseline["catalog"], recovered["catalog"]
+    if set(expected) != set(actual):
+        missing = sorted(set(expected) - set(actual))
+        extra = sorted(set(actual) - set(expected))
+        problems.append(
+            f"{point}: catalog entries differ "
+            f"(missing {missing[:3]}, extra {extra[:3]})"
+        )
+    else:
+        diverged = [key for key in expected if expected[key] != actual[key]]
+        if diverged:
+            problems.append(
+                f"{point}: synopsis payloads diverged for {diverged[:3]}"
+            )
+    if baseline["estimates"] != recovered["estimates"]:
+        deltas = [
+            (index, expected_value, actual_value)
+            for index, (expected_value, actual_value) in enumerate(
+                zip(baseline["estimates"], recovered["estimates"])
+            )
+            if expected_value != actual_value
+        ]
+        problems.append(f"{point}: estimates diverged: {deltas[:3]}")
+    return problems
+
+
+def _images(cluster: LSMCluster) -> dict:
+    return {
+        "contents": _contents_image(cluster),
+        "catalog": _catalog_image(cluster),
+        "estimates": _estimate_sweep(cluster),
+    }
+
+
+def run_crashcheck(seed: int = 0, records: int = 512) -> CrashCheckReport:
+    """Verify bit-identical recovery at every registered crash point."""
+    with use_registry(MetricsRegistry()):
+        baseline_cluster = _build_cluster()
+        crash = _run_script(baseline_cluster, records)
+        assert crash is None  # no injector armed
+        baseline = _images(baseline_cluster)
+        baseline_live = baseline_cluster.count_records(_DATASET)
+
+    problems: list[str] = []
+    crashes_fired = 0
+    orphans_deleted = 0
+    replayed_ops = 0
+    rederived = 0
+    stale_drops = 0
+    for point in CRASH_POINTS:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            injector = CrashInjector.seeded(seed, point)
+            cluster = _build_cluster(crash_injector=injector)
+            crash = _run_script(cluster, records)
+            if crash is None:
+                problems.append(
+                    f"{point}: crash never fired (planned hit "
+                    f"{injector.plan.hit}, passages "
+                    f"{injector.hits.get(point, 0)})"
+                )
+                continue
+            crashes_fired += 1
+            problems.extend(_compare(point, baseline, _images(cluster)))
+            if cluster.statistics_backlog():
+                problems.append(
+                    f"{point}: {cluster.statistics_backlog()} statistics "
+                    "messages still parked after recovery"
+                )
+        counters = registry.snapshot()["counters"]
+        orphans_deleted += counters.get("recovery.orphans.deleted", 0)
+        replayed_ops += counters.get("recovery.replayed.ops", 0)
+        rederived += counters.get("collector.synopses.rederived", 0)
+        stale_drops += counters.get("cluster.stats.stale_epoch", 0)
+
+    # Negative control: same harness, WAL disabled.  The crash loses
+    # the acknowledged records sitting in memtables; only the one
+    # interrupted operation is retried, so the loss must be visible.
+    with use_registry(MetricsRegistry()):
+        control_injector = CrashInjector(CrashPlan("flush.build", 1))
+        control = _build_cluster(
+            wal_enabled=False, crash_injector=control_injector
+        )
+        control_crash = _run_script(control, records)
+        control_lost = baseline_live - control.count_records(_DATASET)
+        if control_crash is None:
+            problems.append("control: crash never fired")
+        elif control_lost <= 0:
+            problems.append(
+                "control: WAL-less crash lost no acknowledged records "
+                f"(lost={control_lost}) -- the check proves nothing"
+            )
+
+    return CrashCheckReport(
+        seed=seed,
+        records=records,
+        converged=not problems,
+        points_checked=CRASH_POINTS,
+        crashes_fired=crashes_fired,
+        orphans_deleted=orphans_deleted,
+        replayed_ops=replayed_ops,
+        rederived_synopses=rederived,
+        stale_epoch_drops=stale_drops,
+        control_records_lost=control_lost,
+        problems=tuple(problems),
+    )
+
+
+def format_report(report: CrashCheckReport) -> str:
+    lines = [
+        f"crashcheck seed={report.seed} records={report.records}",
+        f"  crash points: {report.crashes_fired}/"
+        f"{len(report.points_checked)} fired",
+        f"  recovery: replayed_ops={report.replayed_ops}"
+        f" rederived_synopses={report.rederived_synopses}"
+        f" orphans_deleted={report.orphans_deleted}"
+        f" stale_epoch_drops={report.stale_epoch_drops}",
+        f"  control (no WAL): {report.control_records_lost}"
+        " acknowledged records lost",
+    ]
+    if report.converged:
+        lines.append(
+            "  converged: contents, catalog and estimates are "
+            "bit-identical to the crash-free run at every point"
+        )
+    else:
+        lines.append("  DIVERGED:")
+        lines.extend(f"    - {problem}" for problem in report.problems)
+    return "\n".join(lines)

@@ -47,11 +47,19 @@ class ClusterController:
         self.cache = MergedSynopsisCache(obs) if cache_merged else None
         self.estimator = CardinalityEstimator(self.catalog, self.cache, obs)
         self.stats_messages_received = 0
-        # (source node, partition) -> seqs already applied; messages
-        # re-delivered by the at-least-once transport are skipped.
-        self._applied_seqs: dict[tuple[str, int], set[int]] = {}
+        # (source node, partition, epoch) -> seqs already applied;
+        # messages re-delivered by the at-least-once transport are
+        # skipped.  Epoch is part of the channel because a restarted
+        # node's sink restarts its sequence counter.
+        self._applied_seqs: dict[tuple[str, int, int], set[int]] = {}
+        # (source node, partition) -> highest epoch seen; messages from
+        # older epochs are a crashed incarnation's stragglers and must
+        # not land after the recovered node's reset.
+        self._epochs: dict[tuple[str, int], int] = {}
         self._m_messages = obs.counter("cluster.stats.messages")
         self._m_duplicates = obs.counter("cluster.stats.duplicates")
+        self._m_stale = obs.counter("cluster.stats.stale_epoch")
+        self._m_resets = obs.counter("cluster.stats.resets")
         self._g_catalog_entries = obs.gauge("cluster.catalog.entries")
         network.register(node_id, self._on_message)
 
@@ -67,32 +75,60 @@ class ClusterController:
 
     def _on_message(self, source: str, message: dict[str, Any]) -> None:
         kind = message.get("kind")
-        if kind not in ("stats.publish", "stats.retract"):
+        if kind not in ("stats.publish", "stats.retract", "stats.reset"):
             raise ClusterError(f"unknown message kind {kind!r} from {source}")
         # Legacy attribute and metric count the same thing: every
-        # statistics message handled, publishes and retracts alike.
+        # statistics message handled, publishes, retracts and resets
+        # alike.
         self.stats_messages_received += 1
         self._m_messages.inc()
+        if self._is_stale_epoch(source, message):
+            self._m_stale.inc()
+            return
         if self._is_duplicate(source, message):
             self._m_duplicates.inc()
             return
         if kind == "stats.publish":
             self._handle_publish(source, message)
-        else:
+        elif kind == "stats.retract":
             self._handle_retract(source, message)
+        else:
+            self._handle_reset(source, message)
+
+    def _is_stale_epoch(self, source: str, message: dict[str, Any]) -> bool:
+        """Fence out a crashed incarnation's straggler messages.
+
+        Each node/partition carries a monotone restart epoch; the first
+        message of a newer epoch raises the floor, and anything stamped
+        below the floor is dropped -- a delayed pre-crash publish must
+        not land after the recovered node reset its statistics.
+        """
+        epoch = int(message.get("epoch", 0))
+        channel = (source, int(message.get("partition", -1)))
+        floor = self._epochs.get(channel, 0)
+        if epoch < floor:
+            return True
+        if epoch > floor:
+            self._epochs[channel] = epoch
+        return False
 
     def _is_duplicate(self, source: str, message: dict[str, Any]) -> bool:
         """Whether this exact message was applied before.
 
         Messages are stamped ``(partition, seq)`` by the sending sink
-        (unique per node/partition); unstamped messages -- hand-rolled
-        tests, pre-stamp senders -- bypass deduplication and rely on
-        the catalog's own idempotency.
+        (unique per node/partition/epoch -- a restarted sink restarts
+        its sequence, so the epoch is part of the channel); unstamped
+        messages -- hand-rolled tests, pre-stamp senders -- bypass
+        deduplication and rely on the catalog's own idempotency.
         """
         seq = message.get("seq")
         if seq is None:
             return False
-        channel = (source, int(message.get("partition", -1)))
+        channel = (
+            source,
+            int(message.get("partition", -1)),
+            int(message.get("epoch", 0)),
+        )
         applied = self._applied_seqs.setdefault(channel, set())
         if seq in applied:
             return True
@@ -121,6 +157,26 @@ class ClusterController:
                 message["component_uid"],
                 synopsis_from_payload(message["synopsis"]),
                 synopsis_from_payload(message["anti_synopsis"]),
+                epoch=int(message.get("epoch", 0)),
+            ),
+        )
+
+    def _handle_reset(self, source: str, message: dict[str, Any]) -> None:
+        """A recovered node disowns its pre-crash statistics.
+
+        Clears every catalog entry this node/partition published under
+        an older epoch; the sink's FIFO outbox guarantees the reset
+        precedes the recovered incarnation's re-publishes.
+        """
+        index_name = message["index"]
+        self._m_resets.inc()
+        self._apply(
+            index_name,
+            lambda: self.catalog.reset_partition(
+                index_name,
+                source,
+                message["partition"],
+                below_epoch=int(message.get("epoch", 0)),
             ),
         )
 

@@ -20,6 +20,7 @@ from repro.core.collector import StatisticsCollector
 from repro.core.config import StatisticsConfig
 from repro.cluster.network import Network
 from repro.errors import ClusterError, NetworkUnavailableError
+from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.merge_policy import MergePolicy
 from repro.lsm.storage import SimulatedDisk
@@ -113,6 +114,7 @@ class NetworkStatisticsSink:
         retry_policy: RetryPolicy | None = None,
         outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
         sequence_source: Callable[[], int] | None = None,
+        epoch: int = 0,
     ) -> None:
         if outbox_limit < 1:
             raise ClusterError(f"outbox_limit must be >= 1, got {outbox_limit}")
@@ -120,6 +122,7 @@ class NetworkStatisticsSink:
         self._node_id = node_id
         self._master_id = master_id
         self._partition_id = partition_id
+        self._epoch = epoch
         self._policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._outbox: deque[dict[str, Any]] = deque()
         self._outbox_limit = outbox_limit
@@ -159,6 +162,7 @@ class NetworkStatisticsSink:
                 "index": index_name,
                 "partition": self._partition_id,
                 "seq": self._next_sequence(),
+                "epoch": self._epoch,
                 "component_uid": component_uid,
                 "synopsis": synopsis.to_payload(),
                 "anti_synopsis": anti_synopsis.to_payload(),
@@ -174,10 +178,30 @@ class NetworkStatisticsSink:
                 "index": index_name,
                 "partition": self._partition_id,
                 "seq": self._next_sequence(),
+                "epoch": self._epoch,
                 "component_uids": list(component_uids),
             }
         )
         self._m_retractions.inc()
+        self._pump()
+
+    def reset(self, index_name: str) -> None:
+        """Tell the master to drop this partition's statistics from
+        epochs before this sink's.
+
+        A recovered node enqueues one reset per registered index
+        *before* its re-derived publishes; the FIFO outbox guarantees
+        the master applies them in that order.
+        """
+        self._enqueue(
+            {
+                "kind": "stats.reset",
+                "index": index_name,
+                "partition": self._partition_id,
+                "seq": self._next_sequence(),
+                "epoch": self._epoch,
+            }
+        )
         self._pump()
 
     def flush_outbox(self) -> int:
@@ -239,6 +263,9 @@ class StorageNode:
         stats_config: StatisticsConfig,
         retry_policy: RetryPolicy | None = None,
         outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
+        durable: bool = False,
+        wal_enabled: bool = True,
+        crash_injector: CrashInjector | None = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -249,14 +276,28 @@ class StorageNode:
         self.stats_config = stats_config
         self.retry_policy = retry_policy
         self.outbox_limit = outbox_limit
+        self.durable = durable
+        self.wal_enabled = wal_enabled
+        self.crash_injector = crash_injector
         self.disk = SimulatedDisk()
+        # Restart epoch: bumped (and persisted in the superblock) by
+        # every restart so the master can fence out the crashed
+        # incarnation's straggler messages.
+        self.epoch = int(self.disk.superblock.get("node.epoch", 0))
         # dataset name -> partition id -> Dataset
         self._datasets: dict[str, dict[int, Dataset]] = {}
+        # dataset name -> creation arguments, kept so restart() can
+        # rebuild every partition from its on-disk state.
+        self._schemas: dict[str, dict[str, Any]] = {}
         # Message sequences are unique per (node, partition) -- shared
         # across that partition's datasets -- so the master can
-        # deduplicate at-least-once deliveries by (node, partition, seq).
+        # deduplicate at-least-once deliveries by (node, partition, seq)
+        # within one epoch.
         self._sequences: dict[int, int] = {p: 0 for p in self.partition_ids}
         self._sinks: list[NetworkStatisticsSink] = []
+        obs = get_registry()
+        self._m_restarts = obs.counter("recovery.restarts")
+        self._m_orphans = obs.counter("recovery.orphans.deleted")
         network.register(node_id, self._on_message)
 
     def _sequence_source(self, partition_id: int) -> Callable[[], int]:
@@ -278,40 +319,117 @@ class StorageNode:
         """Instantiate the dataset on every partition this node owns."""
         if name in self._datasets:
             raise ClusterError(f"dataset {name!r} already exists on {self.node_id}")
-        index_specs = list(indexes)
-        per_partition: dict[int, Dataset] = {}
-        for partition_id in self.partition_ids:
-            dataset = Dataset(
-                name,
-                self.disk,
-                primary_key=primary_key,
-                primary_domain=primary_domain,
-                indexes=index_specs,
-                memtable_capacity=memtable_capacity,
-                merge_policy=(
-                    merge_policy_factory() if merge_policy_factory else None
-                ),
+        schema = {
+            "primary_key": primary_key,
+            "primary_domain": primary_domain,
+            "indexes": list(indexes),
+            "memtable_capacity": memtable_capacity,
+            "merge_policy_factory": merge_policy_factory,
+        }
+        self._schemas[name] = schema
+        self._datasets[name] = {
+            partition_id: self._build_partition(name, schema, partition_id)
+            for partition_id in self.partition_ids
+        }
+
+    def _build_partition(
+        self,
+        name: str,
+        schema: dict[str, Any],
+        partition_id: int,
+        recover: bool = False,
+        reset_stats: bool = False,
+    ) -> Dataset:
+        """Instantiate one partition's dataset plus its statistics
+        plumbing (sink, collector, event subscription).
+
+        With ``recover`` the dataset rebuilds itself from the manifest
+        and WAL; with ``reset_stats`` the sink first disowns the
+        pre-restart catalog entries (enqueued before any re-derived
+        publish, so FIFO ordering keeps the master coherent).
+        """
+        merge_policy_factory = schema["merge_policy_factory"]
+        dataset = Dataset(
+            name,
+            self.disk,
+            primary_key=schema["primary_key"],
+            primary_domain=schema["primary_domain"],
+            indexes=schema["indexes"],
+            memtable_capacity=schema["memtable_capacity"],
+            merge_policy=(
+                merge_policy_factory() if merge_policy_factory else None
+            ),
+            durable=self.durable,
+            wal_enabled=self.wal_enabled,
+            durability_namespace=f"{name}.p{partition_id}",
+            crash_injector=self.crash_injector,
+            recover=recover,
+        )
+        if self.stats_config.enabled:
+            sink = NetworkStatisticsSink(
+                self.network,
+                self.node_id,
+                self.master_id,
+                partition_id,
+                retry_policy=self.retry_policy,
+                outbox_limit=self.outbox_limit,
+                sequence_source=self._sequence_source(partition_id),
+                epoch=self.epoch,
             )
-            if self.stats_config.enabled:
-                sink = NetworkStatisticsSink(
-                    self.network,
-                    self.node_id,
-                    self.master_id,
-                    partition_id,
-                    retry_policy=self.retry_policy,
-                    outbox_limit=self.outbox_limit,
-                    sequence_source=self._sequence_source(partition_id),
+            self._sinks.append(sink)
+            if reset_stats:
+                sink.reset(dataset.primary.name)
+                for spec in schema["indexes"]:
+                    sink.reset(dataset.secondary_tree(spec.name).name)
+            collector = StatisticsCollector(self.stats_config, sink)
+            collector.register_index(
+                dataset.primary.name, schema["primary_domain"]
+            )
+            for spec in schema["indexes"]:
+                collector.register_index(
+                    dataset.secondary_tree(spec.name).name, spec.domain
                 )
-                self._sinks.append(sink)
-                collector = StatisticsCollector(self.stats_config, sink)
-                collector.register_index(dataset.primary.name, primary_domain)
-                for spec in index_specs:
-                    collector.register_index(
-                        dataset.secondary_tree(spec.name).name, spec.domain
-                    )
-                dataset.event_bus.subscribe(collector)
-            per_partition[partition_id] = dataset
-        self._datasets[name] = per_partition
+            dataset.event_bus.subscribe(collector)
+        if recover:
+            dataset.complete_recovery()
+        return dataset
+
+    def restart(self) -> list[int]:
+        """Simulate a crash-restart: drop every in-memory structure and
+        rebuild the node from its disk.
+
+        Bumps (and persists) the restart epoch, rebuilds each
+        partition's dataset -- from manifest and WAL when the node is
+        durable, empty otherwise -- re-derives and republishes
+        per-component statistics under the new epoch, and finally GCs
+        the orphan files half-finished lifecycle operations left
+        behind.  Returns the orphaned file ids that were deleted.
+        """
+        self.epoch += 1
+        self.disk.superblock["node.epoch"] = self.epoch
+        self._sequences = {p: 0 for p in self.partition_ids}
+        self._sinks = []
+        self._datasets = {}
+        for name, schema in self._schemas.items():
+            self._datasets[name] = {
+                partition_id: self._build_partition(
+                    name,
+                    schema,
+                    partition_id,
+                    recover=self.durable,
+                    reset_stats=self.stats_config.enabled,
+                )
+                for partition_id in self.partition_ids
+            }
+        live: set[int] = set()
+        for per_partition in self._datasets.values():
+            for dataset in per_partition.values():
+                live.update(dataset.live_file_ids())
+        orphans = self.disk.delete_files_except(live)
+        self._m_restarts.inc()
+        if orphans:
+            self._m_orphans.inc(len(orphans))
+        return orphans
 
     def dataset(self, name: str, partition_id: int) -> Dataset:
         """The dataset instance of one local partition."""

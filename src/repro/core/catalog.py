@@ -47,6 +47,9 @@ class StatisticsEntry:
         synopsis: Summary of the component's matter records.
         anti_synopsis: Summary of its anti-matter records (Section 3.3).
         version: Catalog version at insertion time.
+        epoch: Restart epoch of the producing node; a node that crashed
+            and recovered publishes under a higher epoch, and its reset
+            message clears the lower-epoch entries it replaces.
     """
 
     index_name: str
@@ -56,6 +59,7 @@ class StatisticsEntry:
     synopsis: Synopsis
     anti_synopsis: Synopsis
     version: int
+    epoch: int = 0
 
 
 class StatisticsCatalog:
@@ -76,6 +80,7 @@ class StatisticsCatalog:
         component_uid: int,
         synopsis: Synopsis,
         anti_synopsis: Synopsis,
+        epoch: int = 0,
     ) -> StatisticsEntry | None:
         """Insert (or replace) the statistics of one component.
 
@@ -84,15 +89,20 @@ class StatisticsCatalog:
         tombstone wins over a late publish), and returns the existing
         entry -- no version bump -- when an identical publish is
         already stored.  A put carrying *different* statistics for an
-        existing key still replaces the entry (a deliberate re-publish).
+        existing key still replaces the entry (a deliberate re-publish),
+        and so does a put under a newer epoch: a recovered node's
+        re-derived statistics must not be mistaken for duplicates of
+        its pre-crash ones.
         """
         key = (node_id, partition_id, component_uid)
         if key in self._tombstones.get(index_name, ()):
             return None
         bucket = self._entries.setdefault(index_name, {})
         existing = bucket.get(key)
-        if existing is not None and self._same_payload(
-            existing, synopsis, anti_synopsis
+        if (
+            existing is not None
+            and existing.epoch == epoch
+            and self._same_payload(existing, synopsis, anti_synopsis)
         ):
             return existing
         version = self._bump(index_name)
@@ -104,6 +114,7 @@ class StatisticsCatalog:
             synopsis,
             anti_synopsis,
             version,
+            epoch,
         )
         bucket[key] = entry
         return entry
@@ -134,6 +145,35 @@ class StatisticsCatalog:
         if removed:
             self._bump(index_name)
         return removed
+
+    def reset_partition(
+        self,
+        index_name: str,
+        node_id: str,
+        partition_id: int,
+        below_epoch: int,
+    ) -> int:
+        """Drop every entry of one node/partition published under an
+        epoch older than ``below_epoch``; returns how many were removed.
+
+        A recovered node sends this *before* republishing: the entries
+        its crashed incarnation delivered describe components whose
+        post-recovery identities (uids) are fresh, so the stale ones
+        would otherwise double-count the partition forever.
+        """
+        bucket = self._entries.get(index_name, {})
+        stale = [
+            key
+            for key, entry in bucket.items()
+            if key[0] == node_id
+            and key[1] == partition_id
+            and entry.epoch < below_epoch
+        ]
+        for key in stale:
+            del bucket[key]
+        if stale:
+            self._bump(index_name)
+        return len(stale)
 
     @staticmethod
     def _same_payload(

@@ -114,6 +114,7 @@ class _Instruments:
 
     component_writes: Counter
     synopses_published: Counter
+    synopses_rederived: Counter
     matter_records: Counter
     antimatter_records: Counter
     values_skipped: Counter
@@ -124,6 +125,7 @@ class _Instruments:
         return cls(
             component_writes=registry.counter("collector.component_writes"),
             synopses_published=registry.counter("collector.synopses.published"),
+            synopses_rederived=registry.counter("collector.synopses.rederived"),
             matter_records=registry.counter("collector.records.matter"),
             antimatter_records=registry.counter("collector.records.antimatter"),
             values_skipped=registry.counter("collector.values.skipped"),
@@ -385,3 +387,89 @@ class StatisticsCollector:
         uids = [c.uid for c in old_components]
         for registration in self._registrations.get(index_name, ()):
             self.sink.retract(registration.statistics_key, uids)
+
+    def components_recovered(
+        self,
+        index_name: str,
+        components: Sequence[DiskComponent],
+        key_extractor: Callable[[Record], Any],
+    ) -> None:
+        """Re-derive and republish synopses for recovered components.
+
+        Crash recovery reinstates disk components from the manifest
+        without replaying the component-write stream, so the synopses
+        their pre-crash incarnations published must be rebuilt by
+        scanning the components directly.  Each component is summarised
+        with the same builder geometry as the original write (the
+        descriptor persists ``expected_records``), so deterministic
+        synopsis families reproduce the pre-crash payloads exactly;
+        randomised families (reservoir samples) are only statistically
+        equivalent.
+        """
+        registrations = self._registrations.get(index_name)
+        if not registrations:
+            return
+        synopsis_type = self.config.synopsis_type
+        assert synopsis_type is not None
+        for component in components:
+            for registration in registrations:
+                extractor = (
+                    registration.value_extractor
+                    if registration.value_extractor is not None
+                    else key_extractor
+                )
+                builder = create_builder(
+                    synopsis_type,
+                    registration.domain,
+                    self.config.budget,
+                    component.expected_records,
+                )
+                anti_builder = create_builder(
+                    synopsis_type,
+                    registration.domain,
+                    self.config.budget,
+                    component.expected_records,
+                )
+                matter_values: list[Any] = []
+                anti_values: list[Any] = []
+                skipped = 0
+                for record in component.scan():
+                    value = extractor(record)
+                    if value is None:
+                        skipped += 1
+                    elif record.antimatter:
+                        anti_values.append(value)
+                    else:
+                        matter_values.append(value)
+                if skipped:
+                    self.metrics.values_skipped += skipped
+                    self._instruments.values_skipped.inc(skipped)
+                if anti_values:
+                    self._anti_add(anti_builder, anti_values)
+                if matter_values:
+                    self._matter_add(builder, matter_values)
+                started = time.perf_counter()
+                synopsis = builder.build()
+                anti_synopsis = anti_builder.build()
+                elapsed = time.perf_counter() - started
+                self.metrics.finalize_seconds += elapsed
+                self._instruments.build_seconds.observe(elapsed)
+                self.sink.publish(
+                    registration.statistics_key,
+                    component.uid,
+                    synopsis,
+                    anti_synopsis,
+                )
+                self.metrics.synopses_published += 2
+                self._instruments.synopses_published.inc(2)
+                self._instruments.synopses_rederived.inc(2)
+
+    def _matter_add(self, builder: SynopsisBuilder, values: list[Any]) -> None:
+        self.metrics.matter_records_observed += len(values)
+        self._instruments.matter_records.inc(len(values))
+        builder.add_many(values)
+
+    def _anti_add(self, builder: SynopsisBuilder, values: list[Any]) -> None:
+        self.metrics.antimatter_records_observed += len(values)
+        self._instruments.antimatter_records.inc(len(values))
+        builder.add_many(values)

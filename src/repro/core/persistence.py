@@ -8,11 +8,26 @@ restores it, re-inserting entries in their original version order so
 relative freshness (which the merged-synopsis cache's staleness check
 relies on) is preserved.  Absolute version numbers restart from the
 entry count, which is harmless: caches are empty after a restart.
+
+Format version 2 adds two integrity guards (the catalog file is the
+one artefact that crosses process lifetimes, so it gets the same
+paranoia as the WAL and manifest):
+
+* a CRC-32 ``checksum`` over the canonical JSON of the entry list, so
+  a truncated or bit-flipped file is rejected instead of silently
+  loading a partial catalog, and
+* per-entry ``epoch`` stamps, preserving the node-restart fencing
+  state across a master restart.
+
+Version-1 files (no checksum, no epochs) are rejected with a
+:class:`~repro.errors.CatalogError` naming both versions -- the format
+guard, not silent best-effort parsing.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -22,7 +37,13 @@ from repro.synopses.factory import synopsis_from_payload
 
 __all__ = ["save_catalog", "load_catalog", "CATALOG_FORMAT_VERSION"]
 
-CATALOG_FORMAT_VERSION = 1
+CATALOG_FORMAT_VERSION = 2
+
+
+def _entries_checksum(entries: list[dict[str, Any]]) -> int:
+    """CRC-32 over the canonical (sorted-key, compact) entries JSON."""
+    canonical = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode())
 
 
 def save_catalog(catalog: StatisticsCatalog, path: str | Path) -> int:
@@ -37,18 +58,28 @@ def save_catalog(catalog: StatisticsCatalog, path: str | Path) -> int:
                     "partition": entry.partition_id,
                     "component_uid": entry.component_uid,
                     "version": entry.version,
+                    "epoch": entry.epoch,
                     "synopsis": entry.synopsis.to_payload(),
                     "anti_synopsis": entry.anti_synopsis.to_payload(),
                 }
             )
     entries.sort(key=lambda e: e["version"])
-    document = {"format": CATALOG_FORMAT_VERSION, "entries": entries}
+    document = {
+        "format": CATALOG_FORMAT_VERSION,
+        "checksum": _entries_checksum(entries),
+        "entries": entries,
+    }
     Path(path).write_text(json.dumps(document))
     return len(entries)
 
 
 def load_catalog(path: str | Path) -> StatisticsCatalog:
-    """Restore a catalog saved by :func:`save_catalog`."""
+    """Restore a catalog saved by :func:`save_catalog`.
+
+    Raises :class:`~repro.errors.CatalogError` on a missing file,
+    malformed JSON, an unsupported format version, a checksum mismatch
+    (truncation/bit rot), or structurally invalid entries.
+    """
     path = Path(path)
     if not path.exists():
         raise CatalogError(f"no catalog file at {path}")
@@ -56,19 +87,35 @@ def load_catalog(path: str | Path) -> StatisticsCatalog:
         document = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         raise CatalogError(f"corrupt catalog file {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise CatalogError(f"catalog file {path} is not a JSON object")
     if document.get("format") != CATALOG_FORMAT_VERSION:
         raise CatalogError(
             f"unsupported catalog format {document.get('format')!r} "
             f"(expected {CATALOG_FORMAT_VERSION})"
         )
-    catalog = StatisticsCatalog()
-    for entry in document["entries"]:
-        catalog.put(
-            entry["index"],
-            entry["node"],
-            entry["partition"],
-            entry["component_uid"],
-            synopsis_from_payload(entry["synopsis"]),
-            synopsis_from_payload(entry["anti_synopsis"]),
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise CatalogError(f"catalog file {path} has no entry list")
+    if document.get("checksum") != _entries_checksum(entries):
+        raise CatalogError(
+            f"catalog file {path} failed its checksum "
+            "(truncated or corrupted)"
         )
+    catalog = StatisticsCatalog()
+    for position, entry in enumerate(entries):
+        try:
+            catalog.put(
+                entry["index"],
+                entry["node"],
+                entry["partition"],
+                entry["component_uid"],
+                synopsis_from_payload(entry["synopsis"]),
+                synopsis_from_payload(entry["anti_synopsis"]),
+                epoch=int(entry.get("epoch", 0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CatalogError(
+                f"catalog file {path}: malformed entry {position}: {exc!r}"
+            ) from exc
     return catalog

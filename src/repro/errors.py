@@ -32,6 +32,18 @@ class BulkloadError(StorageError):
     """A bulkload stream violated its contract (e.g. unsorted input)."""
 
 
+class WALError(StorageError):
+    """The write-ahead log was used incorrectly or failed verification."""
+
+
+class ManifestError(StorageError):
+    """The component manifest is corrupt or was used incorrectly."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+
 class SynopsisError(ReproError):
     """A statistical synopsis was built or queried incorrectly."""
 

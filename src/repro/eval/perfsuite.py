@@ -15,6 +15,7 @@ machine-checkable artifacts.  This module provides:
       merge-throughput    merge cursor -> merged component
       estimate-latency    Algorithm 2 over the catalog (cache warm)
       network-ship        synopsis publish through the cluster wire
+      wal-replay          durable append path + WAL recovery replay
 
 * a schema-versioned JSON report (``BENCH_<timestamp>.json``) with
   median/p95 over N repetitions plus environment, seed and scale, so
@@ -82,6 +83,7 @@ class PerfScale:
     merge_records_per_component: int
     estimate_queries: int
     ship_messages: int
+    wal_records: int
     repetitions: int
 
     def as_dict(self) -> dict[str, int]:
@@ -92,6 +94,7 @@ class PerfScale:
             "merge_records_per_component": self.merge_records_per_component,
             "estimate_queries": self.estimate_queries,
             "ship_messages": self.ship_messages,
+            "wal_records": self.wal_records,
             "repetitions": self.repetitions,
         }
 
@@ -103,6 +106,7 @@ QUICK_SCALE = PerfScale(
     merge_records_per_component=4_096,
     estimate_queries=200,
     ship_messages=300,
+    wal_records=8_000,
     repetitions=3,
 )
 """The CI-friendly preset behind ``repro bench --quick`` (seconds)."""
@@ -114,6 +118,7 @@ FULL_SCALE = PerfScale(
     merge_records_per_component=16_384,
     estimate_queries=1_000,
     ship_messages=1_500,
+    wal_records=32_000,
     repetitions=5,
 )
 """The default preset (a minute or two)."""
@@ -132,6 +137,8 @@ METRIC_SPECS: dict[str, tuple[str, str]] = {
     "merge.throughput": ("records/s", "higher"),
     "estimate.latency": ("s", "lower"),
     "ship.throughput": ("messages/s", "higher"),
+    "wal.append.throughput": ("records/s", "higher"),
+    "wal.replay.throughput": ("records/s", "higher"),
 }
 
 BENCHMARK_NAMES = (
@@ -140,6 +147,7 @@ BENCHMARK_NAMES = (
     "merge-throughput",
     "estimate-latency",
     "network-ship",
+    "wal-replay",
 )
 """The named microbenchmarks, in execution order."""
 
@@ -327,12 +335,55 @@ def _bench_ship(
     return {"ship.throughput": messages / elapsed}
 
 
+def _bench_wal_replay(
+    scale: PerfScale, seed: int, timer: Callable[[], float]
+) -> dict[str, float]:
+    """Time the durable write path (WAL append + memtable) and the
+    WAL-replay half of recovery over the same records.
+
+    The memtable capacity exceeds the record count so nothing flushes:
+    every record stays in the log and recovery replays all of them,
+    making both throughputs functions of ``wal_records`` alone.
+    """
+    n = scale.wal_records
+    disk = SimulatedDisk()
+
+    def build(recover: bool) -> Dataset:
+        return Dataset(
+            "bench.wal",
+            disk,
+            primary_key="id",
+            primary_domain=_DOMAIN,
+            memtable_capacity=n + 1,
+            durable=True,
+            recover=recover,
+        )
+
+    dataset = build(recover=False)
+    step = 514_229  # coprime with any power of two
+    started = timer()
+    for i in range(n):
+        dataset.insert({"id": (seed + i * step) % _DOMAIN.length})
+    append_elapsed = max(timer() - started, 1e-9)
+
+    started = timer()
+    recovered = build(recover=True)
+    recovered.complete_recovery()
+    replay_elapsed = max(timer() - started, 1e-9)
+    assert recovered.count_records() == n
+    return {
+        "wal.append.throughput": n / append_elapsed,
+        "wal.replay.throughput": n / replay_elapsed,
+    }
+
+
 _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "ingest-throughput": _bench_ingest,
     "flush-latency": _bench_flush,
     "merge-throughput": _bench_merge,
     "estimate-latency": _bench_estimate,
     "network-ship": _bench_ship,
+    "wal-replay": _bench_wal_replay,
 }
 
 

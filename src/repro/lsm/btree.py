@@ -23,6 +23,7 @@ __all__ = [
     "DiskBTree",
     "build_btree",
     "build_btree_chunks",
+    "btree_from_descriptor",
     "DEFAULT_LEAF_CAPACITY",
     "DEFAULT_FANOUT",
 ]
@@ -82,8 +83,29 @@ class DiskBTree:
         """Total pages occupied by the tree."""
         return self._file.num_pages
 
+    @property
+    def file_id(self) -> int:
+        """Id of the backing file on the simulated disk."""
+        return self._file.file_id
+
     def __len__(self) -> int:
         return self.num_records
+
+    def describe(self) -> dict[str, int | None]:
+        """The tree's structural root pointers as plain data.
+
+        Everything needed to reopen the tree against its (sealed,
+        surviving) file after a crash -- the manifest persists this in
+        component commit entries, mirroring how a real MANIFEST records
+        SSTable metadata rather than the SSTable bytes.
+        """
+        return {
+            "file_id": self._file.file_id,
+            "root_page": self._root_page,
+            "height": self.height,
+            "num_records": self.num_records,
+            "first_leaf": self._first_leaf,
+        }
 
     def lookup(self, key: Any) -> Record | None:
         """Point lookup; returns the record (possibly anti-matter) or None."""
@@ -263,6 +285,29 @@ def build_btree_chunks(
     return _seal_tree(
         file, leaf_page_nos, leaf_min_keys, leaves, fanout, num_records
     )
+
+
+def btree_from_descriptor(
+    disk: SimulatedDisk, descriptor: dict[str, Any]
+) -> DiskBTree:
+    """Reopen an immutable B-tree from a :meth:`DiskBTree.describe`
+    payload; the backing file must still be live on ``disk``."""
+    try:
+        file_id = descriptor["file_id"]
+        tree = DiskBTree(
+            FileHandle(disk, file_id),
+            root_page=descriptor["root_page"],
+            height=descriptor["height"],
+            num_records=descriptor["num_records"],
+            first_leaf=descriptor["first_leaf"],
+        )
+    except KeyError as exc:
+        raise StorageError(
+            f"malformed B-tree descriptor (missing {exc})"
+        ) from exc
+    # Fail fast on a dangling file reference instead of at first read.
+    disk.num_pages(file_id)
+    return tree
 
 
 def _seal_tree(

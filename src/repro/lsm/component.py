@@ -72,12 +72,22 @@ class DiskComponent:
         matter_count: int,
         antimatter_count: int,
         bloom: BloomFilter | None = None,
+        expected_records: int | None = None,
     ) -> None:
         self.component_id = component_id
         self.btree = btree
         self.matter_count = matter_count
         self.antimatter_count = antimatter_count
         self.bloom = bloom
+        # The record estimate the component was *built* with (a merge
+        # over-estimates: sum of inputs before reconciliation).  Kept so
+        # recovery can re-derive synopses with the identical budget
+        # geometry the crashed process used.
+        self.expected_records = (
+            expected_records
+            if expected_records is not None
+            else matter_count + antimatter_count
+        )
         self.state = ComponentState.ACTIVE
         self.uid = next(_component_counter)
         self.bloom_negatives = 0  # lookups the filter short-circuited

@@ -20,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
-from repro.errors import BulkloadError, QueryError, StorageError
+from repro.errors import BulkloadError, QueryError, RecoveryError, StorageError
 from repro.lsm.component import DiskComponent
+from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.events import EventBus
+from repro.lsm.manifest import Manifest
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
 from repro.lsm.record import Record
 from repro.lsm.tree import (
@@ -32,6 +34,8 @@ from repro.lsm.tree import (
     SequenceGenerator,
 )
 from repro.lsm.storage import SimulatedDisk
+from repro.lsm.wal import DEFAULT_WAL_GROUP_SIZE, WriteAheadLog
+from repro.obs.registry import get_registry
 from repro.types import Domain
 
 __all__ = [
@@ -146,16 +150,68 @@ class Dataset:
         merge_policy: MergePolicy | None = None,
         event_bus: EventBus | None = None,
         write_batch_size: int | None = DEFAULT_WRITE_BATCH_SIZE,
+        durable: bool = False,
+        wal_enabled: bool = True,
+        wal_group_size: int = DEFAULT_WAL_GROUP_SIZE,
+        durability_namespace: str | None = None,
+        crash_injector: CrashInjector | None = None,
+        recover: bool = False,
     ) -> None:
         self.name = name
         self.primary_key = primary_key
         self.primary_domain = primary_domain
         self.event_bus = event_bus if event_bus is not None else EventBus()
-        self.sequence = SequenceGenerator()
         self.memtable_capacity = memtable_capacity
         self.write_batch_size = write_batch_size
         self._pending_writes = 0
         merge_policy = merge_policy if merge_policy is not None else NoMergePolicy()
+
+        # Durability: a manifest makes every flush/merge/bulkload
+        # two-phase and recoverable; the WAL makes individual operations
+        # durable between flushes.  ``wal_enabled=False`` keeps the
+        # manifest but drops the log -- the negative control that shows
+        # what a crash costs without one.  All of it is opt-in so the
+        # non-durable fast path is byte-for-byte the PR 3 hot path.
+        self._injector = crash_injector
+        self._manifest: Manifest | None = None
+        self._wal: WriteAheadLog | None = None
+        replayed: list[tuple[int, str, Record]] = []
+        state = None
+        if durable:
+            namespace = (
+                durability_namespace if durability_namespace is not None else name
+            )
+            self._manifest = Manifest(
+                disk, namespace, recover=recover, crash_injector=crash_injector
+            )
+            if wal_enabled:
+                self._wal = WriteAheadLog(
+                    disk,
+                    namespace,
+                    group_size=wal_group_size,
+                    recover=recover,
+                    crash_injector=crash_injector,
+                )
+            self._m_replayed_ops = get_registry().counter("recovery.replayed.ops")
+            if recover:
+                state = self._manifest.replay()
+                if self._wal is not None:
+                    replayed = list(self._wal.replay())
+        elif recover:
+            raise RecoveryError(
+                f"dataset {name!r} cannot recover without durable=True"
+            )
+
+        # Resume sequence numbers past everything that survived the
+        # crash so replayed and new operations never collide.
+        max_seen = -1
+        if state is not None:
+            for descriptors in state.components.values():
+                for descriptor in descriptors:
+                    max_seen = max(max_seen, descriptor.max_seq)
+        for _seqnum, _tree, record in replayed:
+            max_seen = max(max_seen, record.seqnum)
+        self.sequence = SequenceGenerator(max_seen + 1)
 
         self.primary = LSMTree(
             name=secondary_index_name(name, "primary"),
@@ -166,6 +222,8 @@ class Dataset:
             sequence=self.sequence,
             auto_flush=False,
             write_batch_size=write_batch_size,
+            manifest=self._manifest,
+            crash_injector=crash_injector,
         )
         self.indexes: dict[str, IndexSpec] = {}
         self.composite_indexes: dict[str, CompositeIndexSpec] = {}
@@ -198,7 +256,11 @@ class Dataset:
                 auto_flush=False,
                 index_builder=index_builder,
                 write_batch_size=write_batch_size,
+                manifest=self._manifest,
+                crash_injector=crash_injector,
             )
+        if recover and state is not None:
+            self._recover_from(state, replayed)
 
     def _all_specs(
         self,
@@ -207,12 +269,96 @@ class Dataset:
         yield from self.composite_indexes.values()
         yield from self.spatial_indexes.values()
 
+    # -- recovery ---------------------------------------------------------
+
+    def _recover_from(
+        self, state: Any, replayed: list[tuple[int, str, Record]]
+    ) -> None:
+        """Reinstate disk components from the manifest and replay the
+        WAL into fresh memtables (invoked from ``__init__``)."""
+        trees = {tree.name: tree for tree in self._all_trees()}
+        unknown = set(state.components) - set(trees)
+        if unknown:
+            raise RecoveryError(
+                f"manifest for dataset {self.name!r} names unknown trees: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        for tree in self._all_trees():
+            tree.install_recovered(state.components.get(tree.name, []))
+        replayed_ops: set[int] = set()
+        for seqnum, tree_name, record in replayed:
+            tree = trees.get(tree_name)
+            if tree is None:
+                raise RecoveryError(
+                    f"WAL for dataset {self.name!r} names unknown tree "
+                    f"{tree_name!r}"
+                )
+            if record.seqnum <= tree.max_flushed_seqnum:
+                continue  # already durable in a flushed component
+            tree.memtable.write(record)
+            replayed_ops.add(seqnum)
+        self._pending_writes = len(replayed_ops)
+        self._m_replayed_ops.inc(len(replayed_ops))
+
+    def complete_recovery(self) -> None:
+        """Finish a ``recover=True`` construction: let observers
+        re-derive per-component state, then restore the flush/merge
+        invariants the crash may have interrupted.
+
+        Split from ``__init__`` so the caller can subscribe observers
+        (the statistics collector) to the event bus first.
+        """
+        if self._manifest is None:
+            raise RecoveryError(
+                f"complete_recovery on non-durable dataset {self.name!r}"
+            )
+        for tree in self._all_trees():
+            components = tree.components  # newest first
+            if components:
+                self.event_bus.notify_recovered(
+                    tree.name, list(reversed(components)), tree.key_extractor
+                )
+        if self._pending_writes >= self.memtable_capacity:
+            self.flush()
+        else:
+            for tree in self._all_trees():
+                tree.run_pending_merges()
+
+    def live_file_ids(self) -> set[int]:
+        """Disk files this dataset still references (components plus
+        its manifest and WAL) -- everything else of its files is
+        post-crash garbage."""
+        # R-tree components have no backing file id (they are rebuilt
+        # in memory); only B-tree components pin disk files.
+        ids = {
+            file_id
+            for tree in self._all_trees()
+            for component in tree.components
+            if (file_id := getattr(component.btree, "file_id", None)) is not None
+        }
+        if self._manifest is not None:
+            ids.add(self._manifest.file_id)
+        if self._wal is not None:
+            ids.add(self._wal.file_id)
+        return ids
+
     # -- write path -------------------------------------------------------
 
     def insert(self, document: dict[str, Any]) -> None:
         """Insert a new record (the caller guarantees PK uniqueness)."""
         pk = self._pk_of(document)
         seqnum = self.sequence.next()
+        if self._wal is not None:
+            writes = [(self.primary, Record.matter(pk, document, seqnum=seqnum))]
+            for spec in self._all_specs():
+                writes.append(
+                    (
+                        self._secondary[spec.name],
+                        Record.matter((*spec.key_of(document), pk), seqnum=seqnum),
+                    )
+                )
+            self._apply_logged(seqnum, writes)
+            return
         self.primary.write_record(Record.matter(pk, document, seqnum=seqnum))
         for spec in self._all_specs():
             self._secondary[spec.name].write_record(
@@ -228,6 +374,14 @@ class Dataset:
         but the per-document Python dispatch is amortised: extractors
         and trees are bound once for the whole batch.
         """
+        if self._wal is not None:
+            # Durable inserts go through the op-atomic logged path; the
+            # bound-once fast loop below stays WAL-free.
+            inserted = 0
+            for document in documents:
+                self.insert(document)
+                inserted += 1
+            return inserted
         specs = list(self._all_specs())
         trees = [self._secondary[spec.name] for spec in specs]
         primary_write = self.primary.write_record
@@ -253,6 +407,19 @@ class Dataset:
         if old is None:
             return False
         seqnum = self.sequence.next()
+        if self._wal is not None:
+            writes = [(self.primary, Record.matter(pk, document, seqnum=seqnum))]
+            for spec in self._all_specs():
+                old_sk, new_sk = spec.key_of(old), spec.key_of(document)
+                if old_sk == new_sk:
+                    continue
+                tree = self._secondary[spec.name]
+                writes.append((tree, Record.anti((*old_sk, pk), seqnum=seqnum)))
+                writes.append(
+                    (tree, Record.matter((*new_sk, pk), seqnum=seqnum))
+                )
+            self._apply_logged(seqnum, writes)
+            return True
         self.primary.write_record(Record.matter(pk, document, seqnum=seqnum))
         for spec in self._all_specs():
             old_sk, new_sk = spec.key_of(old), spec.key_of(document)
@@ -273,6 +440,17 @@ class Dataset:
         if old is None:
             return False
         seqnum = self.sequence.next()
+        if self._wal is not None:
+            writes = [(self.primary, Record.anti(pk, seqnum=seqnum))]
+            for spec in self._all_specs():
+                writes.append(
+                    (
+                        self._secondary[spec.name],
+                        Record.anti((*spec.key_of(old), pk), seqnum=seqnum),
+                    )
+                )
+            self._apply_logged(seqnum, writes)
+            return True
         self.primary.write_record(Record.anti(pk, seqnum=seqnum))
         for spec in self._all_specs():
             self._secondary[spec.name].write_record(
@@ -307,23 +485,71 @@ class Dataset:
                     )
                 yield Record.matter(pk, document)
 
-        self.primary.bulkload(primary_stream(), expected_records=len(documents))
+        txn = None
+        if self._manifest is not None:
+            txn = self._manifest.begin_txn()
+        self.primary.bulkload(
+            primary_stream(), expected_records=len(documents), txn=txn
+        )
         for name, entries in secondary_entries.items():
             entries.sort()
             self._secondary[name].bulkload(
                 (Record.matter(key) for key in entries),
                 expected_records=len(entries),
+                txn=txn,
             )
+        if self._manifest is not None:
+            assert txn is not None
+            self._manifest.commit_txn(txn)
 
     def flush(self) -> list[DiskComponent]:
-        """Force-flush all indexes of the dataset together."""
+        """Force-flush all indexes of the dataset together.
+
+        On the durable path the multi-tree flush is one manifest
+        transaction: each tree's component commit is stamped with the
+        transaction id and none takes effect until the ``txn.commit``
+        entry is durable, so a crash mid-flush can never install the
+        primary's component without its secondaries'.  Merges are
+        deferred until after the transaction (and the WAL truncation),
+        keeping the log small while the multi-tree state is in flux.
+        """
         self._pending_writes = 0
+        if self._manifest is None:
+            flushed = []
+            for tree in self._all_trees():
+                component = tree.flush()
+                if component is not None:
+                    flushed.append(component)
+            return flushed
+        if not any(tree.memtable for tree in self._all_trees()):
+            return []
+        if self._wal is not None:
+            self._wal.sync()
+        txn = self._manifest.begin_txn()
         flushed = []
         for tree in self._all_trees():
-            component = tree.flush()
+            component = tree.flush(txn=txn, run_merge=False)
             if component is not None:
                 flushed.append(component)
+        self._manifest.commit_txn(txn)
+        if self._wal is not None:
+            self._wal.truncate()
+        for tree in self._all_trees():
+            tree.run_pending_merges()
         return flushed
+
+    def _apply_logged(
+        self, seqnum: int, writes: "list[tuple[LSMTree, Record]]"
+    ) -> None:
+        """Durably log one operation's records (all trees, one seqnum,
+        one atomic WAL entry), then apply them to the memtables."""
+        assert self._wal is not None
+        self._wal.log_op(
+            seqnum, [(tree.name, record) for tree, record in writes]
+        )
+        for tree, record in writes:
+            tree.write_record(record)
+        self._after_write()
 
     def _after_write(self) -> None:
         self._pending_writes += 1

@@ -133,6 +133,7 @@ class EventBus:
         obs = registry if registry is not None else get_registry()
         self._m_writes = obs.counter("lsm.events.component_writes")
         self._m_replacements = obs.counter("lsm.events.replacements")
+        self._m_recoveries = obs.counter("lsm.events.recoveries")
         self._g_observers = obs.gauge("lsm.events.observers")
 
     def subscribe(self, observer: LSMEventObserver) -> None:
@@ -167,3 +168,25 @@ class EventBus:
         self._m_replacements.inc()
         for observer in self._observers:
             observer.component_replaced(index_name, old_components, new_component)
+
+    def notify_recovered(
+        self,
+        index_name: str,
+        components: Sequence[DiskComponent],
+        key_extractor: Callable[[Record], Any],
+    ) -> None:
+        """Broadcast that crash recovery reinstated ``components``
+        (oldest first) for ``index_name``.
+
+        Recovery rebuilds components from the manifest *without* the
+        component-write stream observers normally tap, so observers that
+        derive state from that stream (the statistics collector) get
+        this one chance to re-derive it by scanning the recovered
+        components.  Observers without a ``components_recovered`` method
+        are skipped -- recovery is an optional part of the protocol.
+        """
+        self._m_recoveries.inc()
+        for observer in self._observers:
+            handler = getattr(observer, "components_recovered", None)
+            if handler is not None:
+                handler(index_name, components, key_extractor)

@@ -39,6 +39,8 @@ class IOStats:
     bytes_read: int = 0
     files_created: int = 0
     files_deleted: int = 0
+    pages_deleted: int = 0
+    bytes_reclaimed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -134,6 +136,12 @@ class SimulatedDisk:
         self._next_file_id = 0
         # LRU buffer cache: (file_id, page_no) -> page object.
         self._cache: OrderedDict[tuple[int, int], Any] = OrderedDict()
+        # The "superblock": a tiny fixed-location key/value area real
+        # filesystems reserve for boot-strapping metadata.  Recovery
+        # reads the current WAL/manifest file ids and the node epoch
+        # from here; like file pages, its contents survive a simulated
+        # crash (only in-memory objects are lost).
+        self.superblock: dict[str, Any] = {}
 
     def create_file(self) -> FileHandle:
         """Create a new empty file."""
@@ -197,15 +205,35 @@ class SimulatedDisk:
         self._live_file(file_id).sealed = True
 
     def delete_file(self, file_id: int) -> None:
-        """Delete a file and free its pages (and cached copies)."""
+        """Delete a file and free its pages (and cached copies).
+
+        The reclaimed space is charged to ``pages_deleted`` /
+        ``bytes_reclaimed`` so merge GC and recovery orphan-GC are
+        visible in :class:`IOStats`.
+        """
         file = self._live_file(file_id)
+        freed_pages = len(file.pages)
         file.deleted = True
         file.pages = []
         self.stats.files_deleted += 1
+        self.stats.pages_deleted += freed_pages
+        self.stats.bytes_reclaimed += freed_pages * self.page_bytes
         if self.cache_pages:
             stale = [key for key in self._cache if key[0] == file_id]
             for key in stale:
                 del self._cache[key]
+
+    def delete_files_except(self, keep: "set[int]") -> list[int]:
+        """Delete every live file whose id is not in ``keep`` (orphan
+        garbage collection after a crash); returns the deleted ids."""
+        orphans = [
+            file_id
+            for file_id, file in self._files.items()
+            if not file.deleted and file_id not in keep
+        ]
+        for file_id in orphans:
+            self.delete_file(file_id)
+        return orphans
 
     def num_pages(self, file_id: int) -> int:
         """Page count of a live file."""
@@ -215,6 +243,12 @@ class SimulatedDisk:
     def live_files(self) -> int:
         """Number of files created and not yet deleted."""
         return sum(1 for f in self._files.values() if not f.deleted)
+
+    def live_file_ids(self) -> set[int]:
+        """Ids of all files created and not yet deleted."""
+        return {
+            file_id for file_id, f in self._files.items() if not f.deleted
+        }
 
     def _live_file(self, file_id: int) -> _File:
         file = self._files.get(file_id)

@@ -14,15 +14,17 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.errors import BulkloadError, StorageError
+from repro.errors import BulkloadError, RecoveryError, StorageError
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.btree import (
     DEFAULT_FANOUT,
     DEFAULT_LEAF_CAPACITY,
+    btree_from_descriptor,
     build_btree,
     build_btree_chunks,
 )
 from repro.lsm.component import ComponentId, DiskComponent
+from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.cursor import chunk_stream, merge_streams, reconcile
 from repro.lsm.events import (
     ComponentWriteContext,
@@ -31,10 +33,12 @@ from repro.lsm.events import (
     RecordSink,
     accept_batch,
 )
+from repro.lsm.manifest import ComponentDescriptor, Manifest
 from repro.lsm.memtable import MemTable
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
 from repro.lsm.record import Record
 from repro.lsm.storage import SimulatedDisk
+from repro.lsm.wal import WriteAheadLog
 from repro.obs.registry import MetricsRegistry, get_registry, sanitize_segment
 from repro.obs.tracing import span
 
@@ -101,6 +105,9 @@ class LSMTree:
         index_builder: Callable[..., Any] | None = None,
         registry: MetricsRegistry | None = None,
         write_batch_size: int | None = DEFAULT_WRITE_BATCH_SIZE,
+        manifest: Manifest | None = None,
+        wal: WriteAheadLog | None = None,
+        crash_injector: CrashInjector | None = None,
     ) -> None:
         if memtable_capacity < 1:
             raise StorageError(
@@ -133,6 +140,19 @@ class LSMTree:
         # builder must accept (disk, records, leaf_capacity, fanout)
         # and return the DiskBTree scan/lookup interface.
         self.index_builder = index_builder if index_builder is not None else build_btree
+        # Durability hooks.  With a manifest, every component-creating
+        # operation becomes two-phase (begin/commit entries) so recovery
+        # can tell installed components from half-built orphans.  The
+        # WAL hook is for standalone trees; dataset trees leave it None
+        # and the dataset logs each op atomically across its indexes.
+        if manifest is not None and self.index_builder is not build_btree:
+            raise StorageError(
+                f"durable LSM tree {name!r} requires the B-tree index "
+                "builder (custom structures have no manifest descriptor)"
+            )
+        self._manifest = manifest
+        self._wal = wal
+        self._injector = crash_injector
         # None disables batching: the legacy per-record tap/build path
         # (kept as the compatibility fallback and the perf baseline).
         self.write_batch_size = write_batch_size
@@ -156,9 +176,14 @@ class LSMTree:
         self._m_matter = self._obs.counter("lsm.records.matter")
         self._m_anti = self._obs.counter("lsm.records.antimatter")
         self._m_observer_failures = self._obs.counter("lsm.observer.failures")
+        self._m_recovered = self._obs.counter("recovery.components")
         self._g_components = self._obs.gauge(
             f"lsm.components.{sanitize_segment(name)}"
         )
+
+    def _fire(self, point: str) -> None:
+        if self._injector is not None:
+            self._injector.reached(point)
 
     # -- write path ------------------------------------------------------
 
@@ -178,19 +203,37 @@ class LSMTree:
         self._write(record)
 
     def _write(self, record: Record) -> None:
+        # Log before the memtable accepts: an acknowledged write must
+        # survive a crash even though the memtable is volatile.
+        if self._wal is not None:
+            self._wal.append(self.name, record)
         self.memtable.write(record)
         if self.auto_flush and len(self.memtable) >= self.memtable_capacity:
             self.flush()
 
     # -- lifecycle events --------------------------------------------------
 
-    def flush(self) -> DiskComponent | None:
+    def flush(
+        self, txn: int | None = None, run_merge: bool = True
+    ) -> DiskComponent | None:
         """Persist the in-memory component; returns the new disk
-        component, or ``None`` when there was nothing to flush."""
+        component, or ``None`` when there was nothing to flush.
+
+        With a manifest attached the flush is two-phase: a begin entry
+        precedes the build (so a half-built file is recognisably an
+        orphan) and the commit entry installs the sealed component.
+        ``txn`` stamps the commit with a dataset flush transaction;
+        ``run_merge=False`` defers merge-policy evaluation so the
+        dataset can commit the transaction across all its trees first.
+        """
         if not self.memtable:
             return None
         seq_range = self.memtable.seqnum_range
         assert seq_range is not None
+        if self._wal is not None:
+            self._wal.sync()
+        if self._manifest is not None:
+            self._manifest.begin("flush", self.name, txn=txn)
         batch = self.write_batch_size
         with span("lsm.flush", self._obs):
             component = self._write_component(
@@ -206,16 +249,27 @@ class LSMTree:
                 ),
                 expected_records=len(self.memtable),
             )
+            self._fire("flush.build")
+            if self._manifest is not None:
+                self._manifest.commit(
+                    "flush", self.name, self._descriptor(component), txn=txn
+                )
             self.memtable.reset()
             self._components.insert(0, component)
             self.flush_count += 1
             self._m_flush.inc()
             self._g_components.set(len(self._components))
-        self._maybe_merge()
+        if self._wal is not None:
+            self._wal.truncate()
+        if run_merge:
+            self._maybe_merge()
         return component
 
     def bulkload(
-        self, records: Iterable[Record], expected_records: int
+        self,
+        records: Iterable[Record],
+        expected_records: int,
+        txn: int | None = None,
     ) -> DiskComponent:
         """Initial load of a sorted matter-record stream into an empty tree.
 
@@ -236,6 +290,8 @@ class LSMTree:
                 )
 
         start_seq = self.sequence.last + 1
+        if self._manifest is not None:
+            self._manifest.begin("bulkload", self.name, txn=txn)
         with span("lsm.bulkload", self._obs):
             component = self._write_component(
                 LSMEventType.BULKLOAD,
@@ -248,6 +304,11 @@ class LSMTree:
             if end_seq < start_seq:  # empty load
                 end_seq = start_seq
             component.component_id = ComponentId(start_seq, end_seq)
+            self._fire("bulkload.build")
+            if self._manifest is not None:
+                self._manifest.commit(
+                    "bulkload", self.name, self._descriptor(component), txn=txn
+                )
             self._components.insert(0, component)
             self._m_bulkload.inc()
             self._g_components.set(len(self._components))
@@ -273,6 +334,12 @@ class LSMTree:
             merge_streams([c.scan() for c in ordered]),
             keep_antimatter=not includes_oldest,
         )
+        replaced_files: tuple[int, ...] = ()
+        if self._manifest is not None:
+            replaced_files = tuple(c.btree.file_id for c in ordered)
+            self._manifest.begin(
+                "merge", self.name, payload={"inputs": list(replaced_files)}
+            )
         with span("lsm.merge", self._obs):
             component = self._write_component(
                 LSMEventType.MERGE,
@@ -281,11 +348,23 @@ class LSMTree:
                 expected_records=sum(c.record_count for c in ordered),
                 merged_components=tuple(ordered),
             )
+            self._fire("merge.build")
+            if self._manifest is not None:
+                self._manifest.commit(
+                    "merge",
+                    self.name,
+                    self._descriptor(component),
+                    replaces=replaced_files,
+                )
             # Splice the new component in place of the merged run.
             self._components[indices[0] : indices[-1] + 1] = [component]
             for old in ordered:
                 old.mark_merged()
             self.event_bus.notify_replaced(self.name, tuple(ordered), component)
+            # The commit made the replacement durable; the old files are
+            # garbage either way, so a crash here leaves orphans for
+            # recovery to GC rather than dangling live components.
+            self._fire("merge.cleanup")
             for old in ordered:
                 old.destroy()
             self.merge_count += 1
@@ -298,6 +377,78 @@ class LSMTree:
         while selected:
             self.merge(selected)
             selected = self.merge_policy.select_merge(self._components)
+
+    def run_pending_merges(self) -> None:
+        """Evaluate the merge policy now (used after a dataset flush
+        transaction commits, where per-tree flushes deferred merging)."""
+        self._maybe_merge()
+
+    def _descriptor(self, component: DiskComponent) -> ComponentDescriptor:
+        return ComponentDescriptor(
+            tree=self.name,
+            min_seq=component.component_id.min_seq,
+            max_seq=component.component_id.max_seq,
+            matter_count=component.matter_count,
+            antimatter_count=component.antimatter_count,
+            expected_records=component.expected_records,
+            btree=component.btree.describe(),
+            ordinal=-1,  # assigned by manifest replay, unused on write
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    @property
+    def max_flushed_seqnum(self) -> int:
+        """Largest sequence number durable in a disk component (``-1``
+        when the tree has none); WAL replay skips older entries."""
+        if not self._components:
+            return -1
+        return max(c.component_id.max_seq for c in self._components)
+
+    def install_recovered(
+        self, descriptors: "list[ComponentDescriptor]"
+    ) -> None:
+        """Reinstate disk components from manifest descriptors
+        (given newest first, as :class:`~repro.lsm.manifest.ManifestState`
+        keeps them) after a crash.
+
+        Components are *constructed* in manifest-ordinal order so the
+        fresh uids they draw preserve the creation-order ranking the
+        crashed process had -- the statistics catalog is compared by uid
+        rank within an index/partition, never by raw uid.  Bloom filters
+        are rebuilt by scanning, sized with the same ``expected_records``
+        the original build used.
+        """
+        if self._components or self.memtable:
+            raise RecoveryError(
+                f"install_recovered on non-empty LSM tree {self.name!r}"
+            )
+        built: dict[int, DiskComponent] = {}
+        for descriptor in sorted(descriptors, key=lambda d: d.ordinal):
+            if descriptor.tree != self.name:
+                raise RecoveryError(
+                    f"descriptor for tree {descriptor.tree!r} handed to "
+                    f"LSM tree {self.name!r}"
+                )
+            btree = btree_from_descriptor(self.disk, descriptor.btree)
+            bloom = None
+            if self.bloom_fpp is not None:
+                bloom = BloomFilter.for_capacity(
+                    max(1, descriptor.expected_records), self.bloom_fpp
+                )
+                for record in btree.iter_all():
+                    bloom.add(record.key)
+            built[descriptor.ordinal] = DiskComponent(
+                ComponentId(descriptor.min_seq, descriptor.max_seq),
+                btree,
+                matter_count=descriptor.matter_count,
+                antimatter_count=descriptor.antimatter_count,
+                bloom=bloom,
+                expected_records=descriptor.expected_records,
+            )
+            self._m_recovered.inc()
+        self._components = [built[d.ordinal] for d in descriptors]
+        self._g_components.set(len(self._components))
 
     def _write_component(
         self,

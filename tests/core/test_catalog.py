@@ -17,8 +17,12 @@ def _synopsis(values=()):
     return builder.build()
 
 
-def _put(catalog, index="idx", node="n1", partition=0, uid=1, values=(1, 2)):
-    return catalog.put(index, node, partition, uid, _synopsis(values), _synopsis())
+def _put(
+    catalog, index="idx", node="n1", partition=0, uid=1, values=(1, 2), epoch=0
+):
+    return catalog.put(
+        index, node, partition, uid, _synopsis(values), _synopsis(), epoch=epoch
+    )
 
 
 def test_put_and_retrieve():
@@ -123,3 +127,47 @@ def test_duplicate_retract_is_noop():
     version = catalog.version_for("idx")
     assert catalog.retract("idx", "n1", 0, [1]) == 0
     assert catalog.version_for("idx") == version
+
+
+def test_put_same_payload_new_epoch_replaces():
+    # After a node restart the same component payload is republished
+    # under a higher epoch; the entry must be replaced, not deduped,
+    # so reset_partition cannot sweep it away later.
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1, values=(1, 2))
+    version = catalog.version_for("idx")
+    entry = _put(catalog, uid=1, values=(1, 2), epoch=1)
+    assert entry is not None and entry.epoch == 1
+    assert catalog.version_for("idx") > version
+    assert catalog.entry_count("idx") == 1
+
+
+def test_reset_partition_sweeps_only_stale_entries():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1)                      # stale (epoch 0)
+    _put(catalog, uid=2, epoch=1)             # already current
+    _put(catalog, partition=1, uid=3)         # other partition
+    _put(catalog, node="n2", uid=4)           # other node
+    version = catalog.version_for("idx")
+    removed = catalog.reset_partition("idx", "n1", 0, below_epoch=1)
+    assert removed == 1
+    assert catalog.entry_count("idx") == 3
+    assert catalog.version_for("idx") == version + 1
+    remaining = {entry.component_uid for entry in catalog.entries_for("idx")}
+    assert remaining == {2, 3, 4}
+
+
+def test_reset_partition_without_matches_is_noop():
+    catalog = StatisticsCatalog()
+    _put(catalog, uid=1, epoch=5)
+    version = catalog.version_for("idx")
+    assert catalog.reset_partition("idx", "n1", 0, below_epoch=3) == 0
+    assert catalog.version_for("idx") == version
+
+
+def test_reset_partition_leaves_tombstones_intact():
+    catalog = StatisticsCatalog()
+    catalog.retract("idx", "n1", 0, [7])
+    catalog.reset_partition("idx", "n1", 0, below_epoch=10)
+    # The retract-before-publish fence still holds post-reset.
+    assert _put(catalog, uid=7) is None

@@ -94,6 +94,60 @@ class TestPersistence:
         assert save_catalog(StatisticsCatalog(), path) == 0
         assert load_catalog(path).entry_count() == 0
 
+    def test_checksum_rejects_payload_tampering(self, tmp_path):
+        import json
+
+        _dataset, manager = _populated_manager()
+        path = tmp_path / "catalog.json"
+        save_catalog(manager.catalog, path)
+        document = json.loads(path.read_text())
+        document["entries"][0]["partition"] += 1  # single flipped field
+        path.write_text(json.dumps(document))
+        with pytest.raises(CatalogError, match="checksum"):
+            load_catalog(path)
+
+    def test_checksum_rejects_truncated_entry_list(self, tmp_path):
+        import json
+
+        _dataset, manager = _populated_manager()
+        path = tmp_path / "catalog.json"
+        save_catalog(manager.catalog, path)
+        document = json.loads(path.read_text())
+        document["entries"] = document["entries"][:-1]
+        path.write_text(json.dumps(document))
+        with pytest.raises(CatalogError, match="checksum"):
+            load_catalog(path)
+
+    def test_malformed_entry_named_in_error(self, tmp_path):
+        import json
+
+        from repro.core.persistence import _entries_checksum
+
+        entries = [{"index": "idx"}]  # missing every other field
+        document = {
+            "format": 2,
+            "checksum": _entries_checksum(entries),
+            "entries": entries,
+        }
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(CatalogError, match="entry 0"):
+            load_catalog(path)
+
+    def test_epoch_survives_roundtrip(self, tmp_path):
+        from repro.core.catalog import StatisticsCatalog
+        from repro.synopses import create_builder
+
+        builder = create_builder(SynopsisType.EQUI_WIDTH, VALUE_DOMAIN, 8, 1)
+        builder.add(1)
+        synopsis = builder.build()
+        catalog = StatisticsCatalog()
+        catalog.put("idx", "n1", 0, 1, synopsis, synopsis, epoch=3)
+        path = tmp_path / "epoch.json"
+        save_catalog(catalog, path)
+        restored = load_catalog(path)
+        assert restored.entries_for("idx")[0].epoch == 3
+
 
 class TestCollectorMetrics:
     def test_counters_track_workload(self):

@@ -1,0 +1,121 @@
+"""Tests for the component manifest and its replay semantics."""
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.lsm.manifest import ComponentDescriptor, Manifest
+from repro.lsm.storage import SimulatedDisk
+
+
+def _descriptor(tree, file_id, min_seq=0, max_seq=9, matter=10, anti=0):
+    return ComponentDescriptor(
+        tree=tree,
+        min_seq=min_seq,
+        max_seq=max_seq,
+        matter_count=matter,
+        antimatter_count=anti,
+        expected_records=matter + anti,
+        btree={"file_id": file_id, "fanout": 64, "num_records": matter + anti},
+        ordinal=-1,
+    )
+
+
+def test_commit_without_begin_still_replays():
+    # Begin entries are intent markers; the commit alone installs.
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    manifest.commit("flush", "t", _descriptor("t", file_id=7))
+    state = manifest.replay()
+    assert [d.file_id for d in state.components["t"]] == [7]
+
+
+def test_begin_without_commit_installs_nothing():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    manifest.begin("flush", "t")
+    assert manifest.replay().components == {}
+
+
+def test_components_ordered_newest_first():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    manifest.commit("flush", "t", _descriptor("t", file_id=1, min_seq=0, max_seq=4))
+    manifest.commit("flush", "t", _descriptor("t", file_id=2, min_seq=5, max_seq=9))
+    state = manifest.replay()
+    assert [d.file_id for d in state.components["t"]] == [2, 1]
+    # Ordinals preserve creation order for uid-rank reconstruction.
+    assert [d.file_id for d in state.descriptors_by_ordinal()] == [1, 2]
+
+
+def test_merge_commit_splices_replaced_run():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    for file_id in (1, 2, 3):
+        manifest.commit("flush", "t", _descriptor("t", file_id=file_id))
+    manifest.begin("merge", "t", payload={"inputs": [1, 2]})
+    manifest.commit(
+        "merge", "t", _descriptor("t", file_id=9), replaces=(1, 2)
+    )
+    state = manifest.replay()
+    assert [d.file_id for d in state.components["t"]] == [3, 9]
+    assert state.live_file_ids() == {3, 9}
+
+
+def test_merge_of_unknown_inputs_is_rejected():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    manifest.commit("flush", "t", _descriptor("t", file_id=1))
+    manifest.commit("merge", "t", _descriptor("t", file_id=9), replaces=(1, 42))
+    with pytest.raises(ManifestError):
+        manifest.replay()
+
+
+def test_uncommitted_txn_voids_its_component_commits():
+    # A dataset flush commits each tree's component under one txn;
+    # without the txn.commit entry the whole flush must vanish.
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    txn = manifest.begin_txn()
+    manifest.commit("flush", "a", _descriptor("a", file_id=1), txn=txn)
+    manifest.commit("flush", "b", _descriptor("b", file_id=2), txn=txn)
+    assert manifest.replay().components == {}
+    manifest.commit_txn(txn)
+    state = manifest.replay()
+    assert state.live_file_ids() == {1, 2}
+    assert txn in state.committed_txns
+
+
+def test_txn_ids_resume_after_recovery():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    txn = manifest.begin_txn()
+    manifest.commit_txn(txn)
+    recovered = Manifest(disk, "ds.p0", recover=True)
+    assert recovered.begin_txn() > txn
+
+
+def test_recover_reopens_superblock_file():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    manifest.commit("flush", "t", _descriptor("t", file_id=4))
+    recovered = Manifest(disk, "ds.p0", recover=True)
+    assert recovered.file_id == manifest.file_id
+    assert recovered.replay().live_file_ids() == {4}
+
+
+def test_replay_detects_corruption():
+    disk = SimulatedDisk()
+    manifest = Manifest(disk, "ds.p0")
+    manifest.commit("flush", "t", _descriptor("t", file_id=4))
+    page = disk.read_page(manifest.file_id, 0)
+    page["crc"] ^= 1
+    with pytest.raises(ManifestError, match="checksum"):
+        manifest.replay()
+
+
+def test_unknown_event_rejected():
+    manifest = Manifest(SimulatedDisk(), "ds.p0")
+    with pytest.raises(ManifestError):
+        manifest.begin("compact", "t")
+    with pytest.raises(ManifestError):
+        manifest.commit("compact", "t", _descriptor("t", file_id=1))

@@ -98,3 +98,38 @@ def test_stats_add():
     assert c.pages_written == 11
     assert c.pages_read == 2
     assert c.random_reads == 3
+
+
+def test_delete_file_accounting():
+    disk = SimulatedDisk()
+    f = disk.create_file()
+    for i in range(3):
+        f.append_page(i)
+    disk.delete_file(f.file_id)
+    assert disk.stats.files_deleted == 1
+    assert disk.stats.pages_deleted == 3
+    assert disk.stats.bytes_reclaimed == 3 * disk.page_bytes
+    with pytest.raises(StorageError):
+        disk.read_page(f.file_id, 0)
+
+
+def test_delete_files_except_returns_orphans():
+    disk = SimulatedDisk()
+    kept = disk.create_file()
+    kept.append_page("keep")
+    orphan_ids = [disk.create_file().file_id for _ in range(3)]
+    deleted = disk.delete_files_except({kept.file_id})
+    assert sorted(deleted) == sorted(orphan_ids)
+    assert disk.stats.files_deleted == 3
+    # The kept file stays readable.
+    assert disk.read_page(kept.file_id, 0) == "keep"
+    assert disk.live_file_ids() == {kept.file_id}
+
+
+def test_superblock_survives_unlike_process_state():
+    # The superblock models the fixed-location boot area: its contents
+    # persist across a simulated crash (only in-memory objects die).
+    disk = SimulatedDisk()
+    disk.superblock["wal:ds.p0"] = 7
+    disk.superblock["node.epoch"] = 2
+    assert disk.superblock == {"wal:ds.p0": 7, "node.epoch": 2}

@@ -1,0 +1,121 @@
+"""Tests for the per-partition write-ahead log."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.lsm.record import Record
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.wal import WriteAheadLog
+
+
+def _records(log):
+    return [(seq, tree, rec) for seq, tree, rec in log.replay()]
+
+
+def test_append_and_replay_round_trip():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0")
+    log.append("t", Record.matter(1, {"v": 10}, seqnum=0))
+    log.append("t", Record.anti(1, seqnum=1))
+    replayed = _records(log)
+    assert [(seq, tree) for seq, tree, _rec in replayed] == [(0, "t"), (1, "t")]
+    assert replayed[0][2].value == {"v": 10}
+    assert replayed[1][2].antimatter
+
+
+def test_op_atomic_entry_spans_trees():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0")
+    log.log_op(
+        5,
+        [
+            ("primary", Record.matter(1, {"v": 10}, seqnum=5)),
+            ("secondary", Record.matter((10, 1), None, seqnum=5)),
+        ],
+    )
+    replayed = _records(log)
+    assert [(seq, tree) for seq, tree, _rec in replayed] == [
+        (5, "primary"),
+        (5, "secondary"),
+    ]
+
+
+def test_default_group_size_commits_every_op():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0")
+    log.append("t", Record.matter(1, None, seqnum=0))
+    assert log.pending_ops == 0  # acknowledged == durable
+
+
+def test_group_commit_buffers_until_full():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0", group_size=3)
+    log.append("t", Record.matter(1, None, seqnum=0))
+    log.append("t", Record.matter(2, None, seqnum=1))
+    assert log.pending_ops == 2
+    assert _records(log) == []  # nothing durable yet
+    log.append("t", Record.matter(3, None, seqnum=2))
+    assert log.pending_ops == 0
+    assert len(_records(log)) == 3
+
+
+def test_sync_flushes_partial_group():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0", group_size=10)
+    log.append("t", Record.matter(1, None, seqnum=0))
+    log.sync()
+    assert log.pending_ops == 0
+    assert len(_records(log)) == 1
+
+
+def test_truncate_starts_fresh_file_and_deletes_old():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0")
+    log.append("t", Record.matter(1, None, seqnum=0))
+    old_file = log.file_id
+    log.truncate()
+    assert log.file_id != old_file
+    assert disk.superblock["wal:ds.p0"] == log.file_id
+    assert old_file not in disk.live_file_ids()
+    assert _records(log) == []
+
+
+def test_truncate_refuses_uncommitted_ops():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0", group_size=10)
+    log.append("t", Record.matter(1, None, seqnum=0))
+    with pytest.raises(WALError):
+        log.truncate()
+
+
+def test_recover_reopens_superblock_file():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0")
+    log.append("t", Record.matter(1, {"v": 10}, seqnum=0))
+    # A new process: only the disk survives.
+    reopened = WriteAheadLog(disk, "ds.p0", recover=True)
+    assert reopened.file_id == log.file_id
+    replayed = _records(reopened)
+    assert len(replayed) == 1
+    assert replayed[0][2].value == {"v": 10}
+
+
+def test_recover_without_superblock_entry_starts_fresh():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "other", recover=True)
+    assert _records(log) == []
+
+
+def test_replay_detects_corruption():
+    disk = SimulatedDisk()
+    log = WriteAheadLog(disk, "ds.p0")
+    log.append("t", Record.matter(1, None, seqnum=0))
+    page = disk.read_page(log.file_id, 0)
+    page["crc"] ^= 1  # bit rot
+    with pytest.raises(WALError, match="checksum"):
+        _records(log)
+
+
+def test_rejects_bad_group_size():
+    with pytest.raises(WALError):
+        WriteAheadLog(SimulatedDisk(), "ds.p0", group_size=0)
