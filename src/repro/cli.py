@@ -35,6 +35,16 @@ control that must demonstrably lose acknowledged records::
     python -m repro crashcheck
     python -m repro crashcheck --seed 7 --records 1024
 
+The ``racecheck`` subcommand sweeps seeds x scheduler modes: the same
+scripted ingest runs with background flushes/merges on the
+deterministic virtual scheduler and on real worker threads, and every
+run must end bit-identical -- partition contents, statistics catalog
+and a sweep of estimates -- to the synchronous baseline::
+
+    python -m repro racecheck
+    python -m repro racecheck --quick
+    python -m repro racecheck --seed 7 --records 1024
+
 The ``bench`` subcommand runs the perf suite (ingest-throughput,
 flush-latency, merge-throughput, estimate-latency, network-ship),
 writes a schema-versioned ``BENCH_<timestamp>.json`` report, and can
@@ -73,6 +83,12 @@ from repro.cluster.crashcheck import (
     run_crashcheck,
 )
 from repro.cluster.faultcheck import format_report, run_faultcheck
+from repro.cluster.racecheck import (
+    DEFAULT_SEEDS,
+    QUICK_SEEDS,
+    format_report as format_race_report,
+    run_racecheck,
+)
 from repro.errors import ClusterError
 from repro.eval.experiments.common import ExperimentScale
 from repro.obs.export import render_json, render_text, write_snapshot
@@ -245,6 +261,33 @@ def main(argv: list[str] | None = None) -> int:
         help="documents to ingest per run (default: 512)",
     )
 
+    race_parser = subparsers.add_parser(
+        "racecheck",
+        help="seeded scheduler sweep: verify concurrent background "
+        "flushes/merges (virtual and real threads) end bit-identical "
+        "to synchronous maintenance",
+    )
+    race_parser.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        default=None,
+        help="sweep seed (repeatable; default: the standard sweep "
+        f"{list(DEFAULT_SEEDS)})",
+    )
+    race_parser.add_argument(
+        "--records",
+        type=int,
+        default=512,
+        help="documents to ingest per run (default: 512)",
+    )
+    race_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI-sized sweep (seeds {list(QUICK_SEEDS)}); ignored when "
+        "--seed is given",
+    )
+
     bench_parser = subparsers.add_parser(
         "bench",
         help="run the perf suite, write a BENCH_<timestamp>.json report, "
@@ -334,6 +377,19 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(format_crash_report(crash_report))
         return 0 if crash_report.converged else 1
+
+    if args.command == "racecheck":
+        if args.seed is not None:
+            seeds = tuple(args.seed)
+        else:
+            seeds = QUICK_SEEDS if args.quick else DEFAULT_SEEDS
+        try:
+            race_report = run_racecheck(seeds=seeds, records=args.records)
+        except (ClusterError, ValueError) as exc:
+            print(f"racecheck failed: {exc}", file=sys.stderr)
+            return 1
+        print(format_race_report(race_report))
+        return 0 if race_report.converged else 1
 
     scale = _SCALES[args.scale]
     out_dir = Path(args.out) if args.out else None

@@ -23,6 +23,7 @@ from repro.errors import ClusterError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import IndexSpec, secondary_index_name
 from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.scheduler import DEFAULT_MAX_WORKERS, make_scheduler
 from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
 from repro.types import Domain
 
@@ -47,9 +48,13 @@ class LSMCluster:
         durable: bool = False,
         wal_enabled: bool = True,
         crash_injector: CrashInjector | None = None,
+        scheduler: str = "sync",
+        scheduler_seed: int = 0,
+        scheduler_workers: int = DEFAULT_MAX_WORKERS,
     ) -> None:
         if num_nodes < 1 or partitions_per_node < 1:
             raise ClusterError("cluster needs at least one node and partition")
+        self.scheduler_mode = scheduler
         self.stats_config = (
             stats_config if stats_config is not None else StatisticsConfig()
         )
@@ -65,8 +70,23 @@ class LSMCluster:
                 range(partition_id, partition_id + partitions_per_node)
             )
             partition_id += partitions_per_node
+            node_id = f"nc{node_index + 1}"
+            # One scheduler per node, rebuilt by the factory on restart.
+            # Virtual mode derives a per-node seed so each node draws an
+            # independent -- but replayable -- interleaving.
+            scheduler_factory = (
+                None
+                if scheduler == "sync"
+                else (
+                    lambda node_id=node_id: make_scheduler(
+                        scheduler,
+                        seed=f"{scheduler_seed}:{node_id}",
+                        max_workers=scheduler_workers,
+                    )
+                )
+            )
             node = StorageNode(
-                f"nc{node_index + 1}",
+                node_id,
                 self.network,
                 self.master.node_id,
                 partition_ids,
@@ -76,6 +96,7 @@ class LSMCluster:
                 durable=durable,
                 wal_enabled=wal_enabled,
                 crash_injector=crash_injector,
+                scheduler_factory=scheduler_factory,
             )
             self.nodes.append(node)
             for owned in partition_ids:
@@ -180,6 +201,19 @@ class LSMCluster:
         self._check_dataset(name)
         for node in self.nodes:
             node.flush(name)
+
+    def drain_maintenance(self) -> None:
+        """Barrier: wait for all scheduled background flushes/merges.
+
+        Re-raises the first background task failure on this thread, so
+        callers see maintenance errors they would otherwise miss."""
+        for node in self.nodes:
+            node.drain_maintenance()
+
+    def shutdown(self) -> None:
+        """Drain outstanding maintenance and stop the worker pools."""
+        for node in self.nodes:
+            node.shutdown()
 
     # -- queries --------------------------------------------------------------
 

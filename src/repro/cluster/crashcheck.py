@@ -19,6 +19,13 @@ A negative control runs the same harness on a durable cluster with the
 WAL disabled and must demonstrably lose acknowledged records -- the
 check that the WAL is the thing earning the durability, not the
 harness accidentally re-executing everything.
+
+A second sweep re-runs the maintenance-lifecycle crash points on a
+cluster whose flushes and merges run on the background scheduler (in
+deterministic ``virtual`` mode, so the schedule is replayable): the
+crash then fires inside a background task -- mid-rotation, mid-build or
+mid-splice while ingestion is in flight -- and recovery must still be
+bit-identical to the same synchronous baseline.
 """
 
 from __future__ import annotations
@@ -47,6 +54,15 @@ __all__ = ["CrashCheckReport", "run_crashcheck", "format_report"]
 _DATASET = "crash"
 _BULKLOAD_COUNT = 64
 
+# The crash points a background flush/merge task passes through; the
+# concurrent sweep arms exactly these on a virtual-scheduler cluster.
+_CONCURRENT_POINTS = (
+    "flush.rotate",
+    "flush.build",
+    "merge.build",
+    "merge.splice",
+)
+
 
 @dataclass(frozen=True)
 class CrashCheckReport:
@@ -57,6 +73,8 @@ class CrashCheckReport:
     converged: bool
     points_checked: tuple[str, ...]
     crashes_fired: int
+    concurrent_points_checked: tuple[str, ...]
+    concurrent_crashes_fired: int
     orphans_deleted: int
     replayed_ops: int
     rederived_synopses: int
@@ -72,6 +90,8 @@ def _doc(pk: int) -> dict[str, Any]:
 def _build_cluster(
     wal_enabled: bool = True,
     crash_injector: CrashInjector | None = None,
+    scheduler: str = "sync",
+    scheduler_seed: int = 0,
 ) -> LSMCluster:
     cluster = LSMCluster(
         num_nodes=2,
@@ -81,6 +101,8 @@ def _build_cluster(
         durable=True,
         wal_enabled=wal_enabled,
         crash_injector=crash_injector,
+        scheduler=scheduler,
+        scheduler_seed=scheduler_seed,
     )
     cluster.create_dataset(
         _DATASET,
@@ -174,8 +196,10 @@ def _run_script(
         _retry(cluster, op, arg)
         for op, arg in ops[position + 1 :]:
             _apply(cluster, op, arg)
+        cluster.drain_maintenance()
         cluster.recover_statistics()
         return crash
+    cluster.drain_maintenance()
     cluster.recover_statistics()
     return None
 
@@ -290,6 +314,37 @@ def run_crashcheck(seed: int = 0, records: int = 512) -> CrashCheckReport:
         rederived += counters.get("collector.synopses.rederived", 0)
         stale_drops += counters.get("cluster.stats.stale_epoch", 0)
 
+    # Concurrent sweep: the same lifecycle points, but the flush/merge
+    # that dies is a *background* task on the (deterministic) virtual
+    # scheduler, with ingestion mid-flight around it.  Pending lane
+    # work is discarded on restart -- exactly the in-memory loss a real
+    # process death inflicts -- and recovery must still converge to the
+    # synchronous crash-free baseline.
+    concurrent_fired = 0
+    for point in _CONCURRENT_POINTS:
+        with use_registry(MetricsRegistry()):
+            injector = CrashInjector.seeded(seed, point)
+            cluster = _build_cluster(
+                crash_injector=injector, scheduler="virtual", scheduler_seed=seed
+            )
+            crash = _run_script(cluster, records)
+            if crash is None:
+                problems.append(
+                    f"virtual:{point}: crash never fired (planned hit "
+                    f"{injector.plan.hit}, passages "
+                    f"{injector.hits.get(point, 0)})"
+                )
+                continue
+            concurrent_fired += 1
+            problems.extend(
+                _compare(f"virtual:{point}", baseline, _images(cluster))
+            )
+            if cluster.statistics_backlog():
+                problems.append(
+                    f"virtual:{point}: {cluster.statistics_backlog()} "
+                    "statistics messages still parked after recovery"
+                )
+
     # Negative control: same harness, WAL disabled.  The crash loses
     # the acknowledged records sitting in memtables; only the one
     # interrupted operation is retried, so the loss must be visible.
@@ -314,6 +369,8 @@ def run_crashcheck(seed: int = 0, records: int = 512) -> CrashCheckReport:
         converged=not problems,
         points_checked=CRASH_POINTS,
         crashes_fired=crashes_fired,
+        concurrent_points_checked=_CONCURRENT_POINTS,
+        concurrent_crashes_fired=concurrent_fired,
         orphans_deleted=orphans_deleted,
         replayed_ops=replayed_ops,
         rederived_synopses=rederived,
@@ -328,6 +385,10 @@ def format_report(report: CrashCheckReport) -> str:
         f"crashcheck seed={report.seed} records={report.records}",
         f"  crash points: {report.crashes_fired}/"
         f"{len(report.points_checked)} fired",
+        f"  concurrent (virtual scheduler): "
+        f"{report.concurrent_crashes_fired}/"
+        f"{len(report.concurrent_points_checked)} background-task "
+        "crashes fired",
         f"  recovery: replayed_ops={report.replayed_ops}"
         f" rederived_synopses={report.rederived_synopses}"
         f" orphans_deleted={report.orphans_deleted}"

@@ -18,6 +18,7 @@ this was pinned down; tests assert the equality).
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.core.cache import MergedSynopsisCache
@@ -42,6 +43,11 @@ class ClusterController:
         registry: MetricsRegistry | None = None,
     ) -> None:
         self.node_id = node_id
+        # Statistics publishes may arrive from background maintenance
+        # threads while the application thread asks for estimates; the
+        # lock keeps catalog/cache/dedup state consistent between the
+        # two.  RLock: the estimator may consult the catalog re-entrantly.
+        self._lock = threading.RLock()
         obs = registry if registry is not None else get_registry()
         self.catalog = StatisticsCatalog()
         self.cache = MergedSynopsisCache(obs) if cache_merged else None
@@ -65,11 +71,13 @@ class ClusterController:
 
     def estimate(self, index_name: str, lo: int, hi: int) -> float:
         """Cluster-wide cardinality estimate for a key range."""
-        return self.estimator.estimate(index_name, lo, hi)
+        with self._lock:
+            return self.estimator.estimate(index_name, lo, hi)
 
     def estimate_detailed(self, index_name: str, lo: int, hi: int) -> EstimateResult:
         """Estimate with overhead/caching diagnostics."""
-        return self.estimator.estimate_detailed(index_name, lo, hi)
+        with self._lock:
+            return self.estimator.estimate_detailed(index_name, lo, hi)
 
     # -- message handling ---------------------------------------------------
 
@@ -77,23 +85,24 @@ class ClusterController:
         kind = message.get("kind")
         if kind not in ("stats.publish", "stats.retract", "stats.reset"):
             raise ClusterError(f"unknown message kind {kind!r} from {source}")
-        # Legacy attribute and metric count the same thing: every
-        # statistics message handled, publishes, retracts and resets
-        # alike.
-        self.stats_messages_received += 1
-        self._m_messages.inc()
-        if self._is_stale_epoch(source, message):
-            self._m_stale.inc()
-            return
-        if self._is_duplicate(source, message):
-            self._m_duplicates.inc()
-            return
-        if kind == "stats.publish":
-            self._handle_publish(source, message)
-        elif kind == "stats.retract":
-            self._handle_retract(source, message)
-        else:
-            self._handle_reset(source, message)
+        with self._lock:
+            # Legacy attribute and metric count the same thing: every
+            # statistics message handled, publishes, retracts and resets
+            # alike.
+            self.stats_messages_received += 1
+            self._m_messages.inc()
+            if self._is_stale_epoch(source, message):
+                self._m_stale.inc()
+                return
+            if self._is_duplicate(source, message):
+                self._m_duplicates.inc()
+                return
+            if kind == "stats.publish":
+                self._handle_publish(source, message)
+            elif kind == "stats.retract":
+                self._handle_retract(source, message)
+            else:
+                self._handle_reset(source, message)
 
     def _is_stale_epoch(self, source: str, message: dict[str, Any]) -> bool:
         """Fence out a crashed incarnation's straggler messages.

@@ -32,6 +32,7 @@ including the fault counters ``network.dropped`` /
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -94,6 +95,13 @@ class Network:
         self._clock = 0  # one tick per send attempt: the fault-plan time base
         self._held: list[_HeldMessage] = []
         self._held_order = 0
+        # The wire is a shared medium: statistics sinks on background
+        # maintenance threads and the application thread may send
+        # concurrently.  One reentrant lock serialises send/drain (and
+        # the handler calls inside them) -- delivery stays synchronous
+        # and ordered, matching the single-wire model.  Reentrant
+        # because a delivered message's handler may itself send.
+        self._wire_lock = threading.RLock()
         obs = registry if registry is not None else get_registry()
         self._m_messages = obs.counter("network.messages")
         self._m_bytes = obs.counter("network.bytes")
@@ -116,6 +124,12 @@ class Network:
         unavailability window -- the sender cannot tell which, exactly
         like a timed-out send.
         """
+        with self._wire_lock:
+            return self._send_locked(source, destination, message)
+
+    def _send_locked(
+        self, source: str, destination: str, message: dict[str, Any]
+    ) -> int:
         handler = self._handlers.get(destination)
         if handler is None:
             raise ClusterError(f"unknown destination node {destination!r}")
@@ -172,7 +186,8 @@ class Network:
         sends advance the clock, so parked messages would otherwise
         never be released.  Returns how many messages were delivered.
         """
-        return self._release_due(None)
+        with self._wire_lock:
+            return self._release_due(None)
 
     @property
     def pending_count(self) -> int:

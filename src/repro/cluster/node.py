@@ -11,6 +11,7 @@ network channel rather than written into a local catalog.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -23,6 +24,7 @@ from repro.errors import ClusterError, NetworkUnavailableError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.scheduler import MaintenanceScheduler
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
 from repro.obs.registry import MetricsRegistry, get_registry
@@ -124,6 +126,11 @@ class NetworkStatisticsSink:
         self._partition_id = partition_id
         self._epoch = epoch
         self._policy = retry_policy if retry_policy is not None else RetryPolicy()
+        # Publishes arrive from background maintenance threads (flush
+        # and merge notifications) while the application thread may be
+        # flushing the backlog; enqueue+pump must be atomic or two
+        # pumps could pop the same head / double-send it.
+        self._mutex = threading.RLock()
         self._outbox: deque[dict[str, Any]] = deque()
         self._outbox_limit = outbox_limit
         self._sequence = 0
@@ -156,34 +163,36 @@ class NetworkStatisticsSink:
         synopsis: Synopsis,
         anti_synopsis: Synopsis,
     ) -> None:
-        self._enqueue(
-            {
-                "kind": "stats.publish",
-                "index": index_name,
-                "partition": self._partition_id,
-                "seq": self._next_sequence(),
-                "epoch": self._epoch,
-                "component_uid": component_uid,
-                "synopsis": synopsis.to_payload(),
-                "anti_synopsis": anti_synopsis.to_payload(),
-            }
-        )
-        self._m_shipped.inc(2)  # regular + anti-matter twin
-        self._pump()
+        with self._mutex:
+            self._enqueue(
+                {
+                    "kind": "stats.publish",
+                    "index": index_name,
+                    "partition": self._partition_id,
+                    "seq": self._next_sequence(),
+                    "epoch": self._epoch,
+                    "component_uid": component_uid,
+                    "synopsis": synopsis.to_payload(),
+                    "anti_synopsis": anti_synopsis.to_payload(),
+                }
+            )
+            self._m_shipped.inc(2)  # regular + anti-matter twin
+            self._pump()
 
     def retract(self, index_name: str, component_uids: list[int]) -> None:
-        self._enqueue(
-            {
-                "kind": "stats.retract",
-                "index": index_name,
-                "partition": self._partition_id,
-                "seq": self._next_sequence(),
-                "epoch": self._epoch,
-                "component_uids": list(component_uids),
-            }
-        )
-        self._m_retractions.inc()
-        self._pump()
+        with self._mutex:
+            self._enqueue(
+                {
+                    "kind": "stats.retract",
+                    "index": index_name,
+                    "partition": self._partition_id,
+                    "seq": self._next_sequence(),
+                    "epoch": self._epoch,
+                    "component_uids": list(component_uids),
+                }
+            )
+            self._m_retractions.inc()
+            self._pump()
 
     def reset(self, index_name: str) -> None:
         """Tell the master to drop this partition's statistics from
@@ -193,21 +202,23 @@ class NetworkStatisticsSink:
         *before* its re-derived publishes; the FIFO outbox guarantees
         the master applies them in that order.
         """
-        self._enqueue(
-            {
-                "kind": "stats.reset",
-                "index": index_name,
-                "partition": self._partition_id,
-                "seq": self._next_sequence(),
-                "epoch": self._epoch,
-            }
-        )
-        self._pump()
+        with self._mutex:
+            self._enqueue(
+                {
+                    "kind": "stats.reset",
+                    "index": index_name,
+                    "partition": self._partition_id,
+                    "seq": self._next_sequence(),
+                    "epoch": self._epoch,
+                }
+            )
+            self._pump()
 
     def flush_outbox(self) -> int:
         """Retry the parked backlog; returns the remaining depth."""
-        self._pump()
-        return len(self._outbox)
+        with self._mutex:
+            self._pump()
+            return len(self._outbox)
 
     # -- internals -----------------------------------------------------------
 
@@ -266,6 +277,7 @@ class StorageNode:
         durable: bool = False,
         wal_enabled: bool = True,
         crash_injector: CrashInjector | None = None,
+        scheduler_factory: Callable[[], MaintenanceScheduler] | None = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -279,6 +291,15 @@ class StorageNode:
         self.durable = durable
         self.wal_enabled = wal_enabled
         self.crash_injector = crash_injector
+        # Per-node maintenance scheduler: every local dataset partition
+        # submits into it on its own lane.  A factory (not an instance)
+        # because restart() discards the pre-crash scheduler -- pending
+        # background work is in-memory state and dies with the process
+        # -- and builds a fresh one for the new incarnation.
+        self._scheduler_factory = scheduler_factory
+        self.scheduler: MaintenanceScheduler | None = (
+            scheduler_factory() if scheduler_factory is not None else None
+        )
         self.disk = SimulatedDisk()
         # Restart epoch: bumped (and persisted in the superblock) by
         # every restart so the master can fence out the crashed
@@ -294,6 +315,9 @@ class StorageNode:
         # deduplicate at-least-once deliveries by (node, partition, seq)
         # within one epoch.
         self._sequences: dict[int, int] = {p: 0 for p in self.partition_ids}
+        # A partition's sequence is shared across its datasets, whose
+        # maintenance lanes may run on different worker threads.
+        self._seq_lock = threading.Lock()
         self._sinks: list[NetworkStatisticsSink] = []
         obs = get_registry()
         self._m_restarts = obs.counter("recovery.restarts")
@@ -302,8 +326,9 @@ class StorageNode:
 
     def _sequence_source(self, partition_id: int) -> Callable[[], int]:
         def next_sequence() -> int:
-            self._sequences[partition_id] += 1
-            return self._sequences[partition_id]
+            with self._seq_lock:
+                self._sequences[partition_id] += 1
+                return self._sequences[partition_id]
 
         return next_sequence
 
@@ -364,6 +389,8 @@ class StorageNode:
             durability_namespace=f"{name}.p{partition_id}",
             crash_injector=self.crash_injector,
             recover=recover,
+            scheduler=self.scheduler,
+            maintenance_lane=f"{self.node_id}:{name}.p{partition_id}",
         )
         if self.stats_config.enabled:
             sink = NetworkStatisticsSink(
@@ -407,6 +434,14 @@ class StorageNode:
         """
         self.epoch += 1
         self.disk.superblock["node.epoch"] = self.epoch
+        # The crashed incarnation's scheduler dies with it: pending
+        # background flushes/merges were in-memory work and are
+        # discarded, exactly like memtables.  The new incarnation gets a
+        # fresh scheduler from the same factory.
+        if self.scheduler is not None:
+            self.scheduler.shutdown()
+            assert self._scheduler_factory is not None
+            self.scheduler = self._scheduler_factory()
         self._sequences = {p: 0 for p in self.partition_ids}
         self._sinks = []
         self._datasets = {}
@@ -491,6 +526,19 @@ class StorageNode:
             len(dataset.secondary_tree(index_name).components)
             for dataset in self._datasets.get(name, {}).values()
         )
+
+    def drain_maintenance(self) -> None:
+        """Block until every scheduled background flush/merge on this
+        node completed (failures captured off-thread re-raise here)."""
+        if self.scheduler is not None:
+            self.scheduler.drain()
+
+    def shutdown(self) -> None:
+        """Release the node's maintenance workers (drains first so no
+        acknowledged maintenance is silently discarded)."""
+        if self.scheduler is not None:
+            self.scheduler.drain()
+            self.scheduler.shutdown()
 
     def flush_statistics_outboxes(self) -> int:
         """Retry every sink's parked backlog; returns the remaining

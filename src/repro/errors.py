@@ -44,6 +44,10 @@ class RecoveryError(StorageError):
     """Crash recovery could not restore a consistent state."""
 
 
+class SchedulerError(StorageError):
+    """A background maintenance task failed or the scheduler was misused."""
+
+
 class SynopsisError(ReproError):
     """A statistical synopsis was built or queried incorrectly."""
 

@@ -5,7 +5,7 @@ ingestion time (Fig. 2), so the speed of the ingestion/flush/merge hot
 path is a *correctness property* of this repo -- and properties need
 machine-checkable artifacts.  This module provides:
 
-* five named microbenchmarks covering the hot paths the batched
+* seven named microbenchmarks covering the hot paths the batched
   ingestion work targets::
 
       ingest-throughput   bulkload stream -> component, stats attached
@@ -16,6 +16,9 @@ machine-checkable artifacts.  This module provides:
       estimate-latency    Algorithm 2 over the catalog (cache warm)
       network-ship        synopsis publish through the cluster wire
       wal-replay          durable append path + WAL recovery replay
+      concurrent-ingest   DML thread with flush/merge on background
+                          workers (the overlap ratio proves ingestion
+                          is never blocked for a merge's full duration)
 
 * a schema-versioned JSON report (``BENCH_<timestamp>.json``) with
   median/p95 over N repetitions plus environment, seed and scale, so
@@ -46,7 +49,9 @@ from repro.core.manager import StatisticsManager
 from repro.errors import BenchmarkError
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.events import EventBus
+from repro.lsm.merge_policy import ConstantMergePolicy
 from repro.lsm.record import Record
+from repro.lsm.scheduler import make_scheduler
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.tree import DEFAULT_WRITE_BATCH_SIZE, LSMTree
 from repro.obs.registry import MetricsRegistry, use_registry
@@ -84,6 +89,7 @@ class PerfScale:
     estimate_queries: int
     ship_messages: int
     wal_records: int
+    concurrent_records: int
     repetitions: int
 
     def as_dict(self) -> dict[str, int]:
@@ -95,6 +101,7 @@ class PerfScale:
             "estimate_queries": self.estimate_queries,
             "ship_messages": self.ship_messages,
             "wal_records": self.wal_records,
+            "concurrent_records": self.concurrent_records,
             "repetitions": self.repetitions,
         }
 
@@ -107,6 +114,7 @@ QUICK_SCALE = PerfScale(
     estimate_queries=200,
     ship_messages=300,
     wal_records=8_000,
+    concurrent_records=8_000,
     repetitions=3,
 )
 """The CI-friendly preset behind ``repro bench --quick`` (seconds)."""
@@ -119,6 +127,7 @@ FULL_SCALE = PerfScale(
     estimate_queries=1_000,
     ship_messages=1_500,
     wal_records=32_000,
+    concurrent_records=24_000,
     repetitions=5,
 )
 """The default preset (a minute or two)."""
@@ -139,6 +148,9 @@ METRIC_SPECS: dict[str, tuple[str, str]] = {
     "ship.throughput": ("messages/s", "higher"),
     "wal.append.throughput": ("records/s", "higher"),
     "wal.replay.throughput": ("records/s", "higher"),
+    "concurrent.ingest.throughput": ("records/s", "higher"),
+    "concurrent.background_speedup": ("ratio", "higher"),
+    "concurrent.ingest_overlap": ("ratio", "higher"),
 }
 
 BENCHMARK_NAMES = (
@@ -148,6 +160,7 @@ BENCHMARK_NAMES = (
     "estimate-latency",
     "network-ship",
     "wal-replay",
+    "concurrent-ingest",
 )
 """The named microbenchmarks, in execution order."""
 
@@ -377,6 +390,63 @@ def _bench_wal_replay(
     }
 
 
+def _bench_concurrent_ingest(
+    scale: PerfScale, seed: int, timer: Callable[[], float]
+) -> dict[str, float]:
+    """Ingest a merge-heavy workload twice -- maintenance inline (sync
+    scheduler) and on background workers (threads scheduler) -- timing
+    only the DML thread.
+
+    ``concurrent.ingest_overlap`` is the acceptance criterion for the
+    background scheduler: ``1 - max_stall / merge_seconds``, where
+    ``max_stall`` is the longest single insert call observed in the
+    concurrent run and ``merge_seconds`` the total merge wall-time that
+    ran behind it.  A positive value means no insert ever waited for
+    the full duration of the run's merging; near 1.0 means merges and
+    ingestion overlapped almost completely.
+    """
+    n = scale.concurrent_records
+    step = 514_229  # coprime with any power of two
+
+    def one(mode: str) -> tuple[float, float, float]:
+        # A private registry per run: the merge-seconds histogram must
+        # reflect this run's merges only, and instruments bind at
+        # construction time.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            scheduler = make_scheduler(mode)
+            dataset = Dataset(
+                "bench.concurrent",
+                SimulatedDisk(),
+                primary_key="id",
+                primary_domain=_DOMAIN,
+                memtable_capacity=256,
+                merge_policy=ConstantMergePolicy(max_components=4),
+                scheduler=scheduler,
+            )
+            max_stall = 0.0
+            started = timer()
+            for i in range(n):
+                op_started = timer()
+                dataset.insert({"id": (seed + i * step) % _DOMAIN.length})
+                max_stall = max(max_stall, timer() - op_started)
+            elapsed = max(timer() - started, 1e-9)
+            dataset.flush()
+            dataset.drain_maintenance()
+            scheduler.shutdown()
+            histograms = registry.snapshot()["histograms"]
+            merge_entry = histograms.get("lsm.merge.seconds", {})
+        return elapsed, max_stall, merge_entry.get("sum", 0.0)
+
+    sync_elapsed, _, _ = one("sync")
+    threads_elapsed, max_stall, merge_seconds = one("threads")
+    return {
+        "concurrent.ingest.throughput": n / threads_elapsed,
+        "concurrent.background_speedup": sync_elapsed / threads_elapsed,
+        "concurrent.ingest_overlap": 1.0 - max_stall / max(merge_seconds, 1e-9),
+    }
+
+
 _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "ingest-throughput": _bench_ingest,
     "flush-latency": _bench_flush,
@@ -384,6 +454,7 @@ _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "estimate-latency": _bench_estimate,
     "network-ship": _bench_ship,
     "wal-replay": _bench_wal_replay,
+    "concurrent-ingest": _bench_concurrent_ingest,
 }
 
 

@@ -5,12 +5,19 @@ number interval it covers (AsterixDB names components by their
 ``(min_seq, max_seq)`` timestamp interval -- a merged component covers
 the union of its inputs' intervals), record counts split into matter and
 anti-matter, and a lifecycle state so illegal reuse is caught early.
+
+Components additionally carry a *pin count* so readers can hold a
+consistent snapshot of the component list while background merges
+replace parts of it: a pinned component that a merge supersedes stays
+readable (state ``MERGED``) and its file deletion is deferred until the
+last reader unpins it.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -91,6 +98,9 @@ class DiskComponent:
         self.state = ComponentState.ACTIVE
         self.uid = next(_component_counter)
         self.bloom_negatives = 0  # lookups the filter short-circuited
+        self._pin_lock = threading.Lock()
+        self._pins = 0
+        self._destroy_deferred = False
 
     @property
     def record_count(self) -> int:
@@ -107,10 +117,41 @@ class DiskComponent:
         """Largest key stored, or None when empty."""
         return self.btree.max_key()
 
+    @property
+    def pinned(self) -> bool:
+        """True while at least one reader snapshot holds this component."""
+        with self._pin_lock:
+            return self._pins > 0
+
+    def pin(self) -> None:
+        """Hold the component readable: a concurrent merge may mark it
+        MERGED but its pages are not released until the last unpin."""
+        with self._pin_lock:
+            if self.state is ComponentState.DELETED:
+                raise ComponentStateError(
+                    f"cannot pin deleted component {self.component_id}"
+                )
+            self._pins += 1
+
+    def unpin(self) -> None:
+        """Release one pin; runs a deferred destroy at the last release."""
+        destroy_now = False
+        with self._pin_lock:
+            if self._pins <= 0:
+                raise ComponentStateError(
+                    f"unpin without pin on component {self.component_id}"
+                )
+            self._pins -= 1
+            if self._pins == 0 and self._destroy_deferred:
+                self._destroy_deferred = False
+                destroy_now = True
+        if destroy_now:
+            self._destroy()
+
     def lookup(self, key: Any) -> Record | None:
         """Point lookup; the Bloom filter short-circuits definite misses
         before any page is read."""
-        self._check_active()
+        self._check_readable()
         if self.bloom is not None and not self.bloom.might_contain(key):
             self.bloom_negatives += 1
             return None
@@ -118,26 +159,43 @@ class DiskComponent:
 
     def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
         """Range scan within this component."""
-        self._check_active()
+        self._check_readable()
         return self.btree.scan(lo, hi)
 
     def mark_merged(self) -> None:
         """Flag the component as superseded by a merge."""
-        self._check_active()
+        if self.state is not ComponentState.ACTIVE:
+            raise ComponentStateError(
+                f"component {self.component_id} is {self.state.value}"
+            )
         self.state = ComponentState.MERGED
 
     def destroy(self) -> None:
-        """Release disk space; only merged components may be destroyed."""
+        """Release disk space; only merged components may be destroyed.
+
+        While reader snapshots still pin the component the deletion is
+        *deferred*: the call returns immediately and the last ``unpin``
+        performs it, so no file disappears under an in-flight scan.
+        """
         if self.state is not ComponentState.MERGED:
             raise ComponentStateError(
                 f"cannot destroy component {self.component_id} in state "
                 f"{self.state.value}"
             )
+        with self._pin_lock:
+            if self._pins > 0:
+                self._destroy_deferred = True
+                return
+        self._destroy()
+
+    def _destroy(self) -> None:
         self.btree.destroy()
         self.state = ComponentState.DELETED
 
-    def _check_active(self) -> None:
-        if self.state is not ComponentState.ACTIVE:
+    def _check_readable(self) -> None:
+        # MERGED stays readable: a pinned snapshot may still scan a
+        # component a background merge has already superseded.
+        if self.state is ComponentState.DELETED:
             raise ComponentStateError(
                 f"component {self.component_id} is {self.state.value}"
             )

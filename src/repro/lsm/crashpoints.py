@@ -36,8 +36,10 @@ CRASH_POINTS = (
     "manifest.begin",
     "manifest.commit",
     "txn.commit",
+    "flush.rotate",
     "flush.build",
     "merge.build",
+    "merge.splice",
     "merge.cleanup",
     "bulkload.build",
 )
@@ -49,10 +51,16 @@ CRASH_POINTS = (
 ``manifest.begin``  after a ``*_BEGIN`` manifest entry is durable
 ``manifest.commit`` after a ``*_COMMIT`` manifest entry is durable
 ``txn.commit``      after a dataset flush transaction commit is durable
+``flush.rotate``    after the memtable rotated into the immutable queue,
+                    before the flush builds anything (memory-only state:
+                    recovery is identical to crashing before the flush)
 ``flush.build``     after a flush built+sealed its component file,
                     before the manifest commit installs it
 ``merge.build``     after a merge built+sealed the merged component,
                     before the manifest commit installs it
+``merge.splice``    after the merge's manifest commit is durable, before
+                    the in-memory component list is spliced (recovery
+                    must install the committed merged component)
 ``merge.cleanup``   after the merge committed, before the replaced
                     component files are deleted
 ``bulkload.build``  after a bulkload built+sealed its component file,

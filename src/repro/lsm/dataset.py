@@ -17,6 +17,7 @@ therefore per-component statistics) aligned.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -27,6 +28,7 @@ from repro.lsm.events import EventBus
 from repro.lsm.manifest import Manifest
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
 from repro.lsm.record import Record
+from repro.lsm.scheduler import MaintenanceScheduler, SyncScheduler
 from repro.lsm.tree import (
     DEFAULT_MEMTABLE_CAPACITY,
     DEFAULT_WRITE_BATCH_SIZE,
@@ -44,7 +46,12 @@ __all__ = [
     "SpatialIndexSpec",
     "Dataset",
     "secondary_index_name",
+    "DEFAULT_MAX_PENDING_FLUSHES",
 ]
+
+DEFAULT_MAX_PENDING_FLUSHES = 4
+"""Rotated-but-unflushed memtable generations a dataset tolerates
+before the write path stalls on backpressure (per tree)."""
 
 _NEG = float("-inf")
 _POS = float("inf")
@@ -156,6 +163,9 @@ class Dataset:
         durability_namespace: str | None = None,
         crash_injector: CrashInjector | None = None,
         recover: bool = False,
+        scheduler: MaintenanceScheduler | None = None,
+        max_pending_flushes: int = DEFAULT_MAX_PENDING_FLUSHES,
+        maintenance_lane: str | None = None,
     ) -> None:
         self.name = name
         self.primary_key = primary_key
@@ -164,6 +174,36 @@ class Dataset:
         self.memtable_capacity = memtable_capacity
         self.write_batch_size = write_batch_size
         self._pending_writes = 0
+        # WAL operations staged by _recover_from, applied (and flushed
+        # at the normal cadence) by complete_recovery.
+        self._replay_ops: list[list[tuple[LSMTree, Record]]] = []
+        # Maintenance scheduling.  The default is a fresh SyncScheduler
+        # (constructed here so it binds the *current* registry), which
+        # keeps flush/merge inline with the triggering write -- the
+        # legacy behaviour.  With a concurrent scheduler, all of this
+        # dataset's maintenance shares one FIFO lane: tasks for one
+        # dataset never run concurrently or out of order, which is what
+        # makes the concurrent end state bit-identical to the sync run.
+        self._scheduler = scheduler if scheduler is not None else SyncScheduler()
+        # Lane names must be deterministic (the virtual scheduler picks
+        # among lanes by seeded choice over their sorted names); callers
+        # sharing one scheduler across datasets pass a distinct lane per
+        # dataset instance (e.g. the node's "<dataset>.p<partition>").
+        self._lane = (
+            maintenance_lane if maintenance_lane is not None else f"maint:{name}"
+        )
+        if max_pending_flushes < 1:
+            raise StorageError(
+                f"max_pending_flushes must be >= 1, got {max_pending_flushes}"
+            )
+        self.max_pending_flushes = max_pending_flushes
+        # Serialises multi-index DML (and the rotation step of a
+        # scheduled flush) so one operation's records always land in the
+        # same memtable generation across all trees.  Maintenance tasks
+        # take it only for the WAL-truncation decision (a quick check,
+        # never during a flush or merge build), so writers never wait
+        # out background I/O.
+        self._dml_lock = threading.RLock()
         merge_policy = merge_policy if merge_policy is not None else NoMergePolicy()
 
         # Durability: a manifest makes every flush/merge/bulkload
@@ -274,8 +314,8 @@ class Dataset:
     def _recover_from(
         self, state: Any, replayed: list[tuple[int, str, Record]]
     ) -> None:
-        """Reinstate disk components from the manifest and replay the
-        WAL into fresh memtables (invoked from ``__init__``)."""
+        """Reinstate disk components from the manifest and stage the
+        WAL's operations for replay (invoked from ``__init__``)."""
         trees = {tree.name: tree for tree in self._all_trees()}
         unknown = set(state.components) - set(trees)
         if unknown:
@@ -285,7 +325,11 @@ class Dataset:
             )
         for tree in self._all_trees():
             tree.install_recovered(state.components.get(tree.name, []))
-        replayed_ops: set[int] = set()
+        # Group the log's records back into operations (one seqnum, one
+        # record per tree), in log order; they are applied in
+        # complete_recovery so observers can subscribe first.
+        ops: dict[int, list[tuple[LSMTree, Record]]] = {}
+        order: list[int] = []
         for seqnum, tree_name, record in replayed:
             tree = trees.get(tree_name)
             if tree is None:
@@ -295,10 +339,11 @@ class Dataset:
                 )
             if record.seqnum <= tree.max_flushed_seqnum:
                 continue  # already durable in a flushed component
-            tree.memtable.write(record)
-            replayed_ops.add(seqnum)
-        self._pending_writes = len(replayed_ops)
-        self._m_replayed_ops.inc(len(replayed_ops))
+            if seqnum not in ops:
+                ops[seqnum] = []
+                order.append(seqnum)
+            ops[seqnum].append((tree, record))
+        self._replay_ops = [ops[seqnum] for seqnum in order]
 
     def complete_recovery(self) -> None:
         """Finish a ``recover=True`` construction: let observers
@@ -318,11 +363,22 @@ class Dataset:
                 self.event_bus.notify_recovered(
                     tree.name, list(reversed(components)), tree.key_extractor
                 )
-        if self._pending_writes >= self.memtable_capacity:
-            self.flush()
-        else:
-            for tree in self._all_trees():
-                tree.run_pending_merges()
+        # Replay the logged operations through the normal flush cadence:
+        # every ``memtable_capacity`` ops close a generation, so the
+        # recovered component boundaries (and their statistics) match a
+        # run that never crashed -- even when the crash caught several
+        # rotated generations still queued on the background scheduler.
+        replay = self._replay_ops
+        self._replay_ops = []
+        for writes in replay:
+            for tree, record in writes:
+                tree.memtable.write(record)
+            self._pending_writes += 1
+            self._m_replayed_ops.inc()
+            if self._pending_writes >= self.memtable_capacity:
+                self.flush()
+        for tree in self._all_trees():
+            tree.run_pending_merges()
 
     def live_file_ids(self) -> set[int]:
         """Disk files this dataset still references (components plus
@@ -346,25 +402,32 @@ class Dataset:
 
     def insert(self, document: dict[str, Any]) -> None:
         """Insert a new record (the caller guarantees PK uniqueness)."""
-        pk = self._pk_of(document)
-        seqnum = self.sequence.next()
-        if self._wal is not None:
-            writes = [(self.primary, Record.matter(pk, document, seqnum=seqnum))]
-            for spec in self._all_specs():
-                writes.append(
-                    (
-                        self._secondary[spec.name],
-                        Record.matter((*spec.key_of(document), pk), seqnum=seqnum),
+        with self._dml_lock:
+            pk = self._pk_of(document)
+            seqnum = self.sequence.next()
+            if self._wal is not None:
+                writes = [
+                    (self.primary, Record.matter(pk, document, seqnum=seqnum))
+                ]
+                for spec in self._all_specs():
+                    writes.append(
+                        (
+                            self._secondary[spec.name],
+                            Record.matter(
+                                (*spec.key_of(document), pk), seqnum=seqnum
+                            ),
+                        )
                     )
-                )
-            self._apply_logged(seqnum, writes)
-            return
-        self.primary.write_record(Record.matter(pk, document, seqnum=seqnum))
-        for spec in self._all_specs():
-            self._secondary[spec.name].write_record(
-                Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
+                self._apply_logged(seqnum, writes)
+                return
+            self.primary.write_record(
+                Record.matter(pk, document, seqnum=seqnum)
             )
-        self._after_write()
+            for spec in self._all_specs():
+                self._secondary[spec.name].write_record(
+                    Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
+                )
+            self._after_write()
 
     def insert_many(self, documents: Iterable[dict[str, Any]]) -> int:
         """Insert a batch of new records; returns the number inserted.
@@ -388,76 +451,89 @@ class Dataset:
         next_seq = self.sequence.next
         inserted = 0
         for document in documents:
-            pk = self._pk_of(document)
-            seqnum = next_seq()
-            primary_write(Record.matter(pk, document, seqnum=seqnum))
-            for spec, tree in zip(specs, trees):
-                tree.write_record(
-                    Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
-                )
-            inserted += 1
-            self._after_write()
+            with self._dml_lock:
+                pk = self._pk_of(document)
+                seqnum = next_seq()
+                primary_write(Record.matter(pk, document, seqnum=seqnum))
+                for spec, tree in zip(specs, trees):
+                    tree.write_record(
+                        Record.matter(
+                            (*spec.key_of(document), pk), seqnum=seqnum
+                        )
+                    )
+                inserted += 1
+                self._after_write()
         return inserted
 
     def update(self, document: dict[str, Any]) -> bool:
         """Replace the record with the same PK; returns False when the
         PK does not exist (AsterixDB enforces existence on updates)."""
-        pk = self._pk_of(document)
-        old = self.primary.get(pk)
-        if old is None:
-            return False
-        seqnum = self.sequence.next()
-        if self._wal is not None:
-            writes = [(self.primary, Record.matter(pk, document, seqnum=seqnum))]
+        with self._dml_lock:
+            pk = self._pk_of(document)
+            old = self.primary.get(pk)
+            if old is None:
+                return False
+            seqnum = self.sequence.next()
+            if self._wal is not None:
+                writes = [
+                    (self.primary, Record.matter(pk, document, seqnum=seqnum))
+                ]
+                for spec in self._all_specs():
+                    old_sk, new_sk = spec.key_of(old), spec.key_of(document)
+                    if old_sk == new_sk:
+                        continue
+                    tree = self._secondary[spec.name]
+                    writes.append(
+                        (tree, Record.anti((*old_sk, pk), seqnum=seqnum))
+                    )
+                    writes.append(
+                        (tree, Record.matter((*new_sk, pk), seqnum=seqnum))
+                    )
+                self._apply_logged(seqnum, writes)
+                return True
+            self.primary.write_record(
+                Record.matter(pk, document, seqnum=seqnum)
+            )
             for spec in self._all_specs():
                 old_sk, new_sk = spec.key_of(old), spec.key_of(document)
                 if old_sk == new_sk:
+                    # The existing secondary entry still points at the
+                    # live record; touching it would double-count the
+                    # record in per-component statistics.
                     continue
                 tree = self._secondary[spec.name]
-                writes.append((tree, Record.anti((*old_sk, pk), seqnum=seqnum)))
-                writes.append(
-                    (tree, Record.matter((*new_sk, pk), seqnum=seqnum))
-                )
-            self._apply_logged(seqnum, writes)
+                tree.write_record(Record.anti((*old_sk, pk), seqnum=seqnum))
+                tree.write_record(Record.matter((*new_sk, pk), seqnum=seqnum))
+            self._after_write()
             return True
-        self.primary.write_record(Record.matter(pk, document, seqnum=seqnum))
-        for spec in self._all_specs():
-            old_sk, new_sk = spec.key_of(old), spec.key_of(document)
-            if old_sk == new_sk:
-                # The existing secondary entry still points at the live
-                # record; touching it would double-count the record in
-                # per-component statistics.
-                continue
-            tree = self._secondary[spec.name]
-            tree.write_record(Record.anti((*old_sk, pk), seqnum=seqnum))
-            tree.write_record(Record.matter((*new_sk, pk), seqnum=seqnum))
-        self._after_write()
-        return True
 
     def delete(self, pk: Any) -> bool:
         """Delete by PK; returns False when the PK does not exist."""
-        old = self.primary.get(pk)
-        if old is None:
-            return False
-        seqnum = self.sequence.next()
-        if self._wal is not None:
-            writes = [(self.primary, Record.anti(pk, seqnum=seqnum))]
-            for spec in self._all_specs():
-                writes.append(
-                    (
-                        self._secondary[spec.name],
-                        Record.anti((*spec.key_of(old), pk), seqnum=seqnum),
+        with self._dml_lock:
+            old = self.primary.get(pk)
+            if old is None:
+                return False
+            seqnum = self.sequence.next()
+            if self._wal is not None:
+                writes = [(self.primary, Record.anti(pk, seqnum=seqnum))]
+                for spec in self._all_specs():
+                    writes.append(
+                        (
+                            self._secondary[spec.name],
+                            Record.anti(
+                                (*spec.key_of(old), pk), seqnum=seqnum
+                            ),
+                        )
                     )
+                self._apply_logged(seqnum, writes)
+                return True
+            self.primary.write_record(Record.anti(pk, seqnum=seqnum))
+            for spec in self._all_specs():
+                self._secondary[spec.name].write_record(
+                    Record.anti((*spec.key_of(old), pk), seqnum=seqnum)
                 )
-            self._apply_logged(seqnum, writes)
+            self._after_write()
             return True
-        self.primary.write_record(Record.anti(pk, seqnum=seqnum))
-        for spec in self._all_specs():
-            self._secondary[spec.name].write_record(
-                Record.anti((*spec.key_of(old), pk), seqnum=seqnum)
-            )
-        self._after_write()
-        return True
 
     def bulkload(self, documents: Iterable[dict[str, Any]]) -> None:
         """Initial load of PK-sorted documents into an empty dataset.
@@ -512,7 +588,17 @@ class Dataset:
         primary's component without its secondaries'.  Merges are
         deferred until after the transaction (and the WAL truncation),
         keeping the log small while the multi-tree state is in flux.
+
+        Under a concurrent scheduler this is the drain barrier: it
+        schedules a flush of everything buffered and blocks until all
+        background maintenance (including follow-up merges) completed,
+        returning ``[]`` -- the components were installed by the
+        background tasks.
         """
+        if not self._scheduler.inline:
+            self.schedule_flush()
+            self._scheduler.drain()
+            return []
         self._pending_writes = 0
         if self._manifest is None:
             flushed = []
@@ -538,6 +624,90 @@ class Dataset:
             tree.run_pending_merges()
         return flushed
 
+    # -- background maintenance -------------------------------------------
+
+    @property
+    def scheduler(self) -> MaintenanceScheduler:
+        """The maintenance scheduler this dataset submits to."""
+        return self._scheduler
+
+    def schedule_flush(self) -> bool:
+        """Rotate every tree's memtable and queue one background flush
+        of the rotated generation; returns False when nothing was
+        buffered.  The rotation happens on the calling (DML) thread, so
+        the moment this returns new writes land in fresh memtables and
+        never wait on the flush I/O.
+        """
+        # Backpressure: bound the rotated-but-unflushed queue so a
+        # stalled flush lane cannot buffer unbounded memory.  The wait
+        # itself is the measured `scheduler.stall` -- in steady state it
+        # returns immediately.
+        self._scheduler.wait(
+            lambda: self.primary.immutable_count < self.max_pending_flushes
+        )
+        with self._dml_lock:
+            rotated = False
+            for tree in self._all_trees():
+                rotated = tree.rotate() or rotated
+            self._pending_writes = 0
+        if rotated:
+            self._scheduler.submit(self._flush_task, lane=self._lane)
+        return rotated
+
+    def _flush_task(self) -> None:
+        """Lane task: persist one rotated generation across all trees,
+        then chain into merge-policy evaluation.  Lane FIFO guarantees
+        generation k is installed before generation k+1, preserving the
+        synchronous component order."""
+        trees = list(self._all_trees())
+        if self._manifest is None:
+            for tree in trees:
+                if tree.immutable_count:
+                    tree.flush_one_immutable()
+        else:
+            if self._wal is not None:
+                self._wal.sync()
+            txn = self._manifest.begin_txn()
+            for tree in trees:
+                if tree.immutable_count:
+                    tree.flush_one_immutable(txn)
+            self._manifest.commit_txn(txn)
+            # The shared WAL may only truncate once *every* acknowledged
+            # write is on disk; with writes still buffered (or more
+            # rotated generations queued) replay still needs the log.
+            # Deferral costs log space, never correctness: replay skips
+            # records already covered by flushed components.  The check
+            # and the truncate hold the DML lock together -- otherwise a
+            # concurrent operation could log its entry between them and
+            # have it deleted while its records are still memory-only.
+            if self._wal is not None:
+                with self._dml_lock:
+                    if all(t.fully_flushed for t in trees):
+                        self._wal.truncate()
+        # Merges continue at the *front* of the lane so the merge
+        # decisions triggered by this flush happen before the next
+        # queued flush installs -- the synchronous decision sequence.
+        self._scheduler.submit(
+            self._merge_continuation, lane=self._lane, front=True
+        )
+
+    def _merge_continuation(self) -> None:
+        """Lane task: run at most one merge (first tree, in order, whose
+        policy wants one) and requeue itself while any tree still has
+        merge work.  One merge per task keeps lanes responsive: other
+        datasets' tasks interleave between merges."""
+        for tree in self._all_trees():
+            if tree.merge_once() is not None:
+                self._scheduler.submit(
+                    self._merge_continuation, lane=self._lane, front=True
+                )
+                return
+
+    def drain_maintenance(self) -> None:
+        """Block until all scheduled background maintenance completed
+        (re-raising failures captured off-thread)."""
+        self._scheduler.drain()
+
     def _apply_logged(
         self, seqnum: int, writes: "list[tuple[LSMTree, Record]]"
     ) -> None:
@@ -554,7 +724,10 @@ class Dataset:
     def _after_write(self) -> None:
         self._pending_writes += 1
         if self._pending_writes >= self.memtable_capacity:
-            self.flush()
+            if self._scheduler.inline:
+                self.flush()
+            else:
+                self.schedule_flush()
 
     # -- read path ----------------------------------------------------------
 

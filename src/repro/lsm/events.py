@@ -14,6 +14,7 @@ precisely the paper's design.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
@@ -130,6 +131,12 @@ class EventBus:
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._observers: list[LSMEventObserver] = []
+        # Notifications may fire from background maintenance threads
+        # while the application (un)subscribes; the guard keeps the
+        # observer list and the callbacks it drives consistent.  An
+        # RLock, because an observer callback may legally re-enter the
+        # bus (e.g. a collector publishing triggers another tap offer).
+        self._guard = threading.RLock()
         obs = registry if registry is not None else get_registry()
         self._m_writes = obs.counter("lsm.events.component_writes")
         self._m_replacements = obs.counter("lsm.events.replacements")
@@ -138,25 +145,28 @@ class EventBus:
 
     def subscribe(self, observer: LSMEventObserver) -> None:
         """Register an observer (idempotent)."""
-        if observer not in self._observers:
-            self._observers.append(observer)
-            self._g_observers.inc()
+        with self._guard:
+            if observer not in self._observers:
+                self._observers.append(observer)
+                self._g_observers.inc()
 
     def unsubscribe(self, observer: LSMEventObserver) -> None:
         """Remove an observer if registered."""
-        if observer in self._observers:
-            self._observers.remove(observer)
-            self._g_observers.inc(-1)
+        with self._guard:
+            if observer in self._observers:
+                self._observers.remove(observer)
+                self._g_observers.inc(-1)
 
     def open_sinks(self, context: ComponentWriteContext) -> list[RecordSink]:
         """Collect sinks from all observers for one component write."""
-        self._m_writes.inc()
-        sinks = []
-        for observer in self._observers:
-            sink = observer.begin_component_write(context)
-            if sink is not None:
-                sinks.append(sink)
-        return sinks
+        with self._guard:
+            self._m_writes.inc()
+            sinks = []
+            for observer in self._observers:
+                sink = observer.begin_component_write(context)
+                if sink is not None:
+                    sinks.append(sink)
+            return sinks
 
     def notify_replaced(
         self,
@@ -165,9 +175,12 @@ class EventBus:
         new_component: DiskComponent,
     ) -> None:
         """Broadcast that a merge superseded components."""
-        self._m_replacements.inc()
-        for observer in self._observers:
-            observer.component_replaced(index_name, old_components, new_component)
+        with self._guard:
+            self._m_replacements.inc()
+            for observer in self._observers:
+                observer.component_replaced(
+                    index_name, old_components, new_component
+                )
 
     def notify_recovered(
         self,
@@ -185,8 +198,9 @@ class EventBus:
         components.  Observers without a ``components_recovered`` method
         are skipped -- recovery is an optional part of the protocol.
         """
-        self._m_recoveries.inc()
-        for observer in self._observers:
-            handler = getattr(observer, "components_recovered", None)
-            if handler is not None:
-                handler(index_name, components, key_extractor)
+        with self._guard:
+            self._m_recoveries.inc()
+            for observer in self._observers:
+                handler = getattr(observer, "components_recovered", None)
+                if handler is not None:
+                    handler(index_name, components, key_extractor)

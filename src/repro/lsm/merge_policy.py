@@ -17,6 +17,7 @@ evaluation are implemented, plus AsterixDB's default prefix policy:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -33,7 +34,18 @@ __all__ = [
 
 
 class MergePolicy(ABC):
-    """Decides which disk components to merge after a flush."""
+    """Decides which disk components to merge after a flush.
+
+    ``select_merge`` is the pure decision function subclasses implement;
+    it assumes serial calls.  Concurrent schedulers must instead go
+    through :meth:`acquire_merge` / :meth:`release_merge`, which track
+    the components of in-flight merges so no component is ever selected
+    by two overlapping merges.
+    """
+
+    def __init__(self) -> None:
+        self._in_flight: set[int] = set()  # uids of components mid-merge
+        self._slot_lock = threading.Lock()
 
     @abstractmethod
     def select_merge(
@@ -41,6 +53,41 @@ class MergePolicy(ABC):
     ) -> list[DiskComponent] | None:
         """Pick a contiguous run to merge from ``components`` (ordered
         newest first), or ``None`` when no merge is warranted."""
+
+    def acquire_merge(
+        self, components: Sequence[DiskComponent]
+    ) -> list[DiskComponent] | None:
+        """Concurrency-safe selection: consult :meth:`select_merge` on
+        the newest-first prefix that stops at the first component already
+        claimed by an in-flight merge (a policy may only pick contiguous
+        runs, so nothing past a busy component is eligible), and claim
+        the selection.  Callers must pair every non-``None`` return with
+        exactly one :meth:`release_merge`.
+        """
+        with self._slot_lock:
+            eligible: list[DiskComponent] = []
+            for component in components:  # newest first
+                if component.uid in self._in_flight:
+                    break
+                eligible.append(component)
+            selected = self.select_merge(eligible)
+            if selected:
+                self._in_flight.update(c.uid for c in selected)
+                return selected
+            return None
+
+    def release_merge(self, components: Sequence[DiskComponent]) -> None:
+        """Return the slots claimed by :meth:`acquire_merge` (called when
+        the merge completes or fails)."""
+        with self._slot_lock:
+            for component in components:
+                self._in_flight.discard(component.uid)
+
+    @property
+    def in_flight_count(self) -> int:
+        """Components currently claimed by unfinished merges."""
+        with self._slot_lock:
+            return len(self._in_flight)
 
 
 class NoMergePolicy(MergePolicy):
@@ -61,6 +108,7 @@ class ConstantMergePolicy(MergePolicy):
     """
 
     def __init__(self, max_components: int) -> None:
+        super().__init__()
         if max_components < 1:
             raise ConfigurationError(
                 f"max_components must be >= 1, got {max_components}"
@@ -89,6 +137,7 @@ class PrefixMergePolicy(MergePolicy):
     def __init__(
         self, max_mergable_pages: int, max_tolerance_count: int
     ) -> None:
+        super().__init__()
         if max_mergable_pages < 1:
             raise ConfigurationError(
                 f"max_mergable_pages must be >= 1, got {max_mergable_pages}"
@@ -123,6 +172,7 @@ class StackMergePolicy(MergePolicy):
     """
 
     def __init__(self, stack_size: int) -> None:
+        super().__init__()
         if stack_size < 2:
             raise ConfigurationError(
                 f"stack_size must be >= 2, got {stack_size}"

@@ -1,0 +1,374 @@
+"""Background maintenance scheduling for the LSM lifecycle.
+
+AsterixDB runs flushes and merges on worker threads while ingestion
+continues; this module supplies that subsystem in three interchangeable
+modes so the same engine code serves production *and* deterministic
+testing:
+
+* :class:`SyncScheduler` -- ``submit`` runs the task inline on the
+  calling thread.  Maintenance stays synchronous with the write that
+  triggered it, byte-for-byte the pre-scheduler behaviour.  The default.
+* :class:`ThreadPoolScheduler` -- a bounded pool of real ``threading``
+  workers.  Used by production-style runs and the thread-stress suite.
+* :class:`VirtualScheduler` -- a seeded single-threaded step-executor:
+  pending tasks wait until the harness calls :meth:`~VirtualScheduler.step`
+  (or ``drain``/``wait``), and each step picks the next lane by seeded
+  choice.  Every interleaving is replayable from ``(seed, op script)``,
+  the same design lever the fault and crash harnesses use.
+
+**Lanes.**  Tasks are submitted into named FIFO *lanes*; a lane never
+runs two tasks concurrently and never reorders them (except explicit
+``front=True`` continuations, which jump the lane's queue).  All
+maintenance of one dataset shares one lane, which is what makes the
+concurrent modes end bit-identical to a synchronous run: per dataset,
+flushes install in rotation order and each flush's merge continuations
+run before the next flush, exactly the decision sequence the inline
+code produces -- only the interleaving *between* datasets (and with the
+ingest/query/stats traffic) varies.
+
+Metrics (docs/OBSERVABILITY.md): ``scheduler.tasks.submitted`` /
+``.completed`` / ``.failed``, ``scheduler.queue.depth``,
+``scheduler.task.seconds``, and the backpressure pair
+``scheduler.stalls`` / ``scheduler.stall.seconds``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError, SchedulerError
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "MaintenanceScheduler",
+    "SyncScheduler",
+    "ThreadPoolScheduler",
+    "VirtualScheduler",
+    "SchedulerError",
+    "SCHEDULER_MODES",
+    "make_scheduler",
+    "DEFAULT_MAX_WORKERS",
+]
+
+SCHEDULER_MODES = ("sync", "threads", "virtual")
+"""The supported ``scheduler=`` modes, see :func:`make_scheduler`."""
+
+DEFAULT_MAX_WORKERS = 2
+"""Worker threads of a :class:`ThreadPoolScheduler` unless overridden."""
+
+DEFAULT_LANE = "default"
+
+
+Task = Callable[[], None]
+
+
+class MaintenanceScheduler(ABC):
+    """Common contract of the three scheduler modes."""
+
+    #: One of :data:`SCHEDULER_MODES`; also keys ``make_scheduler``.
+    mode: str = "abstract"
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        obs = registry if registry is not None else get_registry()
+        self._m_submitted = obs.counter("scheduler.tasks.submitted")
+        self._m_completed = obs.counter("scheduler.tasks.completed")
+        self._m_failed = obs.counter("scheduler.tasks.failed")
+        self._m_stalls = obs.counter("scheduler.stalls")
+        self._g_depth = obs.gauge("scheduler.queue.depth")
+        self._h_task = obs.histogram("scheduler.task.seconds")
+        self._h_stall = obs.histogram("scheduler.stall.seconds")
+
+    @property
+    def inline(self) -> bool:
+        """True when ``submit`` runs tasks on the calling thread
+        immediately (the synchronous compatibility mode)."""
+        return False
+
+    @abstractmethod
+    def submit(
+        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+    ) -> None:
+        """Enqueue ``task`` on ``lane``.  ``front=True`` puts it at the
+        head of the lane (a continuation of the task that submitted it);
+        lanes are otherwise strict FIFO and never run two tasks at once.
+        """
+
+    @abstractmethod
+    def drain(self) -> None:
+        """Run/await every pending task (including ones submitted while
+        draining) until the scheduler is idle.  Task failures captured
+        off-thread are re-raised here."""
+
+    @abstractmethod
+    def pending_count(self) -> int:
+        """Tasks submitted but not yet completed."""
+
+    def wait(self, predicate: Callable[[], bool]) -> None:
+        """Backpressure hook: block (or, in virtual mode, run pending
+        tasks) until ``predicate()`` holds or no pending task can change
+        it.  Records a stall when it could not return immediately."""
+        if predicate():
+            return
+        self._m_stalls.inc()
+        started = time.perf_counter()
+        try:
+            self._wait(predicate)
+        finally:
+            self._h_stall.observe(time.perf_counter() - started)
+
+    @abstractmethod
+    def _wait(self, predicate: Callable[[], bool]) -> None:
+        """Mode-specific blocking loop behind :meth:`wait`."""
+
+    def shutdown(self) -> None:
+        """Release worker resources; pending tasks are discarded (the
+        crash-restart semantics: in-memory work in flight is lost)."""
+
+    def _run_task(self, task: Task) -> BaseException | None:
+        """Execute one task with timing/outcome accounting; returns the
+        failure instead of raising so callers choose propagation."""
+        started = time.perf_counter()
+        try:
+            task()
+        except BaseException as exc:  # SimulatedCrash included
+            self._m_failed.inc()
+            return exc
+        finally:
+            self._h_task.observe(time.perf_counter() - started)
+            self._m_completed.inc()
+            self._g_depth.inc(-1)
+        return None
+
+
+class SyncScheduler(MaintenanceScheduler):
+    """Runs every task inline at submit time (legacy behaviour)."""
+
+    mode = "sync"
+
+    @property
+    def inline(self) -> bool:
+        return True
+
+    def submit(
+        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+    ) -> None:
+        self._m_submitted.inc()
+        self._g_depth.inc(1)
+        failure = self._run_task(task)
+        if failure is not None:
+            raise failure
+
+    def drain(self) -> None:
+        return  # nothing is ever pending
+
+    def pending_count(self) -> int:
+        return 0
+
+    def _wait(self, predicate: Callable[[], bool]) -> None:
+        return  # no background task can change the predicate
+
+
+class VirtualScheduler(MaintenanceScheduler):
+    """A deterministic seeded step-executor.
+
+    Tasks accumulate in their lanes until the harness advances the
+    scheduler: :meth:`step` runs exactly one task from a seeded-random
+    non-empty lane, :meth:`drain` steps until idle, and :meth:`wait`
+    steps until the predicate holds.  Replaying the same seed against
+    the same submission sequence reproduces the interleaving exactly.
+    Task exceptions (including :class:`~repro.lsm.crashpoints.SimulatedCrash`)
+    propagate on the calling thread at the step that ran the task.
+    """
+
+    mode = "virtual"
+
+    def __init__(
+        self, seed: int | str = 0, registry: MetricsRegistry | None = None
+    ) -> None:
+        super().__init__(registry)
+        self._rng = random.Random(f"scheduler:{seed}")
+        self._lanes: dict[str, deque[Task]] = {}
+
+    def submit(
+        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+    ) -> None:
+        queue = self._lanes.setdefault(lane, deque())
+        if front:
+            queue.appendleft(task)
+        else:
+            queue.append(task)
+        self._m_submitted.inc()
+        self._g_depth.inc(1)
+
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._lanes.values())
+
+    def step(self) -> bool:
+        """Run one pending task from a seeded-random lane; returns
+        False when nothing was pending."""
+        nonempty = sorted(lane for lane, queue in self._lanes.items() if queue)
+        if not nonempty:
+            return False
+        lane = (
+            nonempty[0]
+            if len(nonempty) == 1
+            else self._rng.choice(nonempty)
+        )
+        task = self._lanes[lane].popleft()
+        failure = self._run_task(task)
+        if failure is not None:
+            raise failure
+        return True
+
+    def drain(self) -> None:
+        while self.step():
+            pass
+
+    def _wait(self, predicate: Callable[[], bool]) -> None:
+        while not predicate():
+            if not self.step():
+                return  # idle and still false: nothing will change it
+
+    def shutdown(self) -> None:
+        self._lanes.clear()
+
+
+class ThreadPoolScheduler(MaintenanceScheduler):
+    """A bounded pool of real worker threads with lane-FIFO dispatch.
+
+    A lane is handed to a worker only while no other worker is running
+    one of its tasks, so the per-lane serialization the determinism
+    argument rests on holds under true concurrency.  Failures are
+    captured and re-raised by the next :meth:`drain` (maintenance must
+    never kill a writer thread silently)."""
+
+    mode = "threads"
+
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        super().__init__(registry)
+        self._mutex = threading.Lock()
+        self._changed = threading.Condition(self._mutex)
+        self._lanes: dict[str, deque[Task]] = {}
+        self._ready: deque[str] = deque()  # lanes with work, not running
+        self._running: set[str] = set()
+        self._pending = 0
+        self._failures: list[BaseException] = []
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(
+                target=self._work,
+                name=f"lsm-maintenance-{index}",
+                daemon=True,
+            )
+            for index in range(max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def submit(
+        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+    ) -> None:
+        with self._changed:
+            if self._shutdown:
+                raise SchedulerError("submit on a shut-down scheduler")
+            queue = self._lanes.setdefault(lane, deque())
+            if front:
+                queue.appendleft(task)
+            else:
+                queue.append(task)
+            self._pending += 1
+            if lane not in self._running and lane not in self._ready:
+                self._ready.append(lane)
+            self._m_submitted.inc()
+            self._g_depth.inc(1)
+            self._changed.notify()
+
+    def pending_count(self) -> int:
+        with self._mutex:
+            return self._pending
+
+    def _work(self) -> None:
+        while True:
+            with self._changed:
+                while not self._ready and not self._shutdown:
+                    self._changed.wait()
+                if self._shutdown:
+                    return
+                lane = self._ready.popleft()
+                task = self._lanes[lane].popleft()
+                self._running.add(lane)
+            failure = self._run_task(task)
+            with self._changed:
+                self._running.discard(lane)
+                self._pending -= 1
+                if failure is not None:
+                    self._failures.append(failure)
+                if self._lanes.get(lane):
+                    self._ready.append(lane)
+                self._changed.notify_all()
+
+    def drain(self) -> None:
+        with self._changed:
+            while self._pending and not self._shutdown:
+                self._changed.wait()
+            failures, self._failures = self._failures, []
+        if failures:
+            first = failures[0]
+            if isinstance(first, BaseException) and not isinstance(
+                first, Exception
+            ):
+                raise first  # e.g. SimulatedCrash: never wrap process death
+            raise SchedulerError(
+                f"{len(failures)} background maintenance task(s) failed; "
+                f"first: {first!r}"
+            ) from first
+
+    def _wait(self, predicate: Callable[[], bool]) -> None:
+        with self._changed:
+            while not predicate():
+                if not self._pending or self._shutdown:
+                    return
+                self._changed.wait(timeout=0.1)
+
+    def shutdown(self) -> None:
+        with self._changed:
+            self._shutdown = True
+            self._lanes.clear()
+            self._ready.clear()
+            self._changed.notify_all()
+        for worker in self._workers:
+            if worker is not threading.current_thread():
+                worker.join(timeout=5.0)
+
+
+def make_scheduler(
+    mode: str,
+    seed: int | str = 0,
+    max_workers: int = DEFAULT_MAX_WORKERS,
+    registry: MetricsRegistry | None = None,
+) -> MaintenanceScheduler:
+    """Build a scheduler from its mode name (``"sync"`` | ``"threads"``
+    | ``"virtual"``), the form the dataset/cluster constructors and the
+    README document."""
+    if mode == "sync":
+        return SyncScheduler(registry=registry)
+    if mode == "threads":
+        return ThreadPoolScheduler(max_workers=max_workers, registry=registry)
+    if mode == "virtual":
+        return VirtualScheduler(seed=seed, registry=registry)
+    raise ConfigurationError(
+        f"unknown scheduler mode {mode!r}; expected one of {SCHEDULER_MODES}"
+    )

@@ -15,6 +15,7 @@ immutable once sealed, mirroring immutable LSM disk components.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -134,6 +135,12 @@ class SimulatedDisk:
         self.stats = IOStats()
         self._files: dict[int, _File] = {}
         self._next_file_id = 0
+        # One disk serves every partition of a node, so background
+        # flush/merge builds on worker threads append and read pages
+        # concurrently with the application thread; the mutex keeps file
+        # ids unique and the stats/cache bookkeeping consistent.  RLock
+        # because orphan GC deletes files one by one.
+        self._mutex = threading.RLock()
         # LRU buffer cache: (file_id, page_no) -> page object.
         self._cache: OrderedDict[tuple[int, int], Any] = OrderedDict()
         # The "superblock": a tiny fixed-location key/value area real
@@ -145,52 +152,55 @@ class SimulatedDisk:
 
     def create_file(self) -> FileHandle:
         """Create a new empty file."""
-        file_id = self._next_file_id
-        self._next_file_id += 1
-        self._files[file_id] = _File(file_id)
-        self.stats.files_created += 1
-        return FileHandle(self, file_id)
+        with self._mutex:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            self._files[file_id] = _File(file_id)
+            self.stats.files_created += 1
+            return FileHandle(self, file_id)
 
     def append_page(self, file_id: int, data: Any) -> int:
         """Append a page to an unsealed file (a sequential write)."""
-        file = self._live_file(file_id)
-        if file.sealed:
-            raise StorageError(f"file {file_id} is sealed (immutable)")
-        file.pages.append(data)
-        self.stats.pages_written += 1
-        self.stats.bytes_written += self.page_bytes
-        page_no = len(file.pages) - 1
-        self._cache_insert(file_id, page_no, data)
-        return page_no
+        with self._mutex:
+            file = self._live_file(file_id)
+            if file.sealed:
+                raise StorageError(f"file {file_id} is sealed (immutable)")
+            file.pages.append(data)
+            self.stats.pages_written += 1
+            self.stats.bytes_written += self.page_bytes
+            page_no = len(file.pages) - 1
+            self._cache_insert(file_id, page_no, data)
+            return page_no
 
     def read_page(self, file_id: int, page_no: int) -> Any:
         """Read a page, classifying the access as sequential or random.
 
         A buffer-cache hit returns the page without charging any I/O.
         """
-        file = self._live_file(file_id)
-        if not 0 <= page_no < len(file.pages):
-            raise StorageError(
-                f"page {page_no} out of range for file {file_id} "
-                f"({len(file.pages)} pages)"
-            )
-        if self.cache_pages:
-            cached = self._cache.get((file_id, page_no))
-            if cached is not None:
-                self._cache.move_to_end((file_id, page_no))
-                self.stats.cache_hits += 1
-                return cached
-            self.stats.cache_misses += 1
-        self.stats.pages_read += 1
-        self.stats.bytes_read += self.page_bytes
-        if page_no == file.last_read_page + 1:
-            self.stats.sequential_reads += 1
-        else:
-            self.stats.random_reads += 1
-        file.last_read_page = page_no
-        page = file.pages[page_no]
-        self._cache_insert(file_id, page_no, page)
-        return page
+        with self._mutex:
+            file = self._live_file(file_id)
+            if not 0 <= page_no < len(file.pages):
+                raise StorageError(
+                    f"page {page_no} out of range for file {file_id} "
+                    f"({len(file.pages)} pages)"
+                )
+            if self.cache_pages:
+                cached = self._cache.get((file_id, page_no))
+                if cached is not None:
+                    self._cache.move_to_end((file_id, page_no))
+                    self.stats.cache_hits += 1
+                    return cached
+                self.stats.cache_misses += 1
+            self.stats.pages_read += 1
+            self.stats.bytes_read += self.page_bytes
+            if page_no == file.last_read_page + 1:
+                self.stats.sequential_reads += 1
+            else:
+                self.stats.random_reads += 1
+            file.last_read_page = page_no
+            page = file.pages[page_no]
+            self._cache_insert(file_id, page_no, page)
+            return page
 
     def _cache_insert(self, file_id: int, page_no: int, page: Any) -> None:
         if not self.cache_pages:
@@ -202,7 +212,8 @@ class SimulatedDisk:
 
     def seal(self, file_id: int) -> None:
         """Mark a file immutable; further appends raise."""
-        self._live_file(file_id).sealed = True
+        with self._mutex:
+            self._live_file(file_id).sealed = True
 
     def delete_file(self, file_id: int) -> None:
         """Delete a file and free its pages (and cached copies).
@@ -211,44 +222,49 @@ class SimulatedDisk:
         ``bytes_reclaimed`` so merge GC and recovery orphan-GC are
         visible in :class:`IOStats`.
         """
-        file = self._live_file(file_id)
-        freed_pages = len(file.pages)
-        file.deleted = True
-        file.pages = []
-        self.stats.files_deleted += 1
-        self.stats.pages_deleted += freed_pages
-        self.stats.bytes_reclaimed += freed_pages * self.page_bytes
-        if self.cache_pages:
-            stale = [key for key in self._cache if key[0] == file_id]
-            for key in stale:
-                del self._cache[key]
+        with self._mutex:
+            file = self._live_file(file_id)
+            freed_pages = len(file.pages)
+            file.deleted = True
+            file.pages = []
+            self.stats.files_deleted += 1
+            self.stats.pages_deleted += freed_pages
+            self.stats.bytes_reclaimed += freed_pages * self.page_bytes
+            if self.cache_pages:
+                stale = [key for key in self._cache if key[0] == file_id]
+                for key in stale:
+                    del self._cache[key]
 
     def delete_files_except(self, keep: "set[int]") -> list[int]:
         """Delete every live file whose id is not in ``keep`` (orphan
         garbage collection after a crash); returns the deleted ids."""
-        orphans = [
-            file_id
-            for file_id, file in self._files.items()
-            if not file.deleted and file_id not in keep
-        ]
-        for file_id in orphans:
-            self.delete_file(file_id)
-        return orphans
+        with self._mutex:
+            orphans = [
+                file_id
+                for file_id, file in self._files.items()
+                if not file.deleted and file_id not in keep
+            ]
+            for file_id in orphans:
+                self.delete_file(file_id)
+            return orphans
 
     def num_pages(self, file_id: int) -> int:
         """Page count of a live file."""
-        return len(self._live_file(file_id).pages)
+        with self._mutex:
+            return len(self._live_file(file_id).pages)
 
     @property
     def live_files(self) -> int:
         """Number of files created and not yet deleted."""
-        return sum(1 for f in self._files.values() if not f.deleted)
+        with self._mutex:
+            return sum(1 for f in self._files.values() if not f.deleted)
 
     def live_file_ids(self) -> set[int]:
         """Ids of all files created and not yet deleted."""
-        return {
-            file_id for file_id, f in self._files.items() if not f.deleted
-        }
+        with self._mutex:
+            return {
+                file_id for file_id, f in self._files.items() if not f.deleted
+            }
 
     def _live_file(self, file_id: int) -> _File:
         file = self._files.get(file_id)

@@ -12,6 +12,7 @@ observers tap the data flow.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import BulkloadError, RecoveryError, StorageError
@@ -64,16 +65,22 @@ stream, so custom physical structures keep working unchanged."""
 
 
 class SequenceGenerator:
-    """Monotonic sequence numbers, shareable across a dataset's indexes."""
+    """Monotonic sequence numbers, shareable across a dataset's indexes.
+
+    Thread-safe: the DML path and background maintenance may both need
+    numbers (e.g. concurrent writers behind the dataset's DML lock on
+    different datasets sharing a partition sequence)."""
 
     def __init__(self, start: int = 0) -> None:
         self._counter = itertools.count(start)
         self._last = start - 1
+        self._lock = threading.Lock()
 
     def next(self) -> int:
         """The next sequence number."""
-        self._last = next(self._counter)
-        return self._last
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
 
     @property
     def last(self) -> int:
@@ -159,6 +166,13 @@ class LSMTree:
         self._index_chunk_builder = _CHUNK_INDEX_BUILDERS.get(self.index_builder)
         # Newest first, matching lookup order.
         self._components: list[DiskComponent] = []
+        # Rotated memtables awaiting a background flush, oldest first.
+        # The tree lock covers every mutation of the in-memory state a
+        # reader snapshots: active-memtable writes, rotation, and the
+        # component-list install/splice.  Maintenance runs its builds
+        # outside the lock, so writers never wait out a flush or merge.
+        self._immutables: list[MemTable] = []
+        self._lock = threading.RLock()
         self.flush_count = 0
         self.merge_count = 0
         # Observer taps are fault-isolated: a crashing statistics sink
@@ -207,28 +221,83 @@ class LSMTree:
         # survive a crash even though the memtable is volatile.
         if self._wal is not None:
             self._wal.append(self.name, record)
-        self.memtable.write(record)
-        if self.auto_flush and len(self.memtable) >= self.memtable_capacity:
+        with self._lock:
+            self.memtable.write(record)
+            full = len(self.memtable) >= self.memtable_capacity
+        if self.auto_flush and full:
             self.flush()
 
     # -- lifecycle events --------------------------------------------------
 
+    def rotate(self) -> bool:
+        """Seal the active memtable into the immutable queue and start a
+        fresh one, so subsequent writes never wait on the flush that will
+        persist the sealed records.  Returns False when the memtable was
+        empty (nothing to rotate).
+
+        Rotation is pure in-memory state: a crash here loses exactly the
+        same acknowledged-but-unflushed records as a crash before the
+        flush, and WAL replay restores them either way.
+        """
+        with self._lock:
+            if not self.memtable:
+                return False
+            self._immutables.append(self.memtable)
+            self.memtable = MemTable()
+        self._fire("flush.rotate")
+        return True
+
+    @property
+    def immutable_count(self) -> int:
+        """Rotated memtables not yet flushed to disk."""
+        with self._lock:
+            return len(self._immutables)
+
+    @property
+    def fully_flushed(self) -> bool:
+        """True when every acknowledged write is in a disk component
+        (no active-memtable records, no rotated memtables pending) --
+        the condition under which a shared WAL may truncate."""
+        with self._lock:
+            return not self.memtable and not self._immutables
+
     def flush(
         self, txn: int | None = None, run_merge: bool = True
     ) -> DiskComponent | None:
-        """Persist the in-memory component; returns the new disk
-        component, or ``None`` when there was nothing to flush.
+        """Persist the in-memory component(s); returns the newest disk
+        component built, or ``None`` when there was nothing to flush.
 
-        With a manifest attached the flush is two-phase: a begin entry
-        precedes the build (so a half-built file is recognisably an
-        orphan) and the commit entry installs the sealed component.
-        ``txn`` stamps the commit with a dataset flush transaction;
-        ``run_merge=False`` defers merge-policy evaluation so the
-        dataset can commit the transaction across all its trees first.
+        Rotates the active memtable, then drains the immutable queue
+        inline -- so on the default synchronous scheduler this is the
+        same one-memtable-one-component operation it always was, while
+        under a background scheduler it doubles as the drain-everything
+        barrier.  With a manifest attached each flush is two-phase: a
+        begin entry precedes the build (so a half-built file is
+        recognisably an orphan) and the commit entry installs the sealed
+        component.  ``txn`` stamps the commit with a dataset flush
+        transaction; ``run_merge=False`` defers merge-policy evaluation
+        so the dataset can commit the transaction across all its trees
+        first.
         """
-        if not self.memtable:
-            return None
-        seq_range = self.memtable.seqnum_range
+        self.rotate()
+        component: DiskComponent | None = None
+        while self.immutable_count:
+            component = self.flush_one_immutable(txn)
+        if run_merge:
+            self._maybe_merge()
+        return component
+
+    def flush_one_immutable(self, txn: int | None = None) -> DiskComponent:
+        """Build and install a disk component from the oldest rotated
+        memtable (the background flush task body; also the inline drain
+        step of :meth:`flush`)."""
+        with self._lock:
+            if not self._immutables:
+                raise StorageError(
+                    f"no immutable memtable to flush in LSM tree {self.name!r}"
+                )
+            memtable = self._immutables[0]
+        seq_range = memtable.seqnum_range
         assert seq_range is not None
         if self._wal is not None:
             self._wal.sync()
@@ -239,31 +308,40 @@ class LSMTree:
             component = self._write_component(
                 LSMEventType.FLUSH,
                 ComponentId(*seq_range),
-                stream=(
-                    self.memtable.sorted_records() if batch is None else None
-                ),
+                stream=(memtable.sorted_records() if batch is None else None),
                 chunks=(
-                    self.memtable.sorted_record_chunks(batch)
+                    memtable.sorted_record_chunks(batch)
                     if batch is not None
                     else None
                 ),
-                expected_records=len(self.memtable),
+                expected_records=len(memtable),
             )
             self._fire("flush.build")
             if self._manifest is not None:
                 self._manifest.commit(
                     "flush", self.name, self._descriptor(component), txn=txn
                 )
-            self.memtable.reset()
-            self._components.insert(0, component)
+            with self._lock:
+                self._immutables.pop(0)
+                self._components.insert(0, component)
             self.flush_count += 1
             self._m_flush.inc()
             self._g_components.set(len(self._components))
         if self._wal is not None:
-            self._wal.truncate()
-        if run_merge:
-            self._maybe_merge()
+            self._maybe_truncate_wal()
         return component
+
+    def _maybe_truncate_wal(self) -> None:
+        # Truncation is safe only once every acknowledged write is in a
+        # disk component: with rotated memtables (or a refilled active
+        # one) still pending, the log must keep covering them.  Replay
+        # skips records <= max_flushed_seqnum, so deferring truncation
+        # costs space, never correctness.
+        assert self._wal is not None
+        with self._lock:
+            quiesced = not self.memtable and not self._immutables
+        if quiesced:
+            self._wal.truncate()
 
     def bulkload(
         self,
@@ -276,7 +354,7 @@ class LSMTree:
         The stream must be strictly sorted by key and free of
         anti-matter (there is nothing on disk to cancel yet).
         """
-        if self._components or self.memtable:
+        if self._components or self.memtable or self._immutables:
             raise BulkloadError(
                 f"bulkload into non-empty LSM tree {self.name!r}"
             )
@@ -309,7 +387,8 @@ class LSMTree:
                 self._manifest.commit(
                     "bulkload", self.name, self._descriptor(component), txn=txn
                 )
-            self._components.insert(0, component)
+            with self._lock:
+                self._components.insert(0, component)
             self._m_bulkload.inc()
             self._g_components.set(len(self._components))
         return component
@@ -324,11 +403,14 @@ class LSMTree:
         """
         if not components:
             raise StorageError("merge of zero components")
-        indices = sorted(self._components.index(c) for c in components)
-        if indices != list(range(indices[0], indices[-1] + 1)):
-            raise StorageError("merged components must be contiguous in recency")
-        includes_oldest = indices[-1] == len(self._components) - 1
-        ordered = [self._components[i] for i in indices]  # newest first
+        with self._lock:
+            indices = sorted(self._components.index(c) for c in components)
+            if indices != list(range(indices[0], indices[-1] + 1)):
+                raise StorageError(
+                    "merged components must be contiguous in recency"
+                )
+            includes_oldest = indices[-1] == len(self._components) - 1
+            ordered = [self._components[i] for i in indices]  # newest first
 
         merged_stream = reconcile(
             merge_streams([c.scan() for c in ordered]),
@@ -356,8 +438,18 @@ class LSMTree:
                     self._descriptor(component),
                     replaces=replaced_files,
                 )
-            # Splice the new component in place of the merged run.
-            self._components[indices[0] : indices[-1] + 1] = [component]
+            # The replacement is durable; a crash before the in-memory
+            # splice must recover the merged component from the manifest.
+            self._fire("merge.splice")
+            # Splice the new component in place of the merged run --
+            # atomically under the tree lock, so a concurrent reader
+            # pinning a snapshot sees either the full run or its
+            # replacement, never a half-spliced list.  Indices are
+            # recomputed: a background flush may have installed newer
+            # components at the head since selection.
+            with self._lock:
+                start = self._components.index(ordered[0])
+                self._components[start : start + len(ordered)] = [component]
             for old in ordered:
                 old.mark_merged()
             self.event_bus.notify_replaced(self.name, tuple(ordered), component)
@@ -373,10 +465,22 @@ class LSMTree:
         return component
 
     def _maybe_merge(self) -> None:
-        selected = self.merge_policy.select_merge(self._components)
-        while selected:
-            self.merge(selected)
-            selected = self.merge_policy.select_merge(self._components)
+        while self.merge_once():
+            pass
+
+    def merge_once(self) -> DiskComponent | None:
+        """Ask the policy for one merge (through its in-flight slot
+        accounting) and run it; returns the merged component or ``None``
+        when no merge is warranted.  The background merge continuation
+        calls this once per task so other lanes interleave between
+        merges."""
+        selected = self.merge_policy.acquire_merge(self.components)
+        if not selected:
+            return None
+        try:
+            return self.merge(selected)
+        finally:
+            self.merge_policy.release_merge(selected)
 
     def run_pending_merges(self) -> None:
         """Evaluate the merge policy now (used after a dataset flush
@@ -419,7 +523,7 @@ class LSMTree:
         are rebuilt by scanning, sized with the same ``expected_records``
         the original build used.
         """
-        if self._components or self.memtable:
+        if self._components or self.memtable or self._immutables:
             raise RecoveryError(
                 f"install_recovered on non-empty LSM tree {self.name!r}"
             )
@@ -597,27 +701,72 @@ class LSMTree:
     @property
     def components(self) -> list[DiskComponent]:
         """Live disk components, newest first (copy; do not mutate)."""
-        return list(self._components)
+        with self._lock:
+            return list(self._components)
 
     def get(self, key: Any) -> Any | None:
         """Point lookup of the live value under ``key`` (None if absent
-        or deleted)."""
-        record = self.memtable.get(key)
+        or deleted).
+
+        Memory components are probed under the tree lock; the disk
+        components of the snapshot are pinned so a concurrent merge can
+        mark them superseded but never delete their pages mid-lookup.
+        """
+        with self._lock:
+            record = self.memtable.get(key)
+            if record is None:
+                for immutable in reversed(self._immutables):  # newest first
+                    record = immutable.get(key)
+                    if record is not None:
+                        break
+            snapshot: list[DiskComponent] = []
+            if record is None:
+                snapshot = list(self._components)
+                for component in snapshot:
+                    component.pin()
         if record is None:
-            for component in self._components:
-                record = component.lookup(key)
-                if record is not None:
-                    break
+            try:
+                for component in snapshot:
+                    record = component.lookup(key)
+                    if record is not None:
+                        break
+            finally:
+                for component in snapshot:
+                    component.unpin()
         if record is None or record.antimatter:
             return None
         return record.value
 
     def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
         """Live records with keys in ``[lo, hi]``, reconciled across all
-        components (anti-matter cancels)."""
-        streams: list[Iterator[Record]] = [self.memtable.scan(lo, hi)]
-        streams.extend(c.scan(lo, hi) for c in self._components)
-        return reconcile(merge_streams(streams), keep_antimatter=False)
+        components (anti-matter cancels).
+
+        The snapshot is consistent: memory-component ranges materialise
+        under the tree lock (the AVL map is not safe under a concurrent
+        writer) and disk components stay pinned until the scan finishes.
+        """
+        with self._lock:
+            memory_runs: list[list[Record]] = [list(self.memtable.scan(lo, hi))]
+            for immutable in reversed(self._immutables):  # newest first
+                memory_runs.append(list(immutable.scan(lo, hi)))
+            snapshot = list(self._components)
+            for component in snapshot:
+                component.pin()
+
+        def iterate() -> Iterator[Record]:
+            try:
+                streams: list[Iterator[Record]] = [
+                    iter(run) for run in memory_runs
+                ]
+                streams.extend(c.scan(lo, hi) for c in snapshot)
+                yield from reconcile(
+                    merge_streams(streams), keep_antimatter=False
+                )
+            finally:
+                for component in snapshot:
+                    component.unpin()
+
+        return iterate()
 
     def count_range(self, lo: Any = None, hi: Any = None) -> int:
         """True cardinality of a range (the evaluation ground truth)."""

@@ -29,6 +29,7 @@ verifies it and raises :class:`~repro.errors.WALError` on corruption.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from typing import Any, Iterator
 
@@ -88,6 +89,10 @@ class WriteAheadLog:
         self.name = name
         self.group_size = group_size
         self._injector = crash_injector
+        # The application thread appends operations while a background
+        # flush task syncs and truncates the same log; the mutex keeps
+        # the pending buffer and the current-file switch atomic.
+        self._mutex = threading.Lock()
         self._pending: list[tuple[int, list[tuple[str, tuple]]]] = []
         obs = registry if registry is not None else get_registry()
         self._m_appends = obs.counter("wal.appends")
@@ -134,10 +139,11 @@ class WriteAheadLog:
                 for tree_name, r in writes
             ],
         )
-        self._pending.append(entry)
-        self._m_appends.inc()
-        if len(self._pending) >= self.group_size:
-            self._commit_group()
+        with self._mutex:
+            self._pending.append(entry)
+            self._m_appends.inc()
+            if len(self._pending) >= self.group_size:
+                self._commit_group()
 
     def append(self, tree_name: str, record: Record) -> None:
         """Log a single-index write (standalone-tree convenience)."""
@@ -145,8 +151,9 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Force-commit the buffered group (e.g. before a flush)."""
-        if self._pending:
-            self._commit_group()
+        with self._mutex:
+            if self._pending:
+                self._commit_group()
 
     def _commit_group(self) -> None:
         group = self._pending
@@ -160,19 +167,20 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Restart the log in a fresh file (called after the flushed
         data became durable in components via the manifest)."""
-        if self._pending:
-            raise WALError(
-                f"truncate with {len(self._pending)} uncommitted ops "
-                "(sync before flushing)"
-            )
-        old = self._file
-        self._file = self.disk.create_file()
-        self.disk.superblock[self._superblock_key] = self._file.file_id
-        self._m_truncations.inc()
-        # Crash here and the old log file is an orphan: the superblock
-        # already points at the fresh file, recovery GCs the old one.
-        self._fire("wal.truncate")
-        old.delete()
+        with self._mutex:
+            if self._pending:
+                raise WALError(
+                    f"truncate with {len(self._pending)} uncommitted ops "
+                    "(sync before flushing)"
+                )
+            old = self._file
+            self._file = self.disk.create_file()
+            self.disk.superblock[self._superblock_key] = self._file.file_id
+            self._m_truncations.inc()
+            # Crash here and the old log file is an orphan: the superblock
+            # already points at the fresh file, recovery GCs the old one.
+            self._fire("wal.truncate")
+            old.delete()
 
     # -- recovery --------------------------------------------------------
 

@@ -155,3 +155,9 @@ def test_crashcheck_converges():
     assert report.converged, format_report(report)
     assert report.crashes_fired == len(report.points_checked)
     assert report.control_records_lost > 0
+    # The concurrent sweep (virtual scheduler) must actually crash
+    # inside background maintenance tasks, not degrade to a no-op.
+    assert report.concurrent_points_checked
+    assert report.concurrent_crashes_fired == len(
+        report.concurrent_points_checked
+    )

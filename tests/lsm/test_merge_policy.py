@@ -107,3 +107,82 @@ class TestPrefixPolicy:
         tree.flush()
         assert tree.merge_count > 0
         assert tree.count_range() == 1000
+
+
+class _SlotComponent(_FakeComponent):
+    """Fake with the ``uid`` identity the slot accounting keys on."""
+
+    _next_uid = 0
+
+    def __init__(self, num_pages=1):
+        super().__init__(num_pages)
+        self.uid = _SlotComponent._next_uid
+        _SlotComponent._next_uid += 1
+
+
+def _slot_components(n):
+    return [_SlotComponent() for _ in range(n)]
+
+
+class TestMergeSlots:
+    """acquire_merge/release_merge: no component is ever selected by
+    two overlapping merges (the concurrency fix's regression net)."""
+
+    def test_acquire_claims_and_blocks_reselection(self):
+        policy = ConstantMergePolicy(3)
+        comps = _slot_components(4)
+        selected = policy.acquire_merge(comps)
+        assert selected == comps
+        assert policy.in_flight_count == 4
+        # The same components must not be handed to a second merge.
+        assert policy.acquire_merge(comps) is None
+
+    def test_release_frees_the_slots(self):
+        policy = ConstantMergePolicy(3)
+        comps = _slot_components(4)
+        selected = policy.acquire_merge(comps)
+        policy.release_merge(selected)
+        assert policy.in_flight_count == 0
+        assert policy.acquire_merge(comps) == comps
+
+    def test_eligibility_stops_at_first_busy_component(self):
+        # Contiguity: nothing *older* than a busy component may merge
+        # with anything newer, so eligibility is the newest-first prefix.
+        policy = StackMergePolicy(2)
+        comps = _slot_components(5)
+        first = policy.acquire_merge(comps)
+        assert first == comps[:2]
+        second = policy.acquire_merge(comps)
+        assert second is None  # prefix stops at comps[0]: still busy
+        policy.release_merge(first)
+        assert policy.acquire_merge(comps) == comps[:2]
+
+    def test_acquire_returns_none_when_policy_declines(self):
+        policy = ConstantMergePolicy(5)
+        assert policy.acquire_merge(_slot_components(3)) is None
+        assert policy.in_flight_count == 0
+
+    def test_concurrent_acquires_never_double_claim(self):
+        import threading
+
+        policy = StackMergePolicy(2)
+        comps = _slot_components(8)
+        claims = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            selection = policy.acquire_merge(comps)
+            if selection is not None:
+                claims.append(selection)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        claimed_uids = [c.uid for selection in claims for c in selection]
+        assert len(claimed_uids) == len(set(claimed_uids))
+        for selection in claims:
+            policy.release_merge(selection)
+        assert policy.in_flight_count == 0

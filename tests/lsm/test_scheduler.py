@@ -1,0 +1,258 @@
+"""Unit tests for the maintenance scheduler (all three modes).
+
+Covers the contract the engine's determinism argument rests on: lane
+FIFO, ``front=True`` continuations, seeded replayability of the virtual
+mode, off-thread failure capture, and the backpressure ``wait`` hook.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulerError
+from repro.lsm.scheduler import (
+    DEFAULT_MAX_WORKERS,
+    SCHEDULER_MODES,
+    SyncScheduler,
+    ThreadPoolScheduler,
+    VirtualScheduler,
+    make_scheduler,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class _Boom(Exception):
+    pass
+
+
+class _FakeCrash(BaseException):
+    """Stands in for SimulatedCrash: a non-Exception BaseException."""
+
+
+def _registry():
+    return MetricsRegistry()
+
+
+# ---------------------------------------------------------------- factory
+
+
+def test_make_scheduler_dispatches_every_mode():
+    for mode in SCHEDULER_MODES:
+        scheduler = make_scheduler(mode, registry=_registry())
+        assert scheduler.mode == mode
+        scheduler.shutdown()
+
+
+def test_make_scheduler_rejects_unknown_mode():
+    with pytest.raises(ConfigurationError, match="unknown scheduler mode"):
+        make_scheduler("fibers", registry=_registry())
+
+
+def test_thread_pool_rejects_zero_workers():
+    with pytest.raises(ConfigurationError):
+        ThreadPoolScheduler(max_workers=0, registry=_registry())
+
+
+# ------------------------------------------------------------------- sync
+
+
+def test_sync_runs_inline_and_raises_at_submit():
+    scheduler = SyncScheduler(registry=_registry())
+    assert scheduler.inline
+    ran = []
+    scheduler.submit(lambda: ran.append(1))
+    assert ran == [1]
+    assert scheduler.pending_count() == 0
+    with pytest.raises(_Boom):
+        scheduler.submit(lambda: (_ for _ in ()).throw(_Boom()))
+
+
+# ---------------------------------------------------------------- virtual
+
+
+def test_virtual_defers_until_stepped():
+    scheduler = VirtualScheduler(registry=_registry())
+    ran = []
+    scheduler.submit(lambda: ran.append("a"))
+    scheduler.submit(lambda: ran.append("b"))
+    assert ran == []
+    assert scheduler.pending_count() == 2
+    assert scheduler.step()
+    assert len(ran) == 1
+    scheduler.drain()
+    assert sorted(ran) == ["a", "b"]
+    assert not scheduler.step()  # idle
+
+
+def test_virtual_lane_is_fifo_and_front_jumps_the_queue():
+    scheduler = VirtualScheduler(registry=_registry())
+    ran = []
+    scheduler.submit(lambda: ran.append(1), lane="l")
+    scheduler.submit(lambda: ran.append(2), lane="l")
+    scheduler.submit(lambda: ran.append(0), lane="l", front=True)
+    scheduler.drain()
+    assert ran == [0, 1, 2]
+
+
+def test_virtual_same_seed_replays_same_interleaving():
+    def run(seed):
+        scheduler = VirtualScheduler(seed=seed, registry=_registry())
+        order = []
+        for lane in ("a", "b", "c"):
+            for index in range(4):
+                scheduler.submit(
+                    lambda lane=lane, index=index: order.append(
+                        (lane, index)
+                    ),
+                    lane=lane,
+                )
+        scheduler.drain()
+        return order
+
+    assert run(7) == run(7)
+    # Lane-internal order is FIFO regardless of the interleaving drawn.
+    for order in (run(7), run(8)):
+        for lane in ("a", "b", "c"):
+            assert [i for ln, i in order if ln == lane] == [0, 1, 2, 3]
+    # At least one seed pair interleaves the lanes differently.
+    assert any(run(0) != run(seed) for seed in range(1, 20))
+
+
+def test_virtual_failure_raises_at_the_step_that_ran_it():
+    scheduler = VirtualScheduler(registry=_registry())
+    scheduler.submit(lambda: (_ for _ in ()).throw(_Boom()))
+    with pytest.raises(_Boom):
+        scheduler.drain()
+
+
+def test_virtual_wait_runs_pending_tasks_until_predicate_holds():
+    registry = _registry()
+    scheduler = VirtualScheduler(registry=registry)
+    state = []
+    for _ in range(3):
+        scheduler.submit(lambda: state.append(1))
+    scheduler.wait(lambda: len(state) >= 2)
+    assert len(state) == 2
+    assert scheduler.pending_count() == 1
+    assert registry.snapshot()["counters"]["scheduler.stalls"] == 1
+
+
+def test_virtual_wait_returns_when_idle_and_predicate_still_false():
+    scheduler = VirtualScheduler(registry=_registry())
+    scheduler.wait(lambda: False)  # must not hang
+
+
+# ---------------------------------------------------------------- threads
+
+
+def test_threads_runs_off_the_calling_thread():
+    scheduler = ThreadPoolScheduler(registry=_registry())
+    try:
+        threads = []
+        scheduler.submit(lambda: threads.append(threading.current_thread()))
+        scheduler.drain()
+        assert threads and threads[0] is not threading.main_thread()
+    finally:
+        scheduler.shutdown()
+
+
+def test_threads_lane_never_runs_two_tasks_concurrently():
+    scheduler = ThreadPoolScheduler(max_workers=4, registry=_registry())
+    try:
+        active = 0
+        overlap = []
+        order = []
+        guard = threading.Lock()
+
+        def task(index):
+            nonlocal active
+            with guard:
+                active += 1
+                if active > 1:
+                    overlap.append(index)
+            order.append(index)
+            with guard:
+                active -= 1
+
+        for index in range(50):
+            scheduler.submit(lambda index=index: task(index), lane="only")
+        scheduler.drain()
+        assert overlap == []
+        assert order == list(range(50))  # FIFO survived real threads
+    finally:
+        scheduler.shutdown()
+
+
+def test_threads_failure_is_captured_and_reraised_at_drain():
+    scheduler = ThreadPoolScheduler(registry=_registry())
+    try:
+        scheduler.submit(lambda: (_ for _ in ()).throw(_Boom("bg")))
+        with pytest.raises(SchedulerError, match="maintenance task"):
+            scheduler.drain()
+        scheduler.drain()  # failures are consumed: second drain is clean
+    finally:
+        scheduler.shutdown()
+
+
+def test_threads_base_exception_is_reraised_raw():
+    scheduler = ThreadPoolScheduler(registry=_registry())
+    try:
+        def die():
+            raise _FakeCrash()
+
+        scheduler.submit(die)
+        with pytest.raises(_FakeCrash):
+            scheduler.drain()
+    finally:
+        scheduler.shutdown()
+
+
+def test_threads_submit_after_shutdown_raises():
+    scheduler = ThreadPoolScheduler(registry=_registry())
+    scheduler.shutdown()
+    with pytest.raises(SchedulerError, match="shut-down"):
+        scheduler.submit(lambda: None)
+
+
+def test_threads_wait_observes_background_progress():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(registry=registry)
+    try:
+        done = []
+        release = threading.Event()
+
+        def task():
+            release.wait(timeout=5.0)
+            done.append(1)
+
+        scheduler.submit(task)
+        release.set()
+        scheduler.wait(lambda: bool(done))
+        assert done
+    finally:
+        scheduler.shutdown()
+
+
+# ---------------------------------------------------------------- metrics
+
+
+def test_scheduler_metrics_balance_after_drain():
+    for mode in ("virtual", "threads"):
+        registry = _registry()
+        scheduler = make_scheduler(mode, registry=registry)
+        try:
+            for _ in range(5):
+                scheduler.submit(lambda: None)
+            scheduler.drain()
+            counters = registry.snapshot()["counters"]
+            assert counters["scheduler.tasks.submitted"] == 5
+            assert counters["scheduler.tasks.completed"] == 5
+            assert counters.get("scheduler.tasks.failed", 0) == 0
+            gauges = registry.snapshot()["gauges"]
+            assert gauges["scheduler.queue.depth"] == 0
+        finally:
+            scheduler.shutdown()
+
+
+def test_default_worker_count_is_sane():
+    assert DEFAULT_MAX_WORKERS >= 1

@@ -82,6 +82,20 @@ def test_faultcheck_invalid_probability_exits_nonzero(capsys):
     assert "faultcheck failed" in capsys.readouterr().err
 
 
+def test_racecheck_quick_converges_and_exits_zero(capsys):
+    """The CI invocation: concurrent maintenance must end bit-identical
+    to the synchronous baseline for every quick-sweep seed."""
+    assert main(["racecheck", "--quick", "--records", "192"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "racecheck seeds=[0, 1]" in out
+
+
+def test_racecheck_explicit_seeds_override_the_sweep(capsys):
+    assert main(["racecheck", "--seed", "3", "--records", "192"]) == 0
+    assert "racecheck seeds=[3]" in capsys.readouterr().out
+
+
 # `--only network-ship --repetitions 1` keeps the bench CLI tests to a
 # few milliseconds of measured work; the full quick suite runs in CI's
 # bench-smoke job, not here.
