@@ -41,6 +41,7 @@ from typing import Any, Callable, Protocol, Sequence
 
 from repro.core.config import StatisticsConfig
 from repro.errors import ConfigurationError
+from repro.lsm.columnar import ColumnarChunk, split_matter_anti
 from repro.lsm.component import DiskComponent
 from repro.lsm.events import ComponentWriteContext, RecordSink
 from repro.lsm.record import Record
@@ -185,14 +186,29 @@ class _RegistrationSink:
             self._instruments.matter_records.inc()
             self._builder.add(value)
 
-    def accept_many(self, records: Sequence[Record]) -> None:
+    def accept_many(
+        self, records: "Sequence[Record] | ColumnarChunk"
+    ) -> None:
         """Observe one slice of the bulkload stream (batched hot path).
 
         Splits the chunk into matter/anti-matter value lists in one
         pass and feeds each builder's ``add_many`` tight loop; produces
         bit-identical synopses to per-record :meth:`accept` calls.
+
+        Columnar chunks split through their columns (and, for raw-key
+        registrations over pure-matter integer chunks, hand the typed
+        key buffer straight to ``add_many`` with no copy at all);
+        extractors the columnar registry cannot map fall back to the
+        chunk's memoized ``records()`` materialisation.
         """
         extractor = self._extractor
+        if isinstance(records, ColumnarChunk):
+            split = split_matter_anti(records, extractor)
+            if split is not None:
+                matter_seq, anti_seq, skipped = split
+                self._observe_split(matter_seq, anti_seq, skipped)
+                return
+            records = records.records()
         matter_values: list[Any] = []
         anti_values: list[Any] = []
         skipped = 0
@@ -204,6 +220,14 @@ class _RegistrationSink:
                 anti_values.append(value)
             else:
                 matter_values.append(value)
+        self._observe_split(matter_values, anti_values, skipped)
+
+    def _observe_split(
+        self,
+        matter_values: Sequence[Any],
+        anti_values: Sequence[Any],
+        skipped: int,
+    ) -> None:
         metrics = self._metrics
         instruments = self._instruments
         if skipped:
@@ -245,7 +269,9 @@ class _CompositeSink:
         for sink in self._sinks:
             sink.accept(record)
 
-    def accept_many(self, records: Sequence[Record]) -> None:
+    def accept_many(
+        self, records: "Sequence[Record] | ColumnarChunk"
+    ) -> None:
         for sink in self._sinks:
             sink.accept_many(records)
 
@@ -313,6 +339,11 @@ class StatisticsCollector:
                 if not isinstance(payload, dict):
                     return None
                 return payload.get(attribute)
+
+            # Tag the closure so the columnar tap can read the payload
+            # column directly instead of materialising records
+            # (ColumnarChunk.payload_column has identical None rules).
+            value_extractor.payload_field = attribute  # type: ignore[attr-defined]
 
         key = attribute_statistics_key(index_name, attribute)
         self._register(_Registration(key, index_name, domain, value_extractor))

@@ -13,11 +13,15 @@ scans are charged random/sequential I/O.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import islice
+from operator import lt
 from typing import Any, Iterable, Iterator
 
 from repro.errors import BulkloadError, StorageError
+from repro.lsm.columnar import ColumnarChunk
 from repro.lsm.record import Record
 from repro.lsm.storage import FileHandle, SimulatedDisk
+from repro.util.npbackend import int64_view
 
 __all__ = [
     "DiskBTree",
@@ -44,6 +48,53 @@ class _LeafPage:
         self.records = records
         self.keys = [record.key for record in records]
         self.next_leaf: int | None = None
+
+
+class _ColumnarLeafPage:
+    """A leaf holding sorted rows as columns (the columnar build path).
+
+    Exposes the same ``keys``/``records``/``next_leaf`` surface as
+    :class:`_LeafPage`, but stores the key/value/anti/seqnum columns a
+    :class:`~repro.lsm.columnar.ColumnarChunk` delivered -- ``Record``
+    objects are materialised lazily (and memoized) the first time a
+    read actually touches the leaf, so the ingest path never allocates
+    them.  ``values``/``anti`` keep the chunk contract's ``None``
+    sentinels (all-``None`` payloads / pure matter).
+    """
+
+    __slots__ = ("keys", "values", "anti", "seqnums", "next_leaf", "_records")
+
+    def __init__(
+        self,
+        keys: list[Any],
+        values: list[Any] | None,
+        anti: list[bool] | None,
+        seqnums: list[int],
+    ) -> None:
+        self.keys = keys
+        self.values = values
+        self.anti = anti
+        self.seqnums = seqnums
+        self.next_leaf: int | None = None
+        self._records: list[Record] | None = None
+
+    @property
+    def records(self) -> list[Record]:
+        if self._records is None:
+            keys = self.keys
+            values = self.values
+            anti = self.anti
+            seqnums = self.seqnums
+            self._records = [
+                Record(
+                    keys[i],
+                    values[i] if values is not None else None,
+                    anti[i] if anti is not None else False,
+                    seqnums[i],
+                )
+                for i in range(len(keys))
+            ]
+        return self._records
 
 
 class _InteriorPage:
@@ -162,7 +213,7 @@ class DiskBTree:
         for _level in range(self.height):
             assert isinstance(page, _InteriorPage)
             page = self._read_page(page.children[-1])
-        assert isinstance(page, _LeafPage)
+        assert not isinstance(page, _InteriorPage)
         return page.keys[-1]
 
     def destroy(self) -> None:
@@ -174,11 +225,11 @@ class DiskBTree:
     def _read_page(self, page_no: int) -> Any:
         return self._file.read_page(page_no)
 
-    def _descend(self, key: Any) -> _LeafPage:
+    def _descend(self, key: Any) -> Any:
         page, _page_no = self._descend_with_page_no(key)
         return page
 
-    def _descend_with_page_no(self, key: Any) -> tuple[_LeafPage, int]:
+    def _descend_with_page_no(self, key: Any) -> tuple[Any, int]:
         if self._root_page is None:
             raise StorageError("descend into empty tree")
         page_no = self._root_page
@@ -188,7 +239,7 @@ class DiskBTree:
             child_index = bisect_right(page.separators, key)
             page_no = page.children[child_index]
             page = self._read_page(page_no)
-        assert isinstance(page, _LeafPage)
+        assert not isinstance(page, _InteriorPage)
         return page, page_no
 
 
@@ -237,17 +288,21 @@ def build_btree(
 
 def build_btree_chunks(
     disk: SimulatedDisk,
-    chunks: Iterable[list[Record]],
+    chunks: "Iterable[list[Record] | ColumnarChunk]",
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     fanout: int = DEFAULT_FANOUT,
 ) -> DiskBTree:
     """Bulkload an immutable B-tree from a stream of key-sorted chunks.
 
     The chunked twin of :func:`build_btree` (the batched ingestion hot
-    path): each chunk is validated in one tight pass and leaves are
-    filled by slicing, so the per-record generator machinery disappears
-    from the bulkload loop.  The resulting tree is structurally
-    identical to the per-record build of the flattened stream.
+    path).  Chunks may be plain ``list[Record]`` slices or
+    :class:`~repro.lsm.columnar.ColumnarChunk` columns; columnar chunks
+    take the fast lane -- sortedness is validated over the typed key
+    column (vectorised when the numpy backend is on), leaves are packed
+    by column slicing into :class:`_ColumnarLeafPage` objects, and no
+    ``Record`` is ever allocated at build time.  The resulting tree is
+    structurally identical to the per-record build of the flattened
+    stream; only the in-memory page representation differs.
     """
     if leaf_capacity <= 1 or fanout <= 1:
         raise BulkloadError("leaf_capacity and fanout must both exceed 1")
@@ -255,14 +310,73 @@ def build_btree_chunks(
     file = disk.create_file()
     leaf_page_nos: list[int] = []
     leaf_min_keys: list[Any] = []
-    leaves: list[_LeafPage] = []
+    leaves: list[Any] = []
 
+    # Record-list chunks buffer records; columnar chunks buffer columns.
+    # A single stream never mixes the two in practice (the tree's write
+    # path is all-columnar, the public API compatibility tests are
+    # all-lists), but interleaving is tolerated: each representation
+    # drains its buffer below leaf capacity before the other appends.
     buffer: list[Record] = []
+    key_buf: list[Any] = []
+    value_buf: list[Any] | None = None
+    anti_buf: list[bool] | None = None
+    seq_buf: list[int] = []
     previous_key: Any = None
     num_records = 0
+
+    def emit_columnar() -> None:
+        nonlocal key_buf, value_buf, anti_buf, seq_buf
+        while len(key_buf) >= leaf_capacity:
+            leaf = _ColumnarLeafPage(
+                key_buf[:leaf_capacity],
+                value_buf[:leaf_capacity] if value_buf is not None else None,
+                anti_buf[:leaf_capacity] if anti_buf is not None else None,
+                seq_buf[:leaf_capacity],
+            )
+            _register_leaf(file, leaf, leaf_page_nos, leaf_min_keys, leaves)
+            del key_buf[:leaf_capacity]
+            if value_buf is not None:
+                del value_buf[:leaf_capacity]
+            if anti_buf is not None:
+                del anti_buf[:leaf_capacity]
+            del seq_buf[:leaf_capacity]
+
     for chunk in chunks:
-        if not chunk:
+        if not len(chunk):
             continue
+        if isinstance(chunk, ColumnarChunk):
+            if buffer:
+                raise BulkloadError(
+                    "columnar chunk arrived while record-list rows were "
+                    "buffered; a chunk stream must not interleave "
+                    "representations mid-leaf"
+                )
+            keys = chunk.keys_list()
+            previous_key = _check_chunk_sorted(chunk, keys, previous_key)
+            num_records += len(keys)
+            key_buf.extend(keys)
+            seq_buf.extend(chunk.seqnums)
+            if chunk.values is not None:
+                if value_buf is None:
+                    value_buf = [None] * (len(key_buf) - len(keys))
+                value_buf.extend(chunk.values)
+            elif value_buf is not None:
+                value_buf.extend([None] * len(keys))
+            if chunk.anti is not None:
+                if anti_buf is None:
+                    anti_buf = [False] * (len(key_buf) - len(keys))
+                anti_buf.extend(chunk.anti)
+            elif anti_buf is not None:
+                anti_buf.extend([False] * len(keys))
+            emit_columnar()
+            continue
+        if key_buf:
+            raise BulkloadError(
+                "record-list chunk arrived while columnar rows were "
+                "buffered; a chunk stream must not interleave "
+                "representations mid-leaf"
+            )
         key = previous_key
         for record in chunk:
             if key is not None and not key < record.key:
@@ -281,10 +395,50 @@ def build_btree_chunks(
             del buffer[:leaf_capacity]
     if buffer:
         _emit_leaf(file, buffer, leaf_page_nos, leaf_min_keys, leaves)
+    if key_buf:
+        leaf = _ColumnarLeafPage(key_buf, value_buf, anti_buf, seq_buf)
+        _register_leaf(file, leaf, leaf_page_nos, leaf_min_keys, leaves)
 
     return _seal_tree(
         file, leaf_page_nos, leaf_min_keys, leaves, fanout, num_records
     )
+
+
+def _check_chunk_sorted(
+    chunk: ColumnarChunk, keys: list[Any], previous_key: Any
+) -> Any:
+    """Validate strict ascent of one columnar chunk (and its boundary
+    against the previous chunk); returns the chunk's last key.
+
+    With the numpy backend on and typed keys present, the in-chunk
+    check runs as one vectorised comparison over the ``int64`` view --
+    the same ``<`` semantics the pure-Python pass applies, so both
+    backends accept and reject identical streams.
+    """
+    if previous_key is not None and not previous_key < keys[0]:
+        raise BulkloadError(
+            f"bulkload stream not strictly sorted: {previous_key!r} "
+            f"followed by {keys[0]!r}"
+        )
+    if len(keys) > 1:
+        ascending = False
+        view = (
+            int64_view(chunk.typed_keys)
+            if chunk.typed_keys is not None
+            else None
+        )
+        if view is not None:
+            ascending = bool((view[1:] > view[:-1]).all())
+        else:
+            ascending = all(map(lt, keys, islice(keys, 1, None)))
+        if not ascending:
+            for left, right in zip(keys, islice(keys, 1, None)):
+                if not left < right:
+                    raise BulkloadError(
+                        f"bulkload stream not strictly sorted: {left!r} "
+                        f"followed by {right!r}"
+                    )
+    return keys[-1]
 
 
 def btree_from_descriptor(
@@ -314,7 +468,7 @@ def _seal_tree(
     file: FileHandle,
     leaf_page_nos: list[int],
     leaf_min_keys: list[Any],
-    leaves: list[_LeafPage],
+    leaves: list[Any],
     fanout: int,
     num_records: int,
 ) -> DiskBTree:
@@ -358,11 +512,20 @@ def _emit_leaf(
     buffer: list[Record],
     page_nos: list[int],
     min_keys: list[Any],
-    leaves: list[_LeafPage],
+    leaves: list[Any],
 ) -> None:
     # Callers hand over a fresh list (rebound or sliced), so the page
     # takes ownership without copying.
-    leaf = _LeafPage(buffer)
+    _register_leaf(file, _LeafPage(buffer), page_nos, min_keys, leaves)
+
+
+def _register_leaf(
+    file: FileHandle,
+    leaf: Any,
+    page_nos: list[int],
+    min_keys: list[Any],
+    leaves: list[Any],
+) -> None:
     page_nos.append(file.append_page(leaf))
     min_keys.append(leaf.keys[0])
     leaves.append(leaf)

@@ -1,0 +1,334 @@
+"""Columnar chunks: the write path's record representation.
+
+The batched ingestion path (PR 3) moved the component-write pipeline
+from one record at a time to chunk at a time, but each chunk was still
+a ``list[Record]`` -- every stage paid per-record attribute walks and,
+on the bulkload path, a fresh ``Record`` allocation per input row.
+This module replaces that representation with :class:`ColumnarChunk`:
+one key column, one value column, one anti-matter column and one
+seqnum column per chunk, flowing end-to-end through
+
+    memtable ``sorted_columnar_chunks`` / bulkload stamping
+      -> ``LSMTree._build_index_chunked`` (bloom + observer taps)
+      -> ``build_btree_chunks`` (columnar leaf packing)
+      -> ``StatisticsCollector`` / ``SynopsisBuilder.add_many``
+
+Integer key columns additionally freeze into a typed ``array('q')``
+buffer, which downstream consumers may wrap in a zero-copy numpy view
+when the optional numpy backend is enabled (``repro.util.npbackend``).
+
+The full contract -- column layout, dtype rules, ownership, when the
+per-record fallback engages, and how the oracle equivalence against the
+``write_batch_size=None`` path is verified -- is docs/DATAPATH.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from array import array
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.lsm.record import Record
+from repro.obs.registry import get_registry
+from repro.util.npbackend import INT64_TYPECODE
+
+__all__ = [
+    "ColumnarChunk",
+    "columnar_chunk_stream",
+    "register_summary_extractor",
+    "split_matter_anti",
+]
+
+
+class ColumnarChunk:
+    """One immutable slice of a key-sorted component-write stream.
+
+    Columns (see docs/DATAPATH.md for the full layout rules):
+
+    * ``typed_keys`` -- ``array('q')`` of the keys, present only when
+      every key fits a signed 64-bit integer; the canonical key storage
+      for primary indexes.  ``None`` for non-integer keys (tuples,
+      strings), in which case the Python-object key column is primary.
+    * ``values`` -- payload column, or ``None`` meaning *every* value
+      is ``None`` (secondary-index entries, tombstone-only chunks).
+    * ``anti`` -- per-row anti-matter flags, or ``None`` meaning the
+      chunk is pure matter (the common flush/bulkload case);
+      ``antimatter_count`` is precomputed either way.
+    * ``seqnums`` -- per-row sequence numbers; a ``range`` when the
+      rows were bulk-stamped, which is both the cheapest and the most
+      compressible representation.
+
+    Chunks are write-once: no consumer may mutate a column (numpy views
+    over ``typed_keys`` share its buffer).  ``records()`` is the escape
+    hatch back to ``Record`` objects for consumers that predate the
+    columnar contract -- it materialises lazily, memoizes (so the cost
+    is paid at most once per chunk however many consumers iterate), and
+    counts one ``ingest.columnar.fallbacks`` tick unless the records
+    were supplied at construction (the memtable path, where they
+    already existed).
+    """
+
+    __slots__ = (
+        "_keys",
+        "typed_keys",
+        "values",
+        "anti",
+        "antimatter_count",
+        "seqnums",
+        "_records",
+        "_length",
+    )
+
+    def __init__(
+        self,
+        keys: list[Any] | None,
+        typed_keys: "array[int] | None",
+        values: list[Any] | None,
+        anti: list[bool] | None,
+        antimatter_count: int,
+        seqnums: Sequence[int],
+        records: list[Record] | None = None,
+    ) -> None:
+        self._keys = keys
+        self.typed_keys = typed_keys
+        self.values = values
+        self.anti = anti
+        self.antimatter_count = antimatter_count
+        self.seqnums = seqnums
+        self._records = records
+        self._length = len(keys) if keys is not None else len(typed_keys)  # type: ignore[arg-type]
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "ColumnarChunk":
+        """Columnarise an existing record slice (flush/merge paths).
+
+        The source records are retained as the materialisation memo --
+        they exist anyway, so ``records()`` on such a chunk is free and
+        never counts as a fallback.
+        """
+        records = list(records)
+        keys = [record.key for record in records]
+        anti = [record.antimatter for record in records]
+        antimatter_count = sum(anti)
+        values = [record.value for record in records]
+        return cls(
+            keys,
+            _freeze_keys(keys),
+            values if any(value is not None for value in values) else None,
+            anti if antimatter_count else None,
+            antimatter_count,
+            [record.seqnum for record in records],
+            records=records,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        keys: list[Any],
+        values: list[Any] | None = None,
+        seqnums: Sequence[int] | None = None,
+        anti: list[bool] | None = None,
+    ) -> "ColumnarChunk":
+        """Build a chunk directly from columns (the bulkload hot path,
+        where no ``Record`` objects need ever exist).
+
+        ``values=None`` declares an all-``None`` value column and
+        ``anti=None`` a pure-matter chunk; ``seqnums`` defaults to all
+        zeros (unstamped), and a ``range`` is the preferred form for
+        bulk-stamped chunks.
+        """
+        if values is not None and not any(
+            value is not None for value in values
+        ):
+            values = None
+        antimatter_count = sum(anti) if anti is not None else 0
+        if not antimatter_count:
+            anti = None
+        return cls(
+            keys,
+            _freeze_keys(keys),
+            values,
+            anti,
+            antimatter_count,
+            seqnums if seqnums is not None else range(len(keys)),
+        )
+
+    # -- accessors -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def keys_list(self) -> list[Any]:
+        """The key column as Python objects (lazily thawed from the
+        typed buffer; ``array('q')`` iteration yields plain ints, so
+        the thaw changes representation, never values)."""
+        if self._keys is None:
+            assert self.typed_keys is not None
+            self._keys = self.typed_keys.tolist()
+        return self._keys
+
+    def payload_column(self, field: str) -> list[Any]:
+        """Per-row ``value[field]`` with the same ``None`` semantics as
+        the per-record attribute extractor: ``None`` for tombstones,
+        non-dict payloads and missing fields."""
+        values = self.values
+        if values is None:
+            return [None] * self._length
+        return [
+            value.get(field) if isinstance(value, dict) else None
+            for value in values
+        ]
+
+    def records(self) -> list[Record]:
+        """Materialise the chunk as ``Record`` objects (memoized).
+
+        This is the per-record compatibility fallback: index builders
+        without a columnar twin and observer sinks without columnar
+        awareness iterate the chunk, which lands here.  Each chunk
+        materialises at most once -- later callers share the memo --
+        and each lazy materialisation counts one
+        ``ingest.columnar.fallbacks`` tick (docs/OBSERVABILITY.md).
+        """
+        if self._records is None:
+            get_registry().counter("ingest.columnar.fallbacks").inc()
+            keys = self.keys_list()
+            values = self.values
+            anti = self.anti
+            seqnums = self.seqnums
+            if values is None and anti is None:
+                self._records = [
+                    Record(keys[i], None, False, seqnums[i])
+                    for i in range(self._length)
+                ]
+            else:
+                self._records = [
+                    Record(
+                        keys[i],
+                        values[i] if values is not None else None,
+                        anti[i] if anti is not None else False,
+                        seqnums[i],
+                    )
+                    for i in range(self._length)
+                ]
+        return self._records
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records())
+
+
+def _freeze_keys(keys: list[Any]) -> "array[int] | None":
+    """The typed twin of a key column, or ``None`` for keys that are
+    not int64-representable (tuple/string keys keep the object column
+    as primary -- the dtype rule of docs/DATAPATH.md)."""
+    try:
+        return array(INT64_TYPECODE, keys)
+    except (TypeError, OverflowError):
+        return None
+
+
+def columnar_chunk_stream(
+    stream: Iterable[Record], chunk_size: int
+) -> Iterator[ColumnarChunk]:
+    """Drain a record stream into consecutive columnar chunks.
+
+    The columnar twin of :func:`repro.lsm.cursor.chunk_stream`, used
+    where the source is inherently per-record (the merge cursor's
+    reconciled stream); ordering is preserved exactly.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    iterator = iter(stream)
+    while True:
+        chunk = list(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield ColumnarChunk.from_records(chunk)
+
+
+# -- summary-column extraction -------------------------------------------
+#
+# The statistics collector's per-record path maps each record through a
+# value extractor (record -> summarised value).  To keep the columnar
+# path extractor-free, known extractor *functions* register a column
+# twin here (chunk -> value column); attribute extractors instead carry
+# a ``payload_field`` attribute naming the payload key they read.  An
+# extractor with neither registration falls back to ``chunk.records()``.
+
+_SUMMARY_COLUMNS: dict[Any, Callable[[ColumnarChunk], list[Any]]] = {}
+_RAW_KEY_EXTRACTORS: set[Any] = set()
+
+
+def register_summary_extractor(
+    extractor: Callable[[Record], Any],
+    column_fn: Callable[[ColumnarChunk], list[Any]] | None = None,
+    *,
+    raw_key: bool = False,
+) -> None:
+    """Register the column twin of a per-record value extractor.
+
+    ``raw_key=True`` declares that ``extractor(record)`` is exactly
+    ``record.key``, unlocking the zero-copy fast path: a pure-matter
+    chunk with typed keys feeds its ``array('q')`` buffer straight into
+    ``SynopsisBuilder.add_many``.
+    """
+    if raw_key:
+        _RAW_KEY_EXTRACTORS.add(extractor)
+        column_fn = ColumnarChunk.keys_list
+    if column_fn is None:
+        raise ValueError("register_summary_extractor needs a column_fn")
+    _SUMMARY_COLUMNS[extractor] = column_fn
+
+
+_NO_VALUES: tuple[Any, ...] = ()
+
+
+def split_matter_anti(
+    chunk: ColumnarChunk, extractor: Callable[[Record], Any]
+) -> tuple[Sequence[Any], Sequence[Any], int] | None:
+    """Split a chunk into (matter values, anti values, skipped count)
+    for one statistics registration, without materialising records.
+
+    Row order is preserved within each class and ``None`` values are
+    skipped, exactly mirroring the per-record tap loop -- so feeding
+    the results to ``add_many`` is bit-identical to per-record ``add``
+    calls.  Returns ``None`` for extractors with no registered column
+    twin and no ``payload_field`` tag; the caller then falls back to
+    ``chunk.records()``.
+    """
+    column_fn = _SUMMARY_COLUMNS.get(extractor)
+    if column_fn is None:
+        field = getattr(extractor, "payload_field", None)
+        if field is None:
+            return None
+        column: Sequence[Any] = chunk.payload_column(field)
+    else:
+        if (
+            chunk.anti is None
+            and chunk.typed_keys is not None
+            and extractor in _RAW_KEY_EXTRACTORS
+        ):
+            # Pure matter, int keys, raw-key registration: the typed
+            # column *is* the matter value sequence; no copy at all.
+            return chunk.typed_keys, _NO_VALUES, 0
+        column = column_fn(chunk)
+    anti = chunk.anti
+    matter_values: list[Any] = []
+    anti_values: list[Any] = []
+    skipped = 0
+    if anti is None:
+        for value in column:
+            if value is None:
+                skipped += 1
+            else:
+                matter_values.append(value)
+    else:
+        for value, is_anti in zip(column, anti):
+            if value is None:
+                skipped += 1
+            elif is_anti:
+                anti_values.append(value)
+            else:
+                matter_values.append(value)
+    return matter_values, anti_values, skipped

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.errors import BulkloadError, QueryError, RecoveryError, StorageError
+from repro.lsm.columnar import register_summary_extractor
 from repro.lsm.component import DiskComponent
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.events import EventBus
@@ -141,6 +142,18 @@ def _single_key_extractor(record: Record) -> Any:
 def _composite_key_extractor(record: Record) -> Any:
     """Synopsis value of a (SK1, SK2, PK) entry: the (SK1, SK2) pair."""
     return (record.key[0], record.key[1])
+
+
+# Column twins so the collector's columnar tap never materialises
+# Record objects for secondary-index statistics (docs/DATAPATH.md).
+register_summary_extractor(
+    _single_key_extractor,
+    lambda chunk: [key[0] for key in chunk.keys_list()],
+)
+register_summary_extractor(
+    _composite_key_extractor,
+    lambda chunk: [(key[0], key[1]) for key in chunk.keys_list()],
+)
 
 
 class Dataset:

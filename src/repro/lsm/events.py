@@ -9,6 +9,14 @@ and may return a per-record sink; every record flowing to disk is also
 fed to the sink, and when the component is sealed the sink is finished
 with the resulting component.  Observing therefore costs no extra I/O --
 precisely the paper's design.
+
+On the batched write path the stream arrives as columnar chunks
+(:class:`repro.lsm.columnar.ColumnarChunk`, docs/DATAPATH.md) rather
+than ``list[Record]`` slices.  Chunks iterate as records, so sinks
+that only implement :meth:`RecordSink.accept` keep working through
+:func:`accept_batch` at the cost of one memoized materialisation per
+chunk; columnar-aware sinks (the statistics collector) instead read the
+chunk's columns directly.
 """
 
 from __future__ import annotations
@@ -85,6 +93,11 @@ class BatchingRecordSink(RecordSink, Protocol):
     fall back transparently to per-record :meth:`accept` via
     :func:`accept_batch`.  ``accept_many(chunk)`` must be semantically
     identical to ``for r in chunk: accept(r)``.
+
+    The chunk may be a ``list[Record]`` or a columnar chunk; both are
+    sized, iterable record sequences.  Columnar-aware sinks may
+    additionally test for :class:`repro.lsm.columnar.ColumnarChunk`
+    and read its columns instead of iterating (docs/DATAPATH.md).
     """
 
     def accept_many(self, records: Sequence[Record]) -> None:
@@ -92,7 +105,12 @@ class BatchingRecordSink(RecordSink, Protocol):
 
 
 def accept_batch(sink: RecordSink, records: Sequence[Record]) -> None:
-    """Feed one stream chunk to ``sink``, batched when it supports it."""
+    """Feed one stream chunk to ``sink``, batched when it supports it.
+
+    With a columnar chunk and a per-record-only sink, the iteration
+    triggers the chunk's memoized ``records()`` materialisation --
+    counted once per chunk under ``ingest.columnar.fallbacks``.
+    """
     accept_many = getattr(sink, "accept_many", None)
     if accept_many is not None:
         accept_many(records)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterator
 
+from repro.lsm.columnar import ColumnarChunk
 from repro.lsm.record import Record
 from repro.util.sortedmap import SortedMap
 
@@ -84,6 +85,23 @@ class MemTable:
             if not chunk:
                 return
             yield chunk
+
+    def sorted_columnar_chunks(
+        self, chunk_size: int
+    ) -> Iterator[ColumnarChunk]:
+        """All entries in key order as columnar chunks (the flush hot
+        path).  The source records are retained as each chunk's
+        materialisation memo, so a downstream per-record fallback costs
+        nothing extra here -- see docs/DATAPATH.md.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        records = iter(self._map.values())
+        while True:
+            chunk = list(itertools.islice(records, chunk_size))
+            if not chunk:
+                return
+            yield ColumnarChunk.from_records(chunk)
 
     def scan(self, lo: Any = None, hi: Any = None) -> Iterator[Record]:
         """Entries with keys in ``[lo, hi]`` in key order."""

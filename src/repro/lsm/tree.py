@@ -24,9 +24,14 @@ from repro.lsm.btree import (
     build_btree,
     build_btree_chunks,
 )
+from repro.lsm.columnar import (
+    ColumnarChunk,
+    columnar_chunk_stream,
+    register_summary_extractor,
+)
 from repro.lsm.component import ComponentId, DiskComponent
 from repro.lsm.crashpoints import CrashInjector
-from repro.lsm.cursor import chunk_stream, merge_streams, reconcile
+from repro.lsm.cursor import merge_streams, reconcile
 from repro.lsm.events import (
     ComponentWriteContext,
     EventBus,
@@ -42,6 +47,7 @@ from repro.lsm.storage import SimulatedDisk
 from repro.lsm.wal import WriteAheadLog
 from repro.obs.registry import MetricsRegistry, get_registry, sanitize_segment
 from repro.obs.tracing import span
+from repro.util.npbackend import numpy_backend_enabled
 
 __all__ = [
     "LSMTree",
@@ -72,15 +78,35 @@ class SequenceGenerator:
     different datasets sharing a partition sequence)."""
 
     def __init__(self, start: int = 0) -> None:
-        self._counter = itertools.count(start)
+        self._next = start
         self._last = start - 1
         self._lock = threading.Lock()
 
     def next(self) -> int:
         """The next sequence number."""
         with self._lock:
-            self._last = next(self._counter)
-            return self._last
+            value = self._next
+            self._next = value + 1
+            self._last = value
+            return value
+
+    def reserve(self, count: int) -> range:
+        """Atomically claim ``count`` consecutive sequence numbers.
+
+        The columnar bulkload path stamps a whole chunk with one
+        reservation instead of ``count`` lock round-trips; the numbers
+        issued are exactly those ``count`` successive :meth:`next`
+        calls would have produced, so the per-record oracle path
+        assigns identical seqnums.
+        """
+        if count < 0:
+            raise ValueError(f"reserve of negative count {count}")
+        with self._lock:
+            first = self._next
+            self._next = first + count
+            if count:
+                self._last = self._next - 1
+            return range(first, first + count)
 
     @property
     def last(self) -> int:
@@ -91,6 +117,11 @@ class SequenceGenerator:
 def _default_key_extractor(record: Record) -> Any:
     """Primary indexes summarise the key itself."""
     return record.key
+
+
+# The raw-key registration unlocks the collector's zero-copy typed-key
+# fast path for every primary index (docs/DATAPATH.md).
+register_summary_extractor(_default_key_extractor, raw_key=True)
 
 
 class LSMTree:
@@ -193,6 +224,18 @@ class LSMTree:
         self._m_recovered = self._obs.counter("recovery.components")
         self._g_components = self._obs.gauge(
             f"lsm.components.{sanitize_segment(name)}"
+        )
+        # Columnar data-path instruments (docs/DATAPATH.md): chunk
+        # traffic, the chunk-size distribution, and whether the numpy
+        # compute backend is active.  Fallback materialisations are
+        # counted by the chunks themselves (repro.lsm.columnar).
+        self._m_col_chunks = self._obs.counter("ingest.columnar.chunks")
+        self._h_col_chunk_records = self._obs.histogram(
+            "ingest.columnar.chunk_records",
+            buckets=(1.0, 8.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0),
+        )
+        self._obs.gauge("ingest.columnar.numpy_backend").set(
+            1.0 if numpy_backend_enabled() else 0.0
         )
 
     def _fire(self, point: str) -> None:
@@ -310,7 +353,7 @@ class LSMTree:
                 ComponentId(*seq_range),
                 stream=(memtable.sorted_records() if batch is None else None),
                 chunks=(
-                    memtable.sorted_record_chunks(batch)
+                    memtable.sorted_columnar_chunks(batch)
                     if batch is not None
                     else None
                 ),
@@ -358,6 +401,7 @@ class LSMTree:
             raise BulkloadError(
                 f"bulkload into non-empty LSM tree {self.name!r}"
             )
+        batch = self.write_batch_size
 
         def stamped() -> Iterator[Record]:
             for record in records:
@@ -365,6 +409,29 @@ class LSMTree:
                     raise BulkloadError("bulkload stream contains anti-matter")
                 yield Record.matter(
                     record.key, record.value, seqnum=self.sequence.next()
+                )
+
+        def stamped_chunks() -> Iterator[ColumnarChunk]:
+            # The columnar hot lane: the input records are read once
+            # into key/value columns and the whole chunk is stamped
+            # with one seqnum reservation -- no per-row Record is ever
+            # allocated, yet the seqnums (and therefore the component)
+            # are identical to the per-record oracle path above.
+            iterator = iter(records)
+            while True:
+                keys: list[Any] = []
+                values: list[Any] = []
+                for record in itertools.islice(iterator, batch):
+                    if record.antimatter:
+                        raise BulkloadError(
+                            "bulkload stream contains anti-matter"
+                        )
+                    keys.append(record.key)
+                    values.append(record.value)
+                if not keys:
+                    return
+                yield ColumnarChunk.from_columns(
+                    keys, values, seqnums=self.sequence.reserve(len(keys))
                 )
 
         start_seq = self.sequence.last + 1
@@ -375,7 +442,8 @@ class LSMTree:
                 LSMEventType.BULKLOAD,
                 # Placeholder id; fixed below once seqnums are known.
                 None,
-                stamped(),
+                stream=(stamped() if batch is None else None),
+                chunks=(stamped_chunks() if batch is not None else None),
                 expected_records=expected_records,
             )
             end_seq = self.sequence.last
@@ -561,7 +629,7 @@ class LSMTree:
         stream: Iterable[Record] | None = None,
         expected_records: int = 0,
         merged_components: tuple[DiskComponent, ...] = (),
-        chunks: Iterable[list[Record]] | None = None,
+        chunks: "Iterable[ColumnarChunk | list[Record]] | None" = None,
     ) -> DiskComponent:
         context = ComponentWriteContext(
             event_type=event_type,
@@ -584,12 +652,23 @@ class LSMTree:
         if batch is not None:
             if chunks is None:
                 assert stream is not None
-                chunks = chunk_stream(stream, batch)
+                chunks = columnar_chunk_stream(stream, batch)
             btree = self._build_index_chunked(chunks, counts, bloom, live_sinks)
         else:
             if stream is None:
                 assert chunks is not None
-                stream = (record for chunk in chunks for record in chunk)
+                # Per-record compat mode fed columnar chunks: flatten
+                # through the memoized materialisation so each chunk
+                # builds its Record objects at most once.
+                stream = (
+                    record
+                    for chunk in chunks
+                    for record in (
+                        chunk.records()
+                        if isinstance(chunk, ColumnarChunk)
+                        else chunk
+                    )
+                )
             btree = self._build_index_per_record(
                 stream, counts, bloom, live_sinks
             )
@@ -639,27 +718,36 @@ class LSMTree:
 
     def _build_index_chunked(
         self,
-        chunks: Iterable[list[Record]],
+        chunks: "Iterable[ColumnarChunk | list[Record]]",
         counts: dict[str, int],
         bloom: BloomFilter | None,
         live_sinks: list[RecordSink],
     ) -> Any:
         """The batched hot path: observers and the Bloom filter see one
-        slice at a time, and chunk-aware index builders fill leaves by
-        slicing.  Observer fault isolation moves to chunk granularity:
-        a sink that raises is dropped for the rest of the write, exactly
-        as on the per-record path."""
+        chunk at a time, and chunk-aware index builders fill leaves by
+        slicing columns.  Chunks are normally :class:`ColumnarChunk`;
+        plain ``list[Record]`` chunks remain accepted for callers of the
+        pre-columnar chunk protocol.  Observer fault isolation stays at
+        chunk granularity: a sink that raises is dropped for the rest of
+        the write, exactly as on the per-record path."""
 
-        def tapped_chunks() -> Iterator[list[Record]]:
+        def tapped_chunks() -> "Iterator[ColumnarChunk | list[Record]]":
             for chunk in chunks:
-                anti = 0
-                for record in chunk:
-                    if record.antimatter:
-                        anti += 1
+                if isinstance(chunk, ColumnarChunk):
+                    anti = chunk.antimatter_count
+                    keys = chunk.keys_list()
+                    self._m_col_chunks.inc()
+                    self._h_col_chunk_records.observe(len(chunk))
+                else:
+                    anti = 0
+                    for record in chunk:
+                        if record.antimatter:
+                            anti += 1
+                    keys = [record.key for record in chunk]
                 counts["anti"] += anti
                 counts["matter"] += len(chunk) - anti
                 if bloom is not None:
-                    bloom.add_all([record.key for record in chunk])
+                    bloom.add_all(keys)
                 for sink in list(live_sinks):
                     try:
                         accept_batch(sink, chunk)
@@ -676,8 +764,15 @@ class LSMTree:
                 leaf_capacity=self.leaf_capacity,
                 fanout=self.fanout,
             )
+        # Custom builders without a chunk twin receive a flat record
+        # stream; the memoized materialisation keeps the cost to one
+        # Record build per chunk even when an observer also fell back.
         flattened = (
-            record for chunk in tapped_chunks() for record in chunk
+            record
+            for chunk in tapped_chunks()
+            for record in (
+                chunk.records() if isinstance(chunk, ColumnarChunk) else chunk
+            )
         )
         return self.index_builder(
             self.disk,

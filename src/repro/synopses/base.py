@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Iterable
+from array import array
+from typing import Any, ClassVar, Iterable, Sequence
 
 from repro.errors import MergeabilityError, SynopsisError
 from repro.types import Domain
+from repro.util.npbackend import INT64_TYPECODE, int64_view
 
 __all__ = ["SynopsisType", "Synopsis", "SynopsisBuilder"]
 
@@ -199,14 +201,30 @@ class SynopsisBuilder(ABC):
         amortised over the whole chunk.  The batched and per-record
         paths produce bit-identical synopses; the test suite asserts
         this for every registered synopsis family.
+
+        A typed ``array('q')`` chunk (the columnar pipeline's zero-copy
+        key column, docs/DATAPATH.md) is consumed without the
+        normalising copy -- its elements are already plain 64-bit ints
+        -- and, when the numpy backend is on, validated through a
+        zero-copy vectorised pass that checks the identical predicates.
         """
         if self._built:
             raise SynopsisError("builder already finalised")
-        chunk = [int(value) for value in values]  # normalise numpy scalars
+        chunk: Sequence[int]
+        if isinstance(values, array) and values.typecode == INT64_TYPECODE:
+            chunk = values  # iteration/indexing yield plain Python ints
+            view = int64_view(values)
+        else:
+            chunk = [int(value) for value in values]  # normalise numpy scalars
+            view = None
         if not chunk:
             return
         lo, hi = self.domain.lo, self.domain.hi
-        if min(chunk) < lo or max(chunk) > hi:
+        if view is not None:
+            in_domain = lo <= int(view.min()) and int(view.max()) <= hi
+        else:
+            in_domain = lo <= min(chunk) and max(chunk) <= hi
+        if not in_domain:
             bad = next(v for v in chunk if v < lo or v > hi)
             raise SynopsisError(
                 f"value {bad} outside domain [{lo}, {hi}]"
@@ -217,12 +235,19 @@ class SynopsisBuilder(ABC):
                     f"builder requires non-decreasing input: {chunk[0]} "
                     f"after {self._last_value}"
                 )
-            for left, right in zip(chunk, chunk[1:]):
-                if right < left:
-                    raise SynopsisError(
-                        f"builder requires non-decreasing input: {right} "
-                        f"after {left}"
-                    )
+            if view is not None:
+                is_sorted = bool((view[1:] >= view[:-1]).all())
+            else:
+                is_sorted = all(
+                    left <= right for left, right in zip(chunk, chunk[1:])
+                )
+            if not is_sorted:
+                for left, right in zip(chunk, chunk[1:]):
+                    if right < left:
+                        raise SynopsisError(
+                            f"builder requires non-decreasing input: {right} "
+                            f"after {left}"
+                        )
         self._last_value = chunk[-1]
         self._add_many(chunk)
 
@@ -237,14 +262,16 @@ class SynopsisBuilder(ABC):
     def _add(self, value: int) -> None:
         """Type-specific streaming step."""
 
-    def _add_many(self, values: list[int]) -> None:
+    def _add_many(self, values: Sequence[int]) -> None:
         """Type-specific batched step over pre-validated values.
 
-        The default is the per-record fallback; hot builders override
-        it with a loop that binds attributes once.  Overrides must keep
-        ``_count`` bookkeeping identical to the per-record path (some
-        builders, e.g. GK sketches and reservoir samples, read the
-        running count inside ``_add``).
+        ``values`` is either a plain list or a typed ``array('q')``
+        column; both iterate as plain Python ints.  The default is the
+        per-record fallback; hot builders override it with a loop that
+        binds attributes once.  Overrides must keep ``_count``
+        bookkeeping identical to the per-record path (some builders,
+        e.g. GK sketches and reservoir samples, read the running count
+        inside ``_add``).
         """
         for value in values:
             self._count += 1

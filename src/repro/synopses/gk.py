@@ -26,7 +26,7 @@ to re-thresholding.
 from __future__ import annotations
 
 import bisect
-from typing import Any
+from typing import Any, Sequence
 
 from repro.errors import SynopsisError
 from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
@@ -192,11 +192,21 @@ class GKSketchBuilder(SynopsisBuilder):
         if self._since_compress >= self._compress_period:
             self._run_compress()
 
-    def _add_many(self, values: list[int]) -> None:
-        # Inlined _add: identical insertion/compression cadence (the
-        # running count feeds each tuple's delta), minus the per-call
-        # wrapper overhead.  _run_compress rebinds the tuple/cache
-        # lists, so they are re-read every iteration.
+    def _add_many(self, values: "Sequence[int]") -> None:
+        """Batched GK insertion (inlined ``_add``, identical algorithm).
+
+        Exactness: the sketch is order- and cadence-sensitive -- each
+        inserted tuple's ``delta`` is computed from the running
+        ``_count`` at insertion time, and COMPRESS fires exactly when
+        ``_count % period == 0``.  This loop preserves both: values are
+        inserted one at a time in stream order with ``_count`` advanced
+        first, so per-record ``add`` calls, list chunks, and the
+        columnar pipeline's typed key columns all yield bit-identical
+        tuple lists.  It must not be vectorised or re-chunked
+        internally: moving a COMPRESS boundary changes which tuples
+        merge.  (_run_compress rebinds the tuple/cache lists, so they
+        are re-read every iteration.)
+        """
         epsilon2 = 2.0 * self._epsilon
         period = self._compress_period
         for value in values:

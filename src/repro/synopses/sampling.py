@@ -24,7 +24,7 @@ summarise non-indexed attributes.
 from __future__ import annotations
 
 import bisect
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -115,9 +115,19 @@ class ReservoirSampleBuilder(SynopsisBuilder):
         if slot < self.budget:
             self._reservoir[slot] = value
 
-    def _add_many(self, values: list[int]) -> None:
-        # Identical RNG call sequence to per-value _add: one draw per
-        # value once the reservoir is full, bounded by the running count.
+    def _add_many(self, values: "Sequence[int]") -> None:
+        """Batched reservoir step (Vitter's Algorithm R, unchanged).
+
+        Exactness: sampling is RNG-sequence-sensitive, so this loop
+        must stay sequential -- exactly one ``draw(0, self._count)``
+        per value once the reservoir is full, in stream order, with
+        ``_count`` advanced before each draw.  Because the per-record
+        path, this loop, and the columnar pipeline (which feeds whole
+        key columns here, numpy backend on or off) consume the same
+        values in the same order, the RNG draw sequence -- and hence
+        the reservoir -- is bit-identical across all of them.  No
+        vectorised variant exists: it would reorder the draws.
+        """
         reservoir = self._reservoir
         budget = self.budget
         draw = self._rng.integers

@@ -14,7 +14,7 @@ synopses "lose some accuracy along the way" (Section 3.5).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.errors import SynopsisError
 from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
@@ -154,10 +154,21 @@ class WaveletBuilder(SynopsisBuilder):
         self._current_value = value
         self._current_frequency = 1
 
-    def _add_many(self, values: list[int]) -> None:
-        # Run-length aggregate the chunk before touching the transform:
-        # duplicate values only bump the pending frequency, so the
-        # stack cascade runs once per distinct value, as in _add.
+    def _add_many(self, values: "Sequence[int]") -> None:
+        """Batched wavelet step via run-length aggregation.
+
+        Exactness: the streaming transform consumes (position,
+        frequency) runs in non-decreasing position order, and the
+        run boundaries are fully determined by the value sequence --
+        chunking cannot split a run because the pending run carries
+        across chunks in ``_current_value``/``_current_frequency``.
+        Duplicate values only bump the pending frequency, so the stack
+        cascade runs once per distinct value, exactly as per-record
+        ``_add`` calls would; coefficients are bit-identical across the
+        per-record, list-chunk, and columnar paths (float arithmetic
+        included: the same ``transform_add`` calls happen in the same
+        order with the same arguments).
+        """
         current = self._current_value
         frequency = self._current_frequency
         transform_add = self._transform.add

@@ -1,0 +1,307 @@
+"""The columnar chunk representation and its compatibility fallbacks.
+
+docs/DATAPATH.md is the contract under test: column layout and dtype
+rules, lazy/memoized ``records()`` materialisation (counted as
+``ingest.columnar.fallbacks``), the columnar B-tree leaf packing, and
+the two compatibility lanes -- ``write_batch_size=None`` per-record
+mode and custom index builders without a chunk twin -- which must
+consume columnar chunks while materialising ``Record`` objects at most
+once per chunk.
+"""
+
+import pytest
+
+from repro.errors import BulkloadError
+from repro.lsm.btree import build_btree, build_btree_chunks
+from repro.lsm.columnar import (
+    ColumnarChunk,
+    columnar_chunk_stream,
+    split_matter_anti,
+)
+from repro.lsm.events import EventBus, LSMEventType
+from repro.lsm.record import Record
+from repro.lsm.rtree import build_rtree
+from repro.lsm.storage import SimulatedDisk
+from repro.lsm.tree import LSMTree, _default_key_extractor
+from repro.obs.registry import MetricsRegistry, use_registry
+
+
+def _fallbacks(registry):
+    return registry.snapshot()["counters"].get("ingest.columnar.fallbacks", 0)
+
+
+class TestColumnarChunk:
+    def test_from_records_columns(self):
+        records = [
+            Record.matter(3, {"v": 30}, seqnum=7),
+            Record.anti(5, seqnum=8),
+            Record.matter(9, {"v": 90}, seqnum=9),
+        ]
+        chunk = ColumnarChunk.from_records(records)
+        assert len(chunk) == 3
+        assert chunk.keys_list() == [3, 5, 9]
+        assert list(chunk.typed_keys) == [3, 5, 9]
+        assert chunk.values == [{"v": 30}, None, {"v": 90}]
+        assert chunk.anti == [False, True, False]
+        assert chunk.antimatter_count == 1
+        assert list(chunk.seqnums) == [7, 8, 9]
+
+    def test_pure_matter_chunk_drops_anti_column(self):
+        chunk = ColumnarChunk.from_records([Record.matter(1), Record.matter(2)])
+        assert chunk.anti is None
+        assert chunk.antimatter_count == 0
+        assert chunk.values is None  # all-None value column collapses
+
+    def test_non_integer_keys_have_no_typed_column(self):
+        strings = ColumnarChunk.from_records([Record.matter("A")])
+        tuples = ColumnarChunk.from_columns([(1, 2), (3, 4)])
+        huge = ColumnarChunk.from_columns([2**70])
+        assert strings.typed_keys is None
+        assert tuples.typed_keys is None
+        assert huge.typed_keys is None
+        assert strings.keys_list() == ["A"]
+        assert tuples.keys_list() == [(1, 2), (3, 4)]
+
+    def test_from_columns_defaults(self):
+        chunk = ColumnarChunk.from_columns([4, 8])
+        assert chunk.seqnums == range(2)
+        assert chunk.values is None
+        assert chunk.anti is None
+
+    def test_payload_column_none_rules(self):
+        chunk = ColumnarChunk.from_columns(
+            [1, 2, 3], values=[{"a": 10}, {"b": 1}, "not-a-dict"]
+        )
+        assert chunk.payload_column("a") == [10, None, None]
+        no_values = ColumnarChunk.from_columns([1, 2])
+        assert no_values.payload_column("a") == [None, None]
+
+    def test_from_records_materialisation_is_free(self):
+        registry = MetricsRegistry()
+        records = [Record.matter(1), Record.matter(2)]
+        with use_registry(registry):
+            chunk = ColumnarChunk.from_records(records)
+            assert chunk.records() == records
+        assert _fallbacks(registry) == 0
+
+    def test_lazy_materialisation_counts_once_and_memoizes(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            chunk = ColumnarChunk.from_columns(
+                [5, 6], values=[{"v": 1}, None], seqnums=range(10, 12)
+            )
+            first = chunk.records()
+            second = chunk.records()  # memo: no second tick
+            list(chunk)  # iteration shares the memo too
+        assert first is second
+        assert [r.key for r in first] == [5, 6]
+        assert first[0].value == {"v": 1}
+        assert first[0].seqnum == 10
+        assert not first[0].antimatter
+        assert _fallbacks(registry) == 1
+
+    def test_chunk_stream_preserves_order_and_sizes(self):
+        records = [Record.matter(k) for k in range(10)]
+        chunks = list(columnar_chunk_stream(iter(records), 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [k for c in chunks for k in c.keys_list()] == list(range(10))
+
+
+class TestSplitMatterAnti:
+    def test_raw_key_fast_path_is_zero_copy(self):
+        chunk = ColumnarChunk.from_columns([1, 2, 3])
+        split = split_matter_anti(chunk, _default_key_extractor)
+        assert split is not None
+        matter, anti, skipped = split
+        assert matter is chunk.typed_keys  # the typed buffer itself
+        assert len(anti) == 0 and skipped == 0
+
+    def test_mixed_chunk_splits_in_row_order(self):
+        chunk = ColumnarChunk.from_records(
+            [Record.matter(1), Record.anti(2), Record.matter(3)]
+        )
+        matter, anti, skipped = split_matter_anti(
+            chunk, _default_key_extractor
+        )
+        assert list(matter) == [1, 3]
+        assert list(anti) == [2]
+        assert skipped == 0
+
+    def test_payload_field_extractor_skips_nones(self):
+        def extractor(record):
+            payload = record.value
+            return payload.get("v") if isinstance(payload, dict) else None
+
+        extractor.payload_field = "v"
+        chunk = ColumnarChunk.from_columns(
+            [1, 2, 3], values=[{"v": 10}, None, {"v": 30}]
+        )
+        matter, anti, skipped = split_matter_anti(chunk, extractor)
+        assert list(matter) == [10, 30]
+        assert skipped == 1
+
+    def test_unknown_extractor_returns_none(self):
+        chunk = ColumnarChunk.from_columns([1, 2])
+        assert split_matter_anti(chunk, lambda r: r.key) is None
+
+
+class TestColumnarBTreeBuild:
+    def test_columnar_build_matches_per_record(self):
+        records = [Record.matter(key, {"k": key}) for key in range(1000)]
+        flat = build_btree(SimulatedDisk(), iter(records))
+        chunked = build_btree_chunks(
+            SimulatedDisk(), columnar_chunk_stream(iter(records), 64)
+        )
+        assert [(r.key, r.value) for r in chunked.scan()] == [
+            (r.key, r.value) for r in flat.scan()
+        ]
+        assert chunked.num_records == flat.num_records
+        assert chunked.lookup(517).key == 517
+        assert chunked.lookup(-1) is None
+
+    def test_columnar_unsorted_within_chunk_rejected(self):
+        chunk = ColumnarChunk.from_columns([2, 1])
+        with pytest.raises(BulkloadError, match="not strictly sorted"):
+            build_btree_chunks(SimulatedDisk(), iter([chunk]))
+
+    def test_columnar_unsorted_across_boundary_rejected(self):
+        chunks = [
+            ColumnarChunk.from_columns([5]),
+            ColumnarChunk.from_columns([4]),
+        ]
+        with pytest.raises(BulkloadError, match="not strictly sorted"):
+            build_btree_chunks(SimulatedDisk(), iter(chunks))
+
+    def test_mixed_representations_mid_leaf_rejected(self):
+        chunks = [
+            ColumnarChunk.from_columns([1]),
+            [Record.matter(2)],
+        ]
+        with pytest.raises(BulkloadError, match="interleave"):
+            build_btree_chunks(SimulatedDisk(), iter(chunks), leaf_capacity=4)
+
+    def test_list_chunks_still_accepted(self):
+        records = [Record.matter(key) for key in range(100)]
+        chunked = build_btree_chunks(
+            SimulatedDisk(), iter([records[:60], records[60:]])
+        )
+        assert [r.key for r in chunked.scan()] == list(range(100))
+
+
+class _PerRecordOnlySink:
+    """An observer sink without ``accept_many`` (forces iteration)."""
+
+    def __init__(self):
+        self.keys = []
+
+    def accept(self, record):
+        self.keys.append(record.key)
+
+    def finish(self, component):
+        pass
+
+
+class _PerRecordObserver:
+    def __init__(self):
+        self.sinks = []
+
+    def begin_component_write(self, context):
+        sink = _PerRecordOnlySink()
+        self.sinks.append(sink)
+        return sink
+
+    def component_replaced(self, *args):
+        pass
+
+
+class TestCompatFallbacks:
+    def test_per_record_mode_materialises_each_chunk_once(self):
+        # write_batch_size=None fed columnar chunks (the satellite-4
+        # regression): the flattening must reuse the memoized
+        # materialisation, one Record build per chunk, not two.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tree = LSMTree(
+                "t.compat",
+                SimulatedDisk(),
+                event_bus=EventBus(),
+                write_batch_size=None,
+                registry=registry,
+            )
+            chunks = [
+                ColumnarChunk.from_columns([0, 1, 2], seqnums=range(3)),
+                ColumnarChunk.from_columns([3, 4], seqnums=range(3, 5)),
+            ]
+            component = tree._write_component(
+                LSMEventType.BULKLOAD, None, chunks=iter(chunks)
+            )
+        assert component.matter_count == 5
+        assert [r.key for r in component.scan()] == [0, 1, 2, 3, 4]
+        assert _fallbacks(registry) == len(chunks)
+
+    def test_custom_builder_flattening_materialises_once(self):
+        # An index builder without a chunk twin (the LSM-ified R-tree)
+        # plus a per-record-only observer: both iterate every chunk,
+        # but the memo keeps it to one materialisation per chunk.
+        registry = MetricsRegistry()
+        n = 100
+        with use_registry(registry):
+            tree = LSMTree(
+                "t.rtree",
+                SimulatedDisk(),
+                event_bus=EventBus(),
+                index_builder=build_rtree,
+                write_batch_size=16,
+                registry=registry,
+            )
+            observer = _PerRecordObserver()
+            tree.event_bus.subscribe(observer)
+            tree.bulkload(
+                (Record.matter((k, k * 2, k)) for k in range(n)),
+                expected_records=n,
+            )
+        expected_chunks = -(-n // 16)
+        assert _fallbacks(registry) == expected_chunks
+        assert observer.sinks[0].keys == [(k, k * 2, k) for k in range(n)]
+        assert tree.components[0].matter_count == n
+
+    def test_flush_chunks_never_fall_back(self):
+        # Memtable flush chunks carry their source records as the memo,
+        # so even a per-record-only observer costs no materialisation.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tree = LSMTree(
+                "t.flush",
+                SimulatedDisk(),
+                event_bus=EventBus(),
+                auto_flush=False,
+                write_batch_size=8,
+                registry=registry,
+            )
+            tree.event_bus.subscribe(_PerRecordObserver())
+            for key in range(50):
+                tree.upsert(key)
+            tree.flush()
+        counters = registry.snapshot()["counters"]
+        assert counters.get("ingest.columnar.fallbacks", 0) == 0
+        assert counters["ingest.columnar.chunks"] == -(-50 // 8)
+
+    def test_columnar_instruments_emitted(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tree = LSMTree(
+                "t.obs",
+                SimulatedDisk(),
+                event_bus=EventBus(),
+                write_batch_size=32,
+                registry=registry,
+            )
+            tree.bulkload(
+                (Record.matter(k) for k in range(100)), expected_records=100
+            )
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["ingest.columnar.chunks"] == 4
+        histogram = snapshot["histograms"]["ingest.columnar.chunk_records"]
+        assert histogram["count"] == 4
+        assert histogram["sum"] == 100
+        assert "ingest.columnar.numpy_backend" in snapshot["gauges"]
