@@ -44,17 +44,21 @@ and a sweep of estimates -- to the synchronous baseline::
     python -m repro racecheck
     python -m repro racecheck --quick
     python -m repro racecheck --seed 7 --records 1024
+    python -m repro racecheck --quick --paced  # with merge pacing armed
 
 The ``bench`` subcommand runs the perf suite (ingest-throughput,
-flush-latency, merge-throughput, estimate-latency, network-ship),
-writes a schema-versioned ``BENCH_<timestamp>.json`` report, and can
-gate against a committed baseline (see docs/BENCHMARKING.md)::
+flush-latency, merge-throughput, estimate-latency, network-ship, the
+multi-writer ``stability`` tail-latency scenario, ...), writes a
+schema-versioned ``BENCH_<timestamp>.json`` report, and can gate
+against a committed baseline (see docs/BENCHMARKING.md)::
 
     python -m repro bench --quick
     python -m repro bench --quick --compare benchmarks/baseline.json
+    python -m repro bench --quick --suite stability
 
 Exit codes for ``bench``: 0 on success, 1 when any metric regresses
-beyond tolerance, 2 when a report or baseline is malformed.
+beyond tolerance or an ingest stall window exceeds its budget, 2 when
+a report or baseline is malformed.
 """
 
 from __future__ import annotations
@@ -287,6 +291,13 @@ def main(argv: list[str] | None = None) -> int:
         help=f"CI-sized sweep (seeds {list(QUICK_SEEDS)}); ignored when "
         "--seed is given",
     )
+    race_parser.add_argument(
+        "--paced",
+        action="store_true",
+        help="run every cluster (sync baseline included) with merge "
+        "pacing enabled, proving pacing never changes what merges "
+        "produce",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -313,6 +324,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="NAME",
         help="run just this benchmark (repeatable); see docs/BENCHMARKING.md",
+    )
+    bench_parser.add_argument(
+        "--suite",
+        default=None,
+        metavar="SUITE",
+        help="run a named benchmark subset (e.g. 'stability'); "
+        "mutually exclusive with --only",
     )
     bench_parser.add_argument(
         "--out",
@@ -384,7 +402,9 @@ def main(argv: list[str] | None = None) -> int:
         else:
             seeds = QUICK_SEEDS if args.quick else DEFAULT_SEEDS
         try:
-            race_report = run_racecheck(seeds=seeds, records=args.records)
+            race_report = run_racecheck(
+                seeds=seeds, records=args.records, paced=args.paced
+            )
         except (ClusterError, ValueError) as exc:
             print(f"racecheck failed: {exc}", file=sys.stderr)
             return 1
@@ -423,20 +443,37 @@ def _run_stats(args: argparse.Namespace) -> int:
 def _run_bench(args: argparse.Namespace) -> int:
     """Handle ``repro bench``: run suite, write report, gate baseline.
 
-    Exit codes: 0 ok, 1 regression beyond tolerance, 2 malformed
-    report/baseline or invalid suite arguments.
+    Exit codes: 0 ok, 1 regression beyond tolerance or a stall-budget
+    violation, 2 malformed report/baseline or invalid suite arguments.
     """
     # Imported here: the perf suite pulls in the cluster stack, which
     # `repro list` etc. should not pay for.
     from repro.errors import BenchmarkError
     from repro.eval import perfsuite
 
+    only = tuple(args.only) if args.only else None
+    if args.suite is not None:
+        if only is not None:
+            print(
+                "bench failed: --suite and --only are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        suite = perfsuite.SUITES.get(args.suite)
+        if suite is None:
+            print(
+                f"bench failed: unknown suite {args.suite!r}; known: "
+                f"{sorted(perfsuite.SUITES)}",
+                file=sys.stderr,
+            )
+            return 2
+        only = suite
     try:
         report = perfsuite.run_suite(
             quick=args.quick,
             seed=args.seed,
             repetitions=args.repetitions,
-            only=tuple(args.only) if args.only else None,
+            only=only,
         )
     except BenchmarkError as exc:
         print(f"bench failed: {exc}", file=sys.stderr)
@@ -445,8 +482,13 @@ def _run_bench(args: argparse.Namespace) -> int:
     if not args.no_report:
         target = perfsuite.write_report(report, args.out)
         print(f"report written to {target}", file=sys.stderr)
+    # The absolute stall-budget gate applies whenever the budgeted
+    # metrics were measured, with or without a baseline.
+    violations = perfsuite.check_budgets(report)
+    for violation in violations:
+        print(f"bench budget: {violation}", file=sys.stderr)
     if args.compare is None:
-        return 0
+        return 1 if violations else 0
     try:
         baseline = perfsuite.load_report(args.compare)
         regressions = perfsuite.compare_reports(
@@ -456,7 +498,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         print(f"bench compare failed: {exc}", file=sys.stderr)
         return 2
     print(perfsuite.format_regressions(regressions))
-    return 1 if regressions else 0
+    return 1 if regressions or violations else 0
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:

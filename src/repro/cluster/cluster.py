@@ -23,6 +23,7 @@ from repro.errors import ClusterError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import IndexSpec, secondary_index_name
 from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.pacing import MergePacer
 from repro.lsm.scheduler import DEFAULT_MAX_WORKERS, make_scheduler
 from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
 from repro.types import Domain
@@ -51,6 +52,7 @@ class LSMCluster:
         scheduler: str = "sync",
         scheduler_seed: int = 0,
         scheduler_workers: int = DEFAULT_MAX_WORKERS,
+        merge_pacing_rate: float | None = None,
     ) -> None:
         if num_nodes < 1 or partitions_per_node < 1:
             raise ClusterError("cluster needs at least one node and partition")
@@ -85,6 +87,14 @@ class LSMCluster:
                     )
                 )
             )
+            # Merge pacing is per node (the budget models a node-level
+            # resource); the pause only arms under real worker threads,
+            # so the deterministic modes keep identical timing.
+            merge_pacer = (
+                MergePacer(merge_pacing_rate, blocking=scheduler == "threads")
+                if merge_pacing_rate is not None
+                else None
+            )
             node = StorageNode(
                 node_id,
                 self.network,
@@ -97,6 +107,7 @@ class LSMCluster:
                 wal_enabled=wal_enabled,
                 crash_injector=crash_injector,
                 scheduler_factory=scheduler_factory,
+                merge_pacer=merge_pacer,
             )
             self.nodes.append(node)
             for owned in partition_ids:

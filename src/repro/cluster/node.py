@@ -24,6 +24,7 @@ from repro.errors import ClusterError, NetworkUnavailableError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.merge_policy import MergePolicy
+from repro.lsm.pacing import MergePacer
 from repro.lsm.scheduler import MaintenanceScheduler
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
@@ -278,6 +279,7 @@ class StorageNode:
         wal_enabled: bool = True,
         crash_injector: CrashInjector | None = None,
         scheduler_factory: Callable[[], MaintenanceScheduler] | None = None,
+        merge_pacer: MergePacer | None = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -300,6 +302,10 @@ class StorageNode:
         self.scheduler: MaintenanceScheduler | None = (
             scheduler_factory() if scheduler_factory is not None else None
         )
+        # One pacer per node, shared by every partition's merges: the
+        # merge budget models a node-level resource.  It survives
+        # restart() -- rate limits are configuration, not state.
+        self.merge_pacer = merge_pacer
         self.disk = SimulatedDisk()
         # Restart epoch: bumped (and persisted in the superblock) by
         # every restart so the master can fence out the crashed
@@ -391,6 +397,7 @@ class StorageNode:
             recover=recover,
             scheduler=self.scheduler,
             maintenance_lane=f"{self.node_id}:{name}.p{partition_id}",
+            merge_pacer=self.merge_pacer,
         )
         if self.stats_config.enabled:
             sink = NetworkStatisticsSink(

@@ -47,6 +47,11 @@ __all__ = ["RaceCheckReport", "run_racecheck", "format_report", "DEFAULT_SEEDS"]
 _DATASET = "race"
 _BULKLOAD_COUNT = 64
 
+#: Paced-mode merge budget (records/second).  High enough that the
+#: scripted workload finishes promptly, low enough that thread-mode
+#: merges actually hit the token bucket and sleep at chunk boundaries.
+PACED_MERGE_RATE = 50_000.0
+
 DEFAULT_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
 """The default sweep: each seed drives one virtual-scheduler
 interleaving and one real-thread run."""
@@ -72,7 +77,9 @@ def _doc(pk: int) -> dict[str, Any]:
     return {"id": pk, "value": (pk * 13) % 1024}
 
 
-def _build_cluster(scheduler: str = "sync", seed: int = 0) -> LSMCluster:
+def _build_cluster(
+    scheduler: str = "sync", seed: int = 0, paced: bool = False
+) -> LSMCluster:
     return LSMCluster(
         num_nodes=2,
         partitions_per_node=2,
@@ -81,6 +88,7 @@ def _build_cluster(scheduler: str = "sync", seed: int = 0) -> LSMCluster:
         durable=True,
         scheduler=scheduler,
         scheduler_seed=seed,
+        merge_pacing_rate=PACED_MERGE_RATE if paced else None,
     )
 
 
@@ -191,15 +199,34 @@ def _compare(label: str, baseline: dict, concurrent: dict) -> list[str]:
 
 
 def run_racecheck(
-    seeds: tuple[int, ...] = DEFAULT_SEEDS, records: int = 512
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    records: int = 512,
+    paced: bool = False,
 ) -> RaceCheckReport:
-    """Verify that concurrent maintenance ends bit-identical to sync."""
-    with use_registry(MetricsRegistry()):
-        baseline_cluster = _build_cluster()
+    """Verify that concurrent maintenance ends bit-identical to sync.
+
+    With ``paced=True`` every run (baseline included) carries a merge
+    pacer, proving pacing is image-neutral: it throttles *when* merge
+    chunks are processed under real threads, never what they produce.
+    """
+    baseline_registry = MetricsRegistry()
+    with use_registry(baseline_registry):
+        baseline_cluster = _build_cluster(paced=paced)
         _run_workload(baseline_cluster, records)
         baseline = _images(baseline_cluster)
 
     problems: list[str] = []
+    # The synchronous oracle has no background tasks, so a recorded
+    # stall there is phantom backpressure (the wait() accounting bug
+    # this guards against).
+    baseline_stalls = baseline_registry.snapshot()["counters"].get(
+        "scheduler.stalls", 0
+    )
+    if baseline_stalls:
+        problems.append(
+            f"sync baseline recorded {baseline_stalls} stall(s); "
+            "synchronous maintenance can never stall on itself"
+        )
     runs = 0
     background_tasks = 0
     stalls = 0
@@ -207,7 +234,7 @@ def run_racecheck(
         for mode in ("virtual", "threads"):
             registry = MetricsRegistry()
             with use_registry(registry):
-                cluster = _build_cluster(scheduler=mode, seed=seed)
+                cluster = _build_cluster(scheduler=mode, seed=seed, paced=paced)
                 label = f"{mode}[seed={seed}]"
                 try:
                     _run_workload(cluster, records)

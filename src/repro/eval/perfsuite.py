@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import platform
 import statistics
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -51,6 +52,7 @@ from repro.errors import BenchmarkError
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.events import EventBus
 from repro.lsm.merge_policy import ConstantMergePolicy
+from repro.lsm.pacing import MergePacer
 from repro.lsm.record import Record
 from repro.lsm.scheduler import make_scheduler
 from repro.lsm.storage import SimulatedDisk
@@ -66,11 +68,14 @@ __all__ = [
     "QUICK_SCALE",
     "FULL_SCALE",
     "BENCHMARK_NAMES",
+    "SUITES",
+    "STABILITY_STALL_BUDGET_SECONDS",
     "run_suite",
     "write_report",
     "report_filename",
     "load_report",
     "compare_reports",
+    "check_budgets",
     "format_report",
     "format_regressions",
 ]
@@ -92,6 +97,8 @@ class PerfScale:
     wal_records: int
     concurrent_records: int
     repetitions: int
+    stability_writers: int
+    stability_records: int
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -104,6 +111,8 @@ class PerfScale:
             "wal_records": self.wal_records,
             "concurrent_records": self.concurrent_records,
             "repetitions": self.repetitions,
+            "stability_writers": self.stability_writers,
+            "stability_records": self.stability_records,
         }
 
 
@@ -117,6 +126,8 @@ QUICK_SCALE = PerfScale(
     wal_records=8_000,
     concurrent_records=8_000,
     repetitions=3,
+    stability_writers=3,
+    stability_records=2_500,
 )
 """The CI-friendly preset behind ``repro bench --quick`` (seconds)."""
 
@@ -130,6 +141,8 @@ FULL_SCALE = PerfScale(
     wal_records=32_000,
     concurrent_records=24_000,
     repetitions=5,
+    stability_writers=4,
+    stability_records=8_000,
 )
 """The default preset (a minute or two)."""
 
@@ -152,6 +165,10 @@ METRIC_SPECS: dict[str, tuple[str, str]] = {
     "concurrent.ingest.throughput": ("records/s", "higher"),
     "concurrent.background_speedup": ("ratio", "higher"),
     "concurrent.ingest_overlap": ("ratio", "higher"),
+    "stability.ingest.throughput": ("records/s", "higher"),
+    "ingest.latency.p99": ("s", "lower"),
+    "ingest.latency.p999": ("s", "lower"),
+    "ingest.stall.max_window": ("s", "lower"),
 }
 
 BENCHMARK_NAMES = (
@@ -162,8 +179,48 @@ BENCHMARK_NAMES = (
     "network-ship",
     "wal-replay",
     "concurrent-ingest",
+    "stability",
 )
 """The named microbenchmarks, in execution order."""
+
+# metric name -> the benchmark that produces it.  compare_reports uses
+# this to tell "the current run skipped that benchmark" (fine: partial
+# suites like ``--suite stability`` gate only what they measured) from
+# "the benchmark ran but stopped emitting the metric" (a regression).
+METRIC_SOURCES: dict[str, str] = {
+    "ingest.throughput.columnar": "ingest-throughput",
+    "ingest.throughput.per_record": "ingest-throughput",
+    "ingest.columnar_speedup": "ingest-throughput",
+    "flush.latency": "flush-latency",
+    "flush.throughput": "flush-latency",
+    "merge.throughput": "merge-throughput",
+    "estimate.latency": "estimate-latency",
+    "ship.throughput": "network-ship",
+    "wal.append.throughput": "wal-replay",
+    "wal.replay.throughput": "wal-replay",
+    "concurrent.ingest.throughput": "concurrent-ingest",
+    "concurrent.background_speedup": "concurrent-ingest",
+    "concurrent.ingest_overlap": "concurrent-ingest",
+    "stability.ingest.throughput": "stability",
+    "ingest.latency.p99": "stability",
+    "ingest.latency.p999": "stability",
+    "ingest.stall.max_window": "stability",
+}
+
+SUITES: dict[str, tuple[str, ...]] = {
+    "all": BENCHMARK_NAMES,
+    "stability": ("stability",),
+}
+"""Named benchmark subsets for ``repro bench --suite``."""
+
+STABILITY_STALL_BUDGET_SECONDS = 0.5
+"""Hard ceiling on a single ingest stall window in the stability
+scenario: no insert may ever block for more than this, regardless of
+how much merge work is queued behind it (docs/BENCHMARKING.md)."""
+
+_BUDGET_CEILINGS: dict[str, float] = {
+    "ingest.stall.max_window": STABILITY_STALL_BUDGET_SECONDS,
+}
 
 
 class _NullSink:
@@ -453,6 +510,90 @@ def _bench_concurrent_ingest(
     }
 
 
+def _bench_stability(
+    scale: PerfScale, seed: int, timer: Callable[[], float]
+) -> dict[str, float]:
+    """Sustained multi-writer traffic under the threads scheduler with
+    merge pacing and fair dispatch armed -- the tail-latency scenario.
+
+    ``stability_writers`` threads each drive their own dataset; all
+    datasets share one bounded worker pool (distinct maintenance lanes)
+    and one merge pacer, so merges of one dataset compete with the
+    flushes of the others -- exactly the contention fair dispatch and
+    pacing exist to resolve.  Every insert is timed individually:
+
+    * ``ingest.latency.p99`` / ``.p999`` -- the per-op latency tail
+      across all writers;
+    * ``ingest.stall.max_window`` -- the single worst insert, i.e. the
+      longest window any writer was frozen.  :func:`check_budgets`
+      fails the run when it exceeds
+      :data:`STABILITY_STALL_BUDGET_SECONDS`.
+    """
+    writers = scale.stability_writers
+    per_writer = scale.stability_records
+    step = 514_229  # coprime with any power of two
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        scheduler = make_scheduler("threads")
+        # Budget roughly half the measured quick-scale merge throughput:
+        # low enough that merges actually park on the token bucket, high
+        # enough that maintenance keeps up with the writers.
+        pacer = MergePacer(rate=50_000, burst=2_048)
+        datasets = [
+            Dataset(
+                f"bench.stability.{writer}",
+                SimulatedDisk(),
+                primary_key="id",
+                primary_domain=_DOMAIN,
+                memtable_capacity=256,
+                merge_policy=ConstantMergePolicy(max_components=4),
+                scheduler=scheduler,
+                maintenance_lane=f"stability.{writer}",
+                merge_pacer=pacer,
+            )
+            for writer in range(writers)
+        ]
+        latencies: list[list[float]] = [[] for _ in range(writers)]
+
+        def run_writer(writer: int) -> None:
+            dataset = datasets[writer]
+            observed = latencies[writer].append
+            for i in range(per_writer):
+                op_started = timer()
+                dataset.insert({"id": (seed + writer + i * step) % _DOMAIN.length})
+                observed(timer() - op_started)
+
+        threads = [
+            threading.Thread(target=run_writer, args=(writer,))
+            for writer in range(writers)
+        ]
+        started = timer()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = max(timer() - started, 1e-9)
+        for dataset in datasets:
+            dataset.flush()  # drain barrier
+        scheduler.drain()
+        scheduler.shutdown()
+        histogram = registry.snapshot()["histograms"].get("ingest.op.seconds", {})
+    total_ops = writers * per_writer
+    assert histogram.get("count") == total_ops, (
+        f"ingest.op.seconds saw {histogram.get('count')} ops, "
+        f"expected {total_ops}"
+    )
+    flat = sorted(
+        latency for per_writer_samples in latencies for latency in per_writer_samples
+    )
+    return {
+        "stability.ingest.throughput": total_ops / elapsed,
+        "ingest.latency.p99": _percentile(flat, 0.99),
+        "ingest.latency.p999": _percentile(flat, 0.999),
+        "ingest.stall.max_window": flat[-1],
+    }
+
+
 _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "ingest-throughput": _bench_ingest,
     "flush-latency": _bench_flush,
@@ -461,6 +602,7 @@ _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "network-ship": _bench_ship,
     "wal-replay": _bench_wal_replay,
     "concurrent-ingest": _bench_concurrent_ingest,
+    "stability": _bench_stability,
 }
 
 
@@ -596,17 +738,29 @@ def compare_reports(
     A metric regresses when its median moves beyond ``tolerance``
     (fractional) in its *bad* direction; improvements never fail.
     Only metrics present in the baseline gate -- a suite may grow new
-    metrics without invalidating old baselines.  Returns the list of
-    human-readable regression descriptions (empty = pass).
+    metrics without invalidating old baselines.  A baseline metric
+    missing from the current run is a regression *unless* the run's
+    ``benchmarks`` list shows the producing benchmark was deliberately
+    skipped (partial runs like ``--suite stability`` gate only what
+    they measured).  Returns the list of human-readable regression
+    descriptions (empty = pass).
     """
     if not 0.0 <= tolerance:
         raise BenchmarkError(f"tolerance must be >= 0, got {tolerance}")
     _validate_report(current, label="current run")
     _validate_report(baseline, label="baseline")
+    ran = current.get("benchmarks")
     regressions = []
     for name, base_entry in baseline["metrics"].items():
         current_entry = current["metrics"].get(name)
         if current_entry is None:
+            source = METRIC_SOURCES.get(name)
+            if (
+                source is not None
+                and isinstance(ran, list)
+                and source not in ran
+            ):
+                continue  # its benchmark was not part of this run
             regressions.append(
                 f"{name}: present in baseline but missing from the current run"
             )
@@ -629,6 +783,29 @@ def compare_reports(
                     f"(baseline {base:.6g} + {tolerance:.0%} tolerance)"
                 )
     return regressions
+
+
+def check_budgets(report: dict[str, Any]) -> list[str]:
+    """The absolute stall-budget gate (orthogonal to the relative
+    baseline gate): a budgeted metric fails when its *worst* sample --
+    not the median -- exceeds its documented ceiling, because a single
+    over-budget stall window is exactly the event the stability work
+    promises cannot happen.  Returns violation descriptions (empty =
+    pass); metrics absent from the report are not checked.
+    """
+    violations = []
+    for name, ceiling in _BUDGET_CEILINGS.items():
+        entry = report.get("metrics", {}).get(name)
+        if entry is None:
+            continue
+        samples = entry.get("samples") or [entry["median"]]
+        worst = max(float(sample) for sample in samples)
+        if worst > ceiling:
+            violations.append(
+                f"{name}: worst sample {worst:.6g}s exceeds the "
+                f"{ceiling:g}s stall budget"
+            )
+    return violations
 
 
 def format_report(report: dict[str, Any]) -> str:

@@ -18,6 +18,7 @@ therefore per-component statistics) aligned.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -28,6 +29,7 @@ from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.events import EventBus
 from repro.lsm.manifest import Manifest
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
+from repro.lsm.pacing import MergePacer
 from repro.lsm.record import Record
 from repro.lsm.scheduler import MaintenanceScheduler, SyncScheduler
 from repro.lsm.tree import (
@@ -179,6 +181,7 @@ class Dataset:
         scheduler: MaintenanceScheduler | None = None,
         max_pending_flushes: int = DEFAULT_MAX_PENDING_FLUSHES,
         maintenance_lane: str | None = None,
+        merge_pacer: MergePacer | None = None,
     ) -> None:
         self.name = name
         self.primary_key = primary_key
@@ -210,6 +213,19 @@ class Dataset:
                 f"max_pending_flushes must be >= 1, got {max_pending_flushes}"
             )
         self.max_pending_flushes = max_pending_flushes
+        # Merge pacing (repro.lsm.pacing).  The pause is armed only
+        # under real worker threads: sleeping inside the sync or virtual
+        # schedulers has no writer to yield to and would only slow the
+        # deterministic oracles down.  Token accounting always runs, so
+        # paced and unpaced runs stay byte-identical.
+        self.merge_pacer = merge_pacer
+        if merge_pacer is not None:
+            merge_pacer.set_blocking(self._scheduler.mode == "threads")
+        # Per-operation ingest latency (docs/OBSERVABILITY.md): the
+        # wall-clock time a writer spends inside one DML call, stalls
+        # and inline maintenance included -- the tail of this histogram
+        # is exactly what merge pacing is meant to flatten.
+        self._h_ingest_op = get_registry().histogram("ingest.op.seconds")
         # Serialises multi-index DML (and the rotation step of a
         # scheduled flush) so one operation's records always land in the
         # same memtable generation across all trees.  Maintenance tasks
@@ -277,6 +293,7 @@ class Dataset:
             write_batch_size=write_batch_size,
             manifest=self._manifest,
             crash_injector=crash_injector,
+            merge_pacer=merge_pacer,
         )
         self.indexes: dict[str, IndexSpec] = {}
         self.composite_indexes: dict[str, CompositeIndexSpec] = {}
@@ -311,9 +328,18 @@ class Dataset:
                 write_batch_size=write_batch_size,
                 manifest=self._manifest,
                 crash_injector=crash_injector,
+                merge_pacer=merge_pacer,
             )
         if recover and state is not None:
             self._recover_from(state, replayed)
+        # Fair dispatch: let the thread-pool scheduler see when this
+        # dataset's writers are one rotation away from stalling, so its
+        # flush lane jumps ahead of other datasets' merge lanes.
+        if not self._scheduler.inline:
+            self._scheduler.add_pressure_probe(
+                lambda: self.primary.immutable_count
+                >= max(1, self.max_pending_flushes - 1)
+            )
 
     def _all_specs(
         self,
@@ -415,6 +441,7 @@ class Dataset:
 
     def insert(self, document: dict[str, Any]) -> None:
         """Insert a new record (the caller guarantees PK uniqueness)."""
+        started = time.perf_counter()
         with self._dml_lock:
             pk = self._pk_of(document)
             seqnum = self.sequence.next()
@@ -432,15 +459,18 @@ class Dataset:
                         )
                     )
                 self._apply_logged(seqnum, writes)
-                return
-            self.primary.write_record(
-                Record.matter(pk, document, seqnum=seqnum)
-            )
-            for spec in self._all_specs():
-                self._secondary[spec.name].write_record(
-                    Record.matter((*spec.key_of(document), pk), seqnum=seqnum)
+            else:
+                self.primary.write_record(
+                    Record.matter(pk, document, seqnum=seqnum)
                 )
-            self._after_write()
+                for spec in self._all_specs():
+                    self._secondary[spec.name].write_record(
+                        Record.matter(
+                            (*spec.key_of(document), pk), seqnum=seqnum
+                        )
+                    )
+                self._after_write()
+        self._h_ingest_op.observe(time.perf_counter() - started)
 
     def insert_many(self, documents: Iterable[dict[str, Any]]) -> int:
         """Insert a batch of new records; returns the number inserted.
@@ -462,8 +492,11 @@ class Dataset:
         trees = [self._secondary[spec.name] for spec in specs]
         primary_write = self.primary.write_record
         next_seq = self.sequence.next
+        observe_op = self._h_ingest_op.observe
+        clock = time.perf_counter
         inserted = 0
         for document in documents:
+            started = clock()
             with self._dml_lock:
                 pk = self._pk_of(document)
                 seqnum = next_seq()
@@ -476,11 +509,13 @@ class Dataset:
                     )
                 inserted += 1
                 self._after_write()
+            observe_op(clock() - started)
         return inserted
 
     def update(self, document: dict[str, Any]) -> bool:
         """Replace the record with the same PK; returns False when the
         PK does not exist (AsterixDB enforces existence on updates)."""
+        started = time.perf_counter()
         with self._dml_lock:
             pk = self._pk_of(document)
             old = self.primary.get(pk)
@@ -503,25 +538,31 @@ class Dataset:
                         (tree, Record.matter((*new_sk, pk), seqnum=seqnum))
                     )
                 self._apply_logged(seqnum, writes)
-                return True
-            self.primary.write_record(
-                Record.matter(pk, document, seqnum=seqnum)
-            )
-            for spec in self._all_specs():
-                old_sk, new_sk = spec.key_of(old), spec.key_of(document)
-                if old_sk == new_sk:
-                    # The existing secondary entry still points at the
-                    # live record; touching it would double-count the
-                    # record in per-component statistics.
-                    continue
-                tree = self._secondary[spec.name]
-                tree.write_record(Record.anti((*old_sk, pk), seqnum=seqnum))
-                tree.write_record(Record.matter((*new_sk, pk), seqnum=seqnum))
-            self._after_write()
-            return True
+            else:
+                self.primary.write_record(
+                    Record.matter(pk, document, seqnum=seqnum)
+                )
+                for spec in self._all_specs():
+                    old_sk, new_sk = spec.key_of(old), spec.key_of(document)
+                    if old_sk == new_sk:
+                        # The existing secondary entry still points at
+                        # the live record; touching it would double-count
+                        # the record in per-component statistics.
+                        continue
+                    tree = self._secondary[spec.name]
+                    tree.write_record(
+                        Record.anti((*old_sk, pk), seqnum=seqnum)
+                    )
+                    tree.write_record(
+                        Record.matter((*new_sk, pk), seqnum=seqnum)
+                    )
+                self._after_write()
+        self._h_ingest_op.observe(time.perf_counter() - started)
+        return True
 
     def delete(self, pk: Any) -> bool:
         """Delete by PK; returns False when the PK does not exist."""
+        started = time.perf_counter()
         with self._dml_lock:
             old = self.primary.get(pk)
             if old is None:
@@ -539,14 +580,15 @@ class Dataset:
                         )
                     )
                 self._apply_logged(seqnum, writes)
-                return True
-            self.primary.write_record(Record.anti(pk, seqnum=seqnum))
-            for spec in self._all_specs():
-                self._secondary[spec.name].write_record(
-                    Record.anti((*spec.key_of(old), pk), seqnum=seqnum)
-                )
-            self._after_write()
-            return True
+            else:
+                self.primary.write_record(Record.anti(pk, seqnum=seqnum))
+                for spec in self._all_specs():
+                    self._secondary[spec.name].write_record(
+                        Record.anti((*spec.key_of(old), pk), seqnum=seqnum)
+                    )
+                self._after_write()
+        self._h_ingest_op.observe(time.perf_counter() - started)
+        return True
 
     def bulkload(self, documents: Iterable[dict[str, Any]]) -> None:
         """Initial load of PK-sorted documents into an empty dataset.
@@ -664,7 +706,9 @@ class Dataset:
                 rotated = tree.rotate() or rotated
             self._pending_writes = 0
         if rotated:
-            self._scheduler.submit(self._flush_task, lane=self._lane)
+            self._scheduler.submit(
+                self._flush_task, lane=self._lane, kind="flush"
+            )
         return rotated
 
     def _flush_task(self) -> None:
@@ -701,7 +745,7 @@ class Dataset:
         # decisions triggered by this flush happen before the next
         # queued flush installs -- the synchronous decision sequence.
         self._scheduler.submit(
-            self._merge_continuation, lane=self._lane, front=True
+            self._merge_continuation, lane=self._lane, front=True, kind="merge"
         )
 
     def _merge_continuation(self) -> None:
@@ -712,7 +756,10 @@ class Dataset:
         for tree in self._all_trees():
             if tree.merge_once() is not None:
                 self._scheduler.submit(
-                    self._merge_continuation, lane=self._lane, front=True
+                    self._merge_continuation,
+                    lane=self._lane,
+                    front=True,
+                    kind="merge",
                 )
                 return
 

@@ -26,9 +26,20 @@ run before the next flush, exactly the decision sequence the inline
 code produces -- only the interleaving *between* datasets (and with the
 ingest/query/stats traffic) varies.
 
+**Fair dispatch.**  Submissions carry a ``kind`` (``"flush"``,
+``"merge"``, or generic ``"task"``).  The thread-pool mode uses it to
+keep writers stall-free: while any registered backpressure probe
+reports the immutable queue near capacity, ready *flush* lanes are
+dispatched ahead of merge lanes -- bounded by a starvation limit so
+merges always make progress.  Reordering only ever happens *across*
+lanes, whose relative order is already unconstrained, so the per-lane
+determinism argument above is untouched.
+
 Metrics (docs/OBSERVABILITY.md): ``scheduler.tasks.submitted`` /
-``.completed`` / ``.failed``, ``scheduler.queue.depth``,
-``scheduler.task.seconds``, and the backpressure pair
+``.completed`` / ``.failed`` (``completed`` counts successes only, so
+``submitted == completed + failed + pending`` at all times),
+``scheduler.queue.depth``, ``scheduler.task.seconds``,
+``scheduler.dispatch.flush_first``, and the backpressure pair
 ``scheduler.stalls`` / ``scheduler.stall.seconds``.
 """
 
@@ -53,6 +64,7 @@ __all__ = [
     "SCHEDULER_MODES",
     "make_scheduler",
     "DEFAULT_MAX_WORKERS",
+    "MERGE_STARVATION_LIMIT",
 ]
 
 SCHEDULER_MODES = ("sync", "threads", "virtual")
@@ -62,6 +74,10 @@ DEFAULT_MAX_WORKERS = 2
 """Worker threads of a :class:`ThreadPoolScheduler` unless overridden."""
 
 DEFAULT_LANE = "default"
+
+MERGE_STARVATION_LIMIT = 4
+"""Consecutive flush-first dispatches before a waiting merge lane is
+served regardless of backpressure (starvation protection)."""
 
 
 Task = Callable[[], None]
@@ -79,9 +95,11 @@ class MaintenanceScheduler(ABC):
         self._m_completed = obs.counter("scheduler.tasks.completed")
         self._m_failed = obs.counter("scheduler.tasks.failed")
         self._m_stalls = obs.counter("scheduler.stalls")
+        self._m_flush_first = obs.counter("scheduler.dispatch.flush_first")
         self._g_depth = obs.gauge("scheduler.queue.depth")
         self._h_task = obs.histogram("scheduler.task.seconds")
         self._h_stall = obs.histogram("scheduler.stall.seconds")
+        self._pressure_probes: list[Callable[[], bool]] = []
 
     @property
     def inline(self) -> bool:
@@ -91,12 +109,33 @@ class MaintenanceScheduler(ABC):
 
     @abstractmethod
     def submit(
-        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+        self,
+        task: Task,
+        lane: str = DEFAULT_LANE,
+        front: bool = False,
+        kind: str = "task",
     ) -> None:
         """Enqueue ``task`` on ``lane``.  ``front=True`` puts it at the
         head of the lane (a continuation of the task that submitted it);
         lanes are otherwise strict FIFO and never run two tasks at once.
+        ``kind`` classifies the task (``"flush"``/``"merge"``/``"task"``)
+        for fair dispatch; it never affects per-lane ordering.
         """
+
+    def add_pressure_probe(self, probe: Callable[[], bool]) -> None:
+        """Register a backpressure probe (True = writers are close to
+        stalling).  The thread-pool dispatcher consults the probes to
+        prioritize flush lanes; the deterministic modes ignore them."""
+        self._pressure_probes.append(probe)
+
+    def _under_pressure(self) -> bool:
+        for probe in self._pressure_probes:
+            try:
+                if probe():
+                    return True
+            except Exception:
+                continue  # a dead probe must never wedge dispatch
+        return False
 
     @abstractmethod
     def drain(self) -> None:
@@ -111,8 +150,14 @@ class MaintenanceScheduler(ABC):
     def wait(self, predicate: Callable[[], bool]) -> None:
         """Backpressure hook: block (or, in virtual mode, run pending
         tasks) until ``predicate()`` holds or no pending task can change
-        it.  Records a stall when it could not return immediately."""
+        it.  Records a stall when it could not return immediately *and*
+        the scheduler could actually make progress -- with nothing
+        pending (sync mode always, idle virtual/threads) nothing can
+        flip the predicate, so counting a stall would report phantom
+        backpressure."""
         if predicate():
+            return
+        if self.pending_count() == 0:
             return
         self._m_stalls.inc()
         started = time.perf_counter()
@@ -140,8 +185,10 @@ class MaintenanceScheduler(ABC):
             return exc
         finally:
             self._h_task.observe(time.perf_counter() - started)
-            self._m_completed.inc()
             self._g_depth.inc(-1)
+        # Success only: a failed task must count in exactly one of
+        # completed/failed so submitted == completed + failed + pending.
+        self._m_completed.inc()
         return None
 
 
@@ -155,7 +202,11 @@ class SyncScheduler(MaintenanceScheduler):
         return True
 
     def submit(
-        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+        self,
+        task: Task,
+        lane: str = DEFAULT_LANE,
+        front: bool = False,
+        kind: str = "task",
     ) -> None:
         self._m_submitted.inc()
         self._g_depth.inc(1)
@@ -195,7 +246,11 @@ class VirtualScheduler(MaintenanceScheduler):
         self._lanes: dict[str, deque[Task]] = {}
 
     def submit(
-        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+        self,
+        task: Task,
+        lane: str = DEFAULT_LANE,
+        front: bool = False,
+        kind: str = "task",
     ) -> None:
         queue = self._lanes.setdefault(lane, deque())
         if front:
@@ -235,6 +290,9 @@ class VirtualScheduler(MaintenanceScheduler):
                 return  # idle and still false: nothing will change it
 
     def shutdown(self) -> None:
+        discarded = self.pending_count()
+        if discarded:
+            self._g_depth.inc(-discarded)
         self._lanes.clear()
 
 
@@ -245,7 +303,16 @@ class ThreadPoolScheduler(MaintenanceScheduler):
     one of its tasks, so the per-lane serialization the determinism
     argument rests on holds under true concurrency.  Failures are
     captured and re-raised by the next :meth:`drain` (maintenance must
-    never kill a writer thread silently)."""
+    never kill a writer thread silently).
+
+    Dispatch is FIFO across ready lanes, with one exception: while a
+    backpressure probe reports writers near the stall point, a ready
+    lane whose head task is a *flush* is served before merge lanes, so
+    a long merge in one dataset cannot back up the immutable queues of
+    the others.  At most :data:`MERGE_STARVATION_LIMIT` consecutive
+    dispatches may skip ahead of a waiting merge lane before it is
+    served regardless -- merges are what keep the component count (and
+    with it, read amplification) bounded."""
 
     mode = "threads"
 
@@ -261,12 +328,13 @@ class ThreadPoolScheduler(MaintenanceScheduler):
         super().__init__(registry)
         self._mutex = threading.Lock()
         self._changed = threading.Condition(self._mutex)
-        self._lanes: dict[str, deque[Task]] = {}
+        self._lanes: dict[str, deque[tuple[Task, str]]] = {}
         self._ready: deque[str] = deque()  # lanes with work, not running
         self._running: set[str] = set()
         self._pending = 0
         self._failures: list[BaseException] = []
         self._shutdown = False
+        self._merge_deferrals = 0  # consecutive flush-first dispatches
         self._workers = [
             threading.Thread(
                 target=self._work,
@@ -279,16 +347,20 @@ class ThreadPoolScheduler(MaintenanceScheduler):
             worker.start()
 
     def submit(
-        self, task: Task, lane: str = DEFAULT_LANE, front: bool = False
+        self,
+        task: Task,
+        lane: str = DEFAULT_LANE,
+        front: bool = False,
+        kind: str = "task",
     ) -> None:
         with self._changed:
             if self._shutdown:
                 raise SchedulerError("submit on a shut-down scheduler")
             queue = self._lanes.setdefault(lane, deque())
             if front:
-                queue.appendleft(task)
+                queue.appendleft((task, kind))
             else:
-                queue.append(task)
+                queue.append((task, kind))
             self._pending += 1
             if lane not in self._running and lane not in self._ready:
                 self._ready.append(lane)
@@ -300,6 +372,37 @@ class ThreadPoolScheduler(MaintenanceScheduler):
         with self._mutex:
             return self._pending
 
+    def add_pressure_probe(self, probe: Callable[[], bool]) -> None:
+        with self._mutex:
+            self._pressure_probes.append(probe)
+
+    def _lane_kind(self, lane: str) -> str:
+        queue = self._lanes.get(lane)
+        return queue[0][1] if queue else "task"
+
+    def _pick_lane(self) -> str:
+        """Choose the next ready lane (lock held, ``_ready`` nonempty).
+
+        FIFO by default; under backpressure a flush lane may jump ahead
+        of merge lanes, bounded by :data:`MERGE_STARVATION_LIMIT`."""
+        head = self._ready[0]
+        if (
+            len(self._ready) > 1
+            and self._lane_kind(head) != "flush"
+            and self._merge_deferrals < MERGE_STARVATION_LIMIT
+            and self._under_pressure()
+        ):
+            for index in range(1, len(self._ready)):
+                candidate = self._ready[index]
+                if self._lane_kind(candidate) == "flush":
+                    del self._ready[index]
+                    self._merge_deferrals += 1
+                    self._m_flush_first.inc()
+                    return candidate
+        self._ready.popleft()
+        self._merge_deferrals = 0
+        return head
+
     def _work(self) -> None:
         while True:
             with self._changed:
@@ -307,8 +410,8 @@ class ThreadPoolScheduler(MaintenanceScheduler):
                     self._changed.wait()
                 if self._shutdown:
                     return
-                lane = self._ready.popleft()
-                task = self._lanes[lane].popleft()
+                lane = self._pick_lane()
+                task, _kind = self._lanes[lane].popleft()
                 self._running.add(lane)
             failure = self._run_task(task)
             with self._changed:
@@ -345,9 +448,17 @@ class ThreadPoolScheduler(MaintenanceScheduler):
 
     def shutdown(self) -> None:
         with self._changed:
-            self._shutdown = True
-            self._lanes.clear()
-            self._ready.clear()
+            if not self._shutdown:
+                self._shutdown = True
+                # Queued tasks are discarded (crash-restart semantics);
+                # account for them so queue.depth/_pending return to 0
+                # instead of leaking the discarded work forever.
+                discarded = sum(len(q) for q in self._lanes.values())
+                if discarded:
+                    self._pending -= discarded
+                    self._g_depth.inc(-discarded)
+                self._lanes.clear()
+                self._ready.clear()
             self._changed.notify_all()
         for worker in self._workers:
             if worker is not threading.current_thread():

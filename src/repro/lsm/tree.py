@@ -42,6 +42,7 @@ from repro.lsm.events import (
 from repro.lsm.manifest import ComponentDescriptor, Manifest
 from repro.lsm.memtable import MemTable
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
+from repro.lsm.pacing import MergePacer
 from repro.lsm.record import Record
 from repro.lsm.storage import SimulatedDisk
 from repro.lsm.wal import WriteAheadLog
@@ -146,6 +147,7 @@ class LSMTree:
         manifest: Manifest | None = None,
         wal: WriteAheadLog | None = None,
         crash_injector: CrashInjector | None = None,
+        merge_pacer: "MergePacer | None" = None,
     ) -> None:
         if memtable_capacity < 1:
             raise StorageError(
@@ -191,6 +193,10 @@ class LSMTree:
         self._manifest = manifest
         self._wal = wal
         self._injector = crash_injector
+        # Optional merge rate limit (repro.lsm.pacing).  Only the merge
+        # build path consults it -- flushes and bulkloads are what the
+        # pacer protects, so they always run unthrottled.
+        self.merge_pacer = merge_pacer
         # None disables batching: the legacy per-record tap/build path
         # (kept as the compatibility fallback and the perf baseline).
         self.write_batch_size = write_batch_size
@@ -497,6 +503,7 @@ class LSMTree:
                 merged_stream,
                 expected_records=sum(c.record_count for c in ordered),
                 merged_components=tuple(ordered),
+                pacer=self.merge_pacer,
             )
             self._fire("merge.build")
             if self._manifest is not None:
@@ -630,6 +637,7 @@ class LSMTree:
         expected_records: int = 0,
         merged_components: tuple[DiskComponent, ...] = (),
         chunks: "Iterable[ColumnarChunk | list[Record]] | None" = None,
+        pacer: MergePacer | None = None,
     ) -> DiskComponent:
         context = ComponentWriteContext(
             event_type=event_type,
@@ -653,7 +661,9 @@ class LSMTree:
             if chunks is None:
                 assert stream is not None
                 chunks = columnar_chunk_stream(stream, batch)
-            btree = self._build_index_chunked(chunks, counts, bloom, live_sinks)
+            btree = self._build_index_chunked(
+                chunks, counts, bloom, live_sinks, pacer
+            )
         else:
             if stream is None:
                 assert chunks is not None
@@ -670,7 +680,7 @@ class LSMTree:
                     )
                 )
             btree = self._build_index_per_record(
-                stream, counts, bloom, live_sinks
+                stream, counts, bloom, live_sinks, pacer
             )
         component = DiskComponent(
             component_id if component_id is not None else ComponentId(0, 0),
@@ -692,11 +702,14 @@ class LSMTree:
         counts: dict[str, int],
         bloom: BloomFilter | None,
         live_sinks: list[RecordSink],
+        pacer: MergePacer | None = None,
     ) -> Any:
         """The legacy per-record tap/build path (compatibility fallback)."""
 
         def tapped() -> Iterator[Record]:
             for record in stream:
+                if pacer is not None:
+                    pacer.pace(1)
                 if record.antimatter:
                     counts["anti"] += 1
                 else:
@@ -722,6 +735,7 @@ class LSMTree:
         counts: dict[str, int],
         bloom: BloomFilter | None,
         live_sinks: list[RecordSink],
+        pacer: MergePacer | None = None,
     ) -> Any:
         """The batched hot path: observers and the Bloom filter see one
         chunk at a time, and chunk-aware index builders fill leaves by
@@ -733,6 +747,11 @@ class LSMTree:
 
         def tapped_chunks() -> "Iterator[ColumnarChunk | list[Record]]":
             for chunk in chunks:
+                # Pacing happens at chunk boundaries: the merge yields
+                # the worker (and the GIL) here while it sleeps off its
+                # token deficit, never mid-chunk.  Bytes are unaffected.
+                if pacer is not None:
+                    pacer.pace(len(chunk))
                 if isinstance(chunk, ColumnarChunk):
                     anti = chunk.antimatter_count
                     keys = chunk.keys_list()

@@ -212,6 +212,7 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
             "buckets": buckets,
         }
 

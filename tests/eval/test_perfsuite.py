@@ -154,6 +154,24 @@ class TestCompareReports:
         assert len(regressions) == 1
         assert "merge.throughput" in regressions[0]
 
+    def test_suite_subset_skips_unselected_baseline_metrics(self):
+        """A --suite/--only run compares only what it measured: a
+        baseline metric from a benchmark the current run never selected
+        is not a regression."""
+        baseline = _fake_report(
+            **{"ship.throughput": 100.0, "ingest.stall.max_window": 0.1}
+        )
+        current = _fake_report(**{"ingest.stall.max_window": 0.1})
+        current["benchmarks"] = ["stability"]  # network-ship unselected
+        assert compare_reports(current, baseline) == []
+        # ...but a metric the selected benchmark should have produced
+        # and did not is still a failure.
+        partial = _fake_report(**{"stability.ingest.throughput": 10.0})
+        partial["benchmarks"] = ["stability"]
+        regressions = compare_reports(partial, baseline)
+        assert len(regressions) == 1
+        assert "ingest.stall.max_window" in regressions[0]
+
     def test_new_metric_in_current_run_ignored(self):
         baseline = _fake_report(**{"ship.throughput": 100.0})
         current = _fake_report(
@@ -188,3 +206,34 @@ class TestPercentile:
     def test_orders_input(self):
         assert perfsuite._percentile([3.0, 1.0, 2.0], 0.0) == 1.0
         assert perfsuite._percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+
+
+class TestSuitesAndBudgets:
+    def test_suites_name_only_registered_benchmarks(self):
+        for name, members in perfsuite.SUITES.items():
+            assert members, name
+            assert set(members) <= set(BENCHMARK_NAMES)
+        assert tuple(perfsuite.SUITES["all"]) == tuple(BENCHMARK_NAMES)
+        assert "stability" in perfsuite.SUITES
+
+    def test_every_metric_has_a_source_benchmark(self):
+        assert set(perfsuite.METRIC_SOURCES) == set(perfsuite.METRIC_SPECS)
+        assert set(perfsuite.METRIC_SOURCES.values()) <= set(BENCHMARK_NAMES)
+
+    def test_budget_passes_under_the_ceiling(self):
+        budget = perfsuite.STABILITY_STALL_BUDGET_SECONDS
+        report = _fake_report(**{"ingest.stall.max_window": budget * 0.5})
+        assert perfsuite.check_budgets(report) == []
+
+    def test_budget_fails_on_worst_sample_not_median(self):
+        budget = perfsuite.STABILITY_STALL_BUDGET_SECONDS
+        report = _fake_report(**{"ingest.stall.max_window": budget * 0.5})
+        entry = report["metrics"]["ingest.stall.max_window"]
+        entry["samples"] = [budget * 0.5, budget * 1.5]  # median still ok
+        violations = perfsuite.check_budgets(report)
+        assert len(violations) == 1
+        assert "ingest.stall.max_window" in violations[0]
+
+    def test_budget_ignores_reports_without_the_metric(self):
+        report = _fake_report(**{"ship.throughput": 100.0})
+        assert perfsuite.check_budgets(report) == []

@@ -12,6 +12,7 @@ import pytest
 from repro.errors import ConfigurationError, SchedulerError
 from repro.lsm.scheduler import (
     DEFAULT_MAX_WORKERS,
+    MERGE_STARVATION_LIMIT,
     SCHEDULER_MODES,
     SyncScheduler,
     ThreadPoolScheduler,
@@ -256,3 +257,236 @@ def test_scheduler_metrics_balance_after_drain():
 
 def test_default_worker_count_is_sane():
     assert DEFAULT_MAX_WORKERS >= 1
+
+
+def test_sync_completed_counts_successes_only():
+    registry = _registry()
+    scheduler = SyncScheduler(registry=registry)
+    scheduler.submit(lambda: None)
+    with pytest.raises(_Boom):
+        scheduler.submit(lambda: (_ for _ in ()).throw(_Boom()))
+    counters = registry.snapshot()["counters"]
+    assert counters["scheduler.tasks.submitted"] == 2
+    assert counters["scheduler.tasks.completed"] == 1
+    assert counters["scheduler.tasks.failed"] == 1
+    assert registry.snapshot()["gauges"]["scheduler.queue.depth"] == 0
+
+
+def test_submitted_equals_completed_plus_failed_plus_pending():
+    """The accounting invariant across both background modes: a failed
+    task lands in exactly one of completed/failed, never both."""
+    for mode in ("virtual", "threads"):
+        registry = _registry()
+        scheduler = make_scheduler(mode, registry=registry)
+        try:
+            for index in range(6):
+                if index % 3 == 0:
+                    scheduler.submit(lambda: (_ for _ in ()).throw(_Boom()))
+                else:
+                    scheduler.submit(lambda: None)
+            # Virtual drain raises at each failing step; threads drain
+            # runs everything then re-raises the first failure wrapped.
+            for _ in range(6):
+                try:
+                    scheduler.drain()
+                    break
+                except (_Boom, SchedulerError):
+                    continue
+            counters = registry.snapshot()["counters"]
+            assert counters["scheduler.tasks.submitted"] == 6
+            assert counters["scheduler.tasks.failed"] == 2
+            assert counters["scheduler.tasks.completed"] == 4
+            assert (
+                counters["scheduler.tasks.submitted"]
+                == counters["scheduler.tasks.completed"]
+                + counters["scheduler.tasks.failed"]
+                + scheduler.pending_count()
+            )
+            assert registry.snapshot()["gauges"]["scheduler.queue.depth"] == 0
+        finally:
+            scheduler.shutdown()
+
+
+def test_virtual_shutdown_discards_pending_and_zeroes_depth():
+    registry = _registry()
+    scheduler = VirtualScheduler(registry=registry)
+    for _ in range(4):
+        scheduler.submit(lambda: None)
+    assert scheduler.pending_count() == 4
+    scheduler.shutdown()
+    assert scheduler.pending_count() == 0
+    assert registry.snapshot()["gauges"]["scheduler.queue.depth"] == 0
+
+
+def test_threads_shutdown_discards_queued_tasks_and_zeroes_depth():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(max_workers=2, registry=registry)
+    release = threading.Event()
+    started = threading.Event()
+
+    def blocker():
+        started.set()
+        release.wait(timeout=5.0)
+
+    scheduler.submit(blocker, lane="a")
+    assert started.wait(timeout=5.0)
+    # Queued behind the blocker on the same lane: they cannot start, so
+    # shutdown must discard them -- and still zero the accounting.
+    for _ in range(5):
+        scheduler.submit(lambda: None, lane="a")
+    threading.Timer(0.05, release.set).start()
+    scheduler.shutdown()
+    assert scheduler.pending_count() == 0
+    assert registry.snapshot()["gauges"]["scheduler.queue.depth"] == 0
+    scheduler.shutdown()  # idempotent: a second call must not go negative
+    assert registry.snapshot()["gauges"]["scheduler.queue.depth"] == 0
+
+
+# ------------------------------------------------------------------ stalls
+
+
+def test_sync_wait_records_no_stall():
+    """Sync mode has no background tasks, so a false predicate can
+    never flip -- recording a stall would be phantom backpressure."""
+    registry = _registry()
+    scheduler = SyncScheduler(registry=registry)
+    scheduler.wait(lambda: False)
+    scheduler.wait(lambda: True)
+    counters = registry.snapshot()["counters"]
+    assert counters.get("scheduler.stalls", 0) == 0
+    assert registry.snapshot()["histograms"]["scheduler.stall.seconds"][
+        "count"
+    ] == 0
+
+
+def test_virtual_idle_wait_records_no_stall():
+    registry = _registry()
+    scheduler = VirtualScheduler(registry=registry)
+    scheduler.wait(lambda: False)  # idle: nothing can change the predicate
+    assert registry.snapshot()["counters"].get("scheduler.stalls", 0) == 0
+
+
+def test_virtual_blocked_wait_stalls_once_with_duration():
+    registry = _registry()
+    scheduler = VirtualScheduler(registry=registry)
+    state = []
+    scheduler.submit(lambda: state.append(1))
+    scheduler.wait(lambda: bool(state))
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["scheduler.stalls"] == 1
+    assert snapshot["histograms"]["scheduler.stall.seconds"]["count"] == 1
+
+
+def test_threads_blocked_wait_stalls_once_and_wakes_on_predicate_flip():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(registry=registry)
+    try:
+        done = []
+        release = threading.Event()
+
+        def task():
+            release.wait(timeout=5.0)
+            done.append(1)
+
+        scheduler.submit(task)
+        threading.Timer(0.1, release.set).start()
+        scheduler.wait(lambda: bool(done))  # flips while wait is blocked
+        assert done
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["scheduler.stalls"] == 1
+        assert snapshot["histograms"]["scheduler.stall.seconds"]["count"] == 1
+    finally:
+        scheduler.shutdown()
+
+
+# ----------------------------------------------------------- fair dispatch
+
+
+def _block_the_only_worker(scheduler):
+    started = threading.Event()
+    gate = threading.Event()
+
+    def blocker():
+        started.set()
+        gate.wait(timeout=5.0)
+
+    scheduler.submit(blocker, lane="gate")
+    assert started.wait(timeout=5.0)
+    return gate
+
+
+def test_threads_flush_lane_jumps_merge_lanes_under_pressure():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(max_workers=1, registry=registry)
+    try:
+        scheduler.add_pressure_probe(lambda: True)
+        order = []
+        gate = _block_the_only_worker(scheduler)
+        # FIFO would run the merge lanes first; under backpressure the
+        # flush lane must be dispatched ahead of both.
+        scheduler.submit(lambda: order.append("merge-a"), lane="a", kind="merge")
+        scheduler.submit(lambda: order.append("merge-b"), lane="b", kind="merge")
+        scheduler.submit(lambda: order.append("flush"), lane="f", kind="flush")
+        gate.set()
+        scheduler.drain()
+        assert order[0] == "flush"
+        counters = registry.snapshot()["counters"]
+        assert counters["scheduler.dispatch.flush_first"] >= 1
+    finally:
+        scheduler.shutdown()
+
+
+def test_threads_fair_dispatch_respects_starvation_limit():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(max_workers=1, registry=registry)
+    try:
+        scheduler.add_pressure_probe(lambda: True)
+        order = []
+        gate = _block_the_only_worker(scheduler)
+        scheduler.submit(lambda: order.append("merge"), lane="m", kind="merge")
+        for index in range(MERGE_STARVATION_LIMIT + 2):
+            scheduler.submit(
+                lambda index=index: order.append(f"flush-{index}"),
+                lane=f"f{index}",
+                kind="flush",
+            )
+        gate.set()
+        scheduler.drain()
+        # Exactly MERGE_STARVATION_LIMIT flushes jump ahead, then the
+        # waiting merge lane is served regardless of pressure.
+        assert order.index("merge") == MERGE_STARVATION_LIMIT
+    finally:
+        scheduler.shutdown()
+
+
+def test_threads_without_pressure_keeps_fifo_across_lanes():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(max_workers=1, registry=registry)
+    try:
+        order = []
+        gate = _block_the_only_worker(scheduler)
+        scheduler.submit(lambda: order.append("merge"), lane="m", kind="merge")
+        scheduler.submit(lambda: order.append("flush"), lane="f", kind="flush")
+        gate.set()
+        scheduler.drain()
+        assert order == ["merge", "flush"]
+        counters = registry.snapshot()["counters"]
+        assert counters.get("scheduler.dispatch.flush_first", 0) == 0
+    finally:
+        scheduler.shutdown()
+
+
+def test_broken_pressure_probe_never_wedges_dispatch():
+    registry = _registry()
+    scheduler = ThreadPoolScheduler(max_workers=1, registry=registry)
+    try:
+        scheduler.add_pressure_probe(
+            lambda: (_ for _ in ()).throw(_Boom())
+        )
+        ran = []
+        scheduler.submit(lambda: ran.append(1), kind="merge")
+        scheduler.submit(lambda: ran.append(2), kind="flush")
+        scheduler.drain()
+        assert sorted(ran) == [1, 2]
+    finally:
+        scheduler.shutdown()

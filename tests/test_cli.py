@@ -96,6 +96,13 @@ def test_racecheck_explicit_seeds_override_the_sweep(capsys):
     assert "racecheck seeds=[3]" in capsys.readouterr().out
 
 
+def test_racecheck_paced_converges_and_exits_zero(capsys):
+    """Pacing must be image-neutral: the same sync-vs-concurrent oracle
+    with a merge pacer installed on every run (baseline included)."""
+    assert main(["racecheck", "--seed", "0", "--records", "192", "--paced"]) == 0
+    assert "bit-identical" in capsys.readouterr().out
+
+
 # `--only network-ship --repetitions 1` keeps the bench CLI tests to a
 # few milliseconds of measured work; the full quick suite runs in CI's
 # bench-smoke job, not here.
@@ -160,3 +167,25 @@ def test_bench_compare_missing_baseline_exits_two(tmp_path, capsys):
 def test_bench_unknown_benchmark_exits_two(capsys):
     assert main(["bench", "--quick", "--only", "nope"]) == 2
     assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_bench_unknown_suite_exits_two(capsys):
+    assert main(["bench", "--quick", "--suite", "nope"]) == 2
+    assert "unknown suite" in capsys.readouterr().err
+
+
+def test_bench_suite_and_only_are_mutually_exclusive(capsys):
+    assert (
+        main(
+            [
+                "bench",
+                "--quick",
+                "--suite",
+                "stability",
+                "--only",
+                "network-ship",
+            ]
+        )
+        == 2
+    )
+    assert "mutually exclusive" in capsys.readouterr().err
