@@ -45,6 +45,7 @@ and a sweep of estimates -- to the synchronous baseline::
     python -m repro racecheck --quick
     python -m repro racecheck --seed 7 --records 1024
     python -m repro racecheck --quick --paced  # with merge pacing armed
+    python -m repro racecheck --quick --memory  # with a tight memory budget
 
 The ``bench`` subcommand runs the perf suite (ingest-throughput,
 flush-latency, merge-throughput, estimate-latency, network-ship, the
@@ -55,6 +56,7 @@ against a committed baseline (see docs/BENCHMARKING.md)::
     python -m repro bench --quick
     python -m repro bench --quick --compare benchmarks/baseline.json
     python -m repro bench --quick --suite stability
+    python -m repro bench --quick --suite memory-budget
 
 Exit codes for ``bench``: 0 on success, 1 when any metric regresses
 beyond tolerance or an ingest stall window exceeds its budget, 2 when
@@ -298,6 +300,13 @@ def main(argv: list[str] | None = None) -> int:
         "pacing enabled, proving pacing never changes what merges "
         "produce",
     )
+    race_parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="run every cluster (sync baseline included) under a tight "
+        "memory-arbiter budget, proving arbitration-triggered early "
+        "flushes are image-neutral across scheduler modes",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -329,8 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         "--suite",
         default=None,
         metavar="SUITE",
-        help="run a named benchmark subset (e.g. 'stability'); "
-        "mutually exclusive with --only",
+        help="run a named benchmark subset (e.g. 'stability', "
+        "'memory-budget'); mutually exclusive with --only",
     )
     bench_parser.add_argument(
         "--out",
@@ -403,7 +412,10 @@ def main(argv: list[str] | None = None) -> int:
             seeds = QUICK_SEEDS if args.quick else DEFAULT_SEEDS
         try:
             race_report = run_racecheck(
-                seeds=seeds, records=args.records, paced=args.paced
+                seeds=seeds,
+                records=args.records,
+                paced=args.paced,
+                memory=args.memory,
             )
         except (ClusterError, ValueError) as exc:
             print(f"racecheck failed: {exc}", file=sys.stderr)

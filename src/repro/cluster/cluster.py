@@ -22,6 +22,7 @@ from repro.core.estimator import EstimateResult
 from repro.errors import ClusterError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import IndexSpec, secondary_index_name
+from repro.lsm.memory import MemoryArbiter
 from repro.lsm.merge_policy import MergePolicy
 from repro.lsm.pacing import MergePacer
 from repro.lsm.scheduler import DEFAULT_MAX_WORKERS, make_scheduler
@@ -53,9 +54,15 @@ class LSMCluster:
         scheduler_seed: int = 0,
         scheduler_workers: int = DEFAULT_MAX_WORKERS,
         merge_pacing_rate: float | None = None,
+        memory_budget: int | None = None,
     ) -> None:
         if num_nodes < 1 or partitions_per_node < 1:
             raise ClusterError("cluster needs at least one node and partition")
+        if memory_budget is not None and memory_budget < num_nodes:
+            raise ClusterError(
+                f"memory budget of {memory_budget} bytes cannot be split "
+                f"across {num_nodes} nodes"
+            )
         self.scheduler_mode = scheduler
         self.stats_config = (
             stats_config if stats_config is not None else StatisticsConfig()
@@ -65,6 +72,7 @@ class LSMCluster:
             self.network, cache_merged=self.stats_config.cache_merged
         )
         self.nodes: list[StorageNode] = []
+        self.memory_arbiters: list[MemoryArbiter] = []
         self._partition_owner: dict[int, StorageNode] = {}
         partition_id = 0
         for node_index in range(num_nodes):
@@ -95,6 +103,18 @@ class LSMCluster:
                 if merge_pacing_rate is not None
                 else None
             )
+            # The node-level budget slice (a per-node resource, like
+            # pacing): each node arbitrates its own write arena and
+            # immutable pool, while the master cache's capacity is the
+            # sum of every node's cache share (refreshed below and on
+            # the estimate path).
+            memory_arbiter = (
+                MemoryArbiter(memory_budget // num_nodes)
+                if memory_budget is not None
+                else None
+            )
+            if memory_arbiter is not None:
+                self.memory_arbiters.append(memory_arbiter)
             node = StorageNode(
                 node_id,
                 self.network,
@@ -108,6 +128,7 @@ class LSMCluster:
                 crash_injector=crash_injector,
                 scheduler_factory=scheduler_factory,
                 merge_pacer=merge_pacer,
+                memory_arbiter=memory_arbiter,
             )
             self.nodes.append(node)
             for owned in partition_ids:
@@ -116,6 +137,7 @@ class LSMCluster:
         self._dataset_names: set[str] = set()
         self._primary_keys: dict[str, str] = {}
         self._index_specs: dict[str, list] = {}
+        self._refresh_cache_capacity()
 
     @property
     def num_partitions(self) -> int:
@@ -220,6 +242,9 @@ class LSMCluster:
         callers see maintenance errors they would otherwise miss."""
         for node in self.nodes:
             node.drain_maintenance()
+        # A write-heavy phase may have shrunk the cache share; apply the
+        # new split at the quiescent point.
+        self._refresh_cache_capacity()
 
     def shutdown(self) -> None:
         """Drain outstanding maintenance and stop the worker pools."""
@@ -257,6 +282,13 @@ class LSMCluster:
             if index_name == "primary"
             else secondary_index_name(name, index_name)
         )
+        # Estimate traffic feeds the adaptive split: an estimate-heavy
+        # phase grows every node's cache share, and the master cache's
+        # capacity tracks the new sum.
+        if self.memory_arbiters:
+            for arbiter in self.memory_arbiters:
+                arbiter.note_estimate()
+            self._refresh_cache_capacity()
         return self.master.estimate_detailed(full_name, lo, hi)
 
     def index_specs(self, name: str) -> list:
@@ -323,6 +355,31 @@ class LSMCluster:
             f"rounds ({self.statistics_backlog()} messages still parked: "
             f"{backlog})"
         )
+
+    # -- memory arbitration ---------------------------------------------------
+
+    def memory_accounted_bytes(self) -> int:
+        """Accounted bytes across every node's arbiter plus the master
+        cache (0 without a budget)."""
+        total = sum(a.accounted_bytes() for a in self.memory_arbiters)
+        if self.memory_arbiters and self.master.cache is not None:
+            total += self.master.cache.memory_bytes()
+        return total
+
+    def memory_peak_bytes(self) -> int:
+        """Sum of per-node accounted high-water marks."""
+        return sum(a.peak_bytes() for a in self.memory_arbiters)
+
+    def memory_breakdown(self) -> list[dict[str, Any]]:
+        """Per-node arbiter snapshots (pools, shares, usage)."""
+        return [a.breakdown() for a in self.memory_arbiters]
+
+    def _refresh_cache_capacity(self) -> None:
+        """Point the master cache at the sum of per-node cache shares."""
+        if self.memory_arbiters:
+            self.master.set_cache_capacity(
+                sum(a.cache_pool_bytes() for a in self.memory_arbiters)
+            )
 
     # -- internals --------------------------------------------------------------
 

@@ -69,6 +69,18 @@ class ClusterController:
         self._g_catalog_entries = obs.gauge("cluster.catalog.entries")
         network.register(node_id, self._on_message)
 
+    def set_cache_capacity(self, capacity_bytes: int | None) -> None:
+        """Re-target the merged-synopsis cache's byte bound.
+
+        The memory arbiters' share-adaptation hook (docs/MEMORY.md):
+        the cluster calls this with the sum of the per-node cache
+        pools whenever the adaptive split moves.  Shrinking evicts
+        cold entries immediately; a no-op without a cache.
+        """
+        with self._lock:
+            if self.cache is not None:
+                self.cache.set_capacity(capacity_bytes)
+
     def estimate(self, index_name: str, lo: int, hi: int) -> float:
         """Cluster-wide cardinality estimate for a key range."""
         with self._lock:

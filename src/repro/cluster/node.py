@@ -23,6 +23,7 @@ from repro.cluster.network import Network
 from repro.errors import ClusterError, NetworkUnavailableError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.memory import MemoryArbiter
 from repro.lsm.merge_policy import MergePolicy
 from repro.lsm.pacing import MergePacer
 from repro.lsm.scheduler import MaintenanceScheduler
@@ -280,6 +281,7 @@ class StorageNode:
         crash_injector: CrashInjector | None = None,
         scheduler_factory: Callable[[], MaintenanceScheduler] | None = None,
         merge_pacer: MergePacer | None = None,
+        memory_arbiter: MemoryArbiter | None = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -306,6 +308,12 @@ class StorageNode:
         # merge budget models a node-level resource.  It survives
         # restart() -- rate limits are configuration, not state.
         self.merge_pacer = merge_pacer
+        # One memory arbiter per node, shared by every partition's
+        # datasets: the byte budget models node RAM.  Like the pacer it
+        # is configuration and survives restart(); per-incarnation
+        # usage is replaced when the rebuilt datasets re-register under
+        # their (stable) lane names.
+        self.memory_arbiter = memory_arbiter
         self.disk = SimulatedDisk()
         # Restart epoch: bumped (and persisted in the superblock) by
         # every restart so the master can fence out the crashed
@@ -398,6 +406,7 @@ class StorageNode:
             scheduler=self.scheduler,
             maintenance_lane=f"{self.node_id}:{name}.p{partition_id}",
             merge_pacer=self.merge_pacer,
+            memory_arbiter=self.memory_arbiter,
         )
         if self.stats_config.enabled:
             sink = NetworkStatisticsSink(

@@ -52,6 +52,12 @@ _BULKLOAD_COUNT = 64
 #: merges actually hit the token bucket and sleep at chunk boundaries.
 PACED_MERGE_RATE = 50_000.0
 
+#: Memory-mode cluster budget (bytes).  Small enough that the scripted
+#: workload's per-dataset allowance sits *below* the 32-record memtable
+#: capacity, so arbitration-triggered early flushes genuinely fire --
+#: the image-affecting decision whose mode-invariance this proves.
+MEMORY_CHECK_BUDGET = 32_768
+
 DEFAULT_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
 """The default sweep: each seed drives one virtual-scheduler
 interleaving and one real-thread run."""
@@ -78,7 +84,10 @@ def _doc(pk: int) -> dict[str, Any]:
 
 
 def _build_cluster(
-    scheduler: str = "sync", seed: int = 0, paced: bool = False
+    scheduler: str = "sync",
+    seed: int = 0,
+    paced: bool = False,
+    memory: bool = False,
 ) -> LSMCluster:
     return LSMCluster(
         num_nodes=2,
@@ -89,6 +98,7 @@ def _build_cluster(
         scheduler=scheduler,
         scheduler_seed=seed,
         merge_pacing_rate=PACED_MERGE_RATE if paced else None,
+        memory_budget=MEMORY_CHECK_BUDGET if memory else None,
     )
 
 
@@ -202,16 +212,24 @@ def run_racecheck(
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
     records: int = 512,
     paced: bool = False,
+    memory: bool = False,
 ) -> RaceCheckReport:
     """Verify that concurrent maintenance ends bit-identical to sync.
 
     With ``paced=True`` every run (baseline included) carries a merge
     pacer, proving pacing is image-neutral: it throttles *when* merge
     chunks are processed under real threads, never what they produce.
+
+    With ``memory=True`` every run carries a deliberately tight
+    :class:`~repro.lsm.memory.MemoryArbiter` budget, proving memory
+    arbitration is image-neutral: early flushes trigger at the identical
+    record under every scheduler mode (the allowance is a pure function
+    of DML-thread state), and the pool backpressure/cache capacity
+    responses only move timing.
     """
     baseline_registry = MetricsRegistry()
     with use_registry(baseline_registry):
-        baseline_cluster = _build_cluster(paced=paced)
+        baseline_cluster = _build_cluster(paced=paced, memory=memory)
         _run_workload(baseline_cluster, records)
         baseline = _images(baseline_cluster)
 
@@ -227,6 +245,18 @@ def run_racecheck(
             f"sync baseline recorded {baseline_stalls} stall(s); "
             "synchronous maintenance can never stall on itself"
         )
+    if memory:
+        # The memory sweep is vacuous unless the tight budget actually
+        # triggered arbitration on the baseline.
+        early_flushes = baseline_registry.snapshot()["counters"].get(
+            "memory.pressure.early_flush", 0
+        )
+        if not early_flushes:
+            problems.append(
+                "memory mode ran but the baseline recorded zero early "
+                "flushes -- the budget is too generous to exercise "
+                "arbitration"
+            )
     runs = 0
     background_tasks = 0
     stalls = 0
@@ -234,7 +264,9 @@ def run_racecheck(
         for mode in ("virtual", "threads"):
             registry = MetricsRegistry()
             with use_registry(registry):
-                cluster = _build_cluster(scheduler=mode, seed=seed, paced=paced)
+                cluster = _build_cluster(
+                    scheduler=mode, seed=seed, paced=paced, memory=memory
+                )
                 label = f"{mode}[seed={seed}]"
                 try:
                     _run_workload(cluster, records)

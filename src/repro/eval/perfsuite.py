@@ -5,7 +5,7 @@ ingestion time (Fig. 2), so the speed of the ingestion/flush/merge hot
 path is a *correctness property* of this repo -- and properties need
 machine-checkable artifacts.  This module provides:
 
-* seven named microbenchmarks covering the hot paths the batched
+* nine named microbenchmarks covering the hot paths the batched
   ingestion work targets::
 
       ingest-throughput   bulkload stream -> component, stats attached
@@ -20,6 +20,13 @@ machine-checkable artifacts.  This module provides:
       concurrent-ingest   DML thread with flush/merge on background
                           workers (the overlap ratio proves ingestion
                           is never blocked for a merge's full duration)
+      stability           sustained multi-writer traffic with pacing
+                          and fair dispatch armed (the tail-latency
+                          scenario behind the stall budget)
+      memory-budget       N writers under one MemoryArbiter given half
+                          the memory their memtables would statically
+                          claim (the constrained-budget gate,
+                          docs/MEMORY.md)
 
 * a schema-versioned JSON report (``BENCH_<timestamp>.json``) with
   median/p95 over N repetitions plus environment, seed and scale, so
@@ -51,6 +58,7 @@ from repro.core.manager import StatisticsManager
 from repro.errors import BenchmarkError
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.events import EventBus
+from repro.lsm.memory import MemoryArbiter, record_footprint
 from repro.lsm.merge_policy import ConstantMergePolicy
 from repro.lsm.pacing import MergePacer
 from repro.lsm.record import Record
@@ -70,6 +78,7 @@ __all__ = [
     "BENCHMARK_NAMES",
     "SUITES",
     "STABILITY_STALL_BUDGET_SECONDS",
+    "MEMORY_BUDGET_UTILIZATION_CEILING",
     "run_suite",
     "write_report",
     "report_filename",
@@ -99,6 +108,8 @@ class PerfScale:
     repetitions: int
     stability_writers: int
     stability_records: int
+    memory_writers: int
+    memory_records: int
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -113,6 +124,8 @@ class PerfScale:
             "repetitions": self.repetitions,
             "stability_writers": self.stability_writers,
             "stability_records": self.stability_records,
+            "memory_writers": self.memory_writers,
+            "memory_records": self.memory_records,
         }
 
 
@@ -128,6 +141,8 @@ QUICK_SCALE = PerfScale(
     repetitions=3,
     stability_writers=3,
     stability_records=2_500,
+    memory_writers=3,
+    memory_records=2_500,
 )
 """The CI-friendly preset behind ``repro bench --quick`` (seconds)."""
 
@@ -143,6 +158,8 @@ FULL_SCALE = PerfScale(
     repetitions=5,
     stability_writers=4,
     stability_records=8_000,
+    memory_writers=4,
+    memory_records=8_000,
 )
 """The default preset (a minute or two)."""
 
@@ -169,6 +186,10 @@ METRIC_SPECS: dict[str, tuple[str, str]] = {
     "ingest.latency.p99": ("s", "lower"),
     "ingest.latency.p999": ("s", "lower"),
     "ingest.stall.max_window": ("s", "lower"),
+    "memory.ingest.throughput": ("records/s", "higher"),
+    "memory.peak.utilization": ("ratio", "lower"),
+    "memory.ingest.p99": ("s", "lower"),
+    "memory.stall.max_window": ("s", "lower"),
 }
 
 BENCHMARK_NAMES = (
@@ -180,6 +201,7 @@ BENCHMARK_NAMES = (
     "wal-replay",
     "concurrent-ingest",
     "stability",
+    "memory-budget",
 )
 """The named microbenchmarks, in execution order."""
 
@@ -205,11 +227,16 @@ METRIC_SOURCES: dict[str, str] = {
     "ingest.latency.p99": "stability",
     "ingest.latency.p999": "stability",
     "ingest.stall.max_window": "stability",
+    "memory.ingest.throughput": "memory-budget",
+    "memory.peak.utilization": "memory-budget",
+    "memory.ingest.p99": "memory-budget",
+    "memory.stall.max_window": "memory-budget",
 }
 
 SUITES: dict[str, tuple[str, ...]] = {
     "all": BENCHMARK_NAMES,
     "stability": ("stability",),
+    "memory-budget": ("memory-budget",),
 }
 """Named benchmark subsets for ``repro bench --suite``."""
 
@@ -218,8 +245,15 @@ STABILITY_STALL_BUDGET_SECONDS = 0.5
 scenario: no insert may ever block for more than this, regardless of
 how much merge work is queued behind it (docs/BENCHMARKING.md)."""
 
+MEMORY_BUDGET_UTILIZATION_CEILING = 1.0
+"""Hard ceiling on ``memory.peak.utilization`` in the memory-budget
+scenario: the arbiter's accounted peak must never exceed the configured
+budget (docs/MEMORY.md)."""
+
 _BUDGET_CEILINGS: dict[str, float] = {
     "ingest.stall.max_window": STABILITY_STALL_BUDGET_SECONDS,
+    "memory.peak.utilization": MEMORY_BUDGET_UTILIZATION_CEILING,
+    "memory.stall.max_window": STABILITY_STALL_BUDGET_SECONDS,
 }
 
 
@@ -594,6 +628,106 @@ def _bench_stability(
     }
 
 
+#: Memory-budget scenario memtable capacity (records).  Deliberately
+#: larger than the arbiter will ever let a memtable grow: the scenario's
+#: point is that arbitration -- not the static capacity -- bounds the
+#: write arena.
+_MEMORY_BENCH_CAPACITY = 512
+
+
+def _bench_memory_budget(
+    scale: PerfScale, seed: int, timer: Callable[[], float]
+) -> dict[str, float]:
+    """N concurrent writers under one :class:`MemoryArbiter` whose
+    budget is *half* what the writers' fixed-capacity memtables would
+    statically claim -- the constrained-budget gate (docs/MEMORY.md).
+
+    Each writer drives its own dataset; all datasets share one bounded
+    worker pool and the one arbiter, so every active memtable competes
+    for the same write arena and arbitration-triggered early flushes
+    are what keep the total inside the budget.  Every insert is timed
+    individually:
+
+    * ``memory.peak.utilization`` -- the arbiter's accounted peak over
+      its budget; :func:`check_budgets` fails the run above
+      :data:`MEMORY_BUDGET_UTILIZATION_CEILING` (= 1.0: the budget is
+      a promise, not a suggestion);
+    * ``memory.stall.max_window`` -- the single worst insert, gated by
+      the same stall budget as the stability scenario (pressure may
+      flush early and wait on the immutable pool, but must never
+      freeze a writer);
+    * ``memory.ingest.throughput`` / ``memory.ingest.p99`` -- the cost
+      of running inside half the memory.
+    """
+    writers = scale.memory_writers
+    per_writer = scale.memory_records
+    step = 514_229  # coprime with any power of two
+    doc_bytes = record_footprint(Record.matter(0, {"id": 0}))
+    budget = writers * _MEMORY_BENCH_CAPACITY * doc_bytes // 2
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        arbiter = MemoryArbiter(budget)
+        scheduler = make_scheduler("threads")
+        datasets = [
+            Dataset(
+                f"bench.memory.{writer}",
+                SimulatedDisk(),
+                primary_key="id",
+                primary_domain=_DOMAIN,
+                memtable_capacity=_MEMORY_BENCH_CAPACITY,
+                merge_policy=ConstantMergePolicy(max_components=4),
+                scheduler=scheduler,
+                maintenance_lane=f"memory.{writer}",
+                memory_arbiter=arbiter,
+            )
+            for writer in range(writers)
+        ]
+        latencies: list[list[float]] = [[] for _ in range(writers)]
+
+        def run_writer(writer: int) -> None:
+            dataset = datasets[writer]
+            observed = latencies[writer].append
+            for i in range(per_writer):
+                op_started = timer()
+                dataset.insert({"id": (seed + writer + i * step) % _DOMAIN.length})
+                observed(timer() - op_started)
+
+        threads = [
+            threading.Thread(target=run_writer, args=(writer,))
+            for writer in range(writers)
+        ]
+        started = timer()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = max(timer() - started, 1e-9)
+        for dataset in datasets:
+            dataset.flush()  # drain barrier
+        scheduler.drain()
+        scheduler.shutdown()
+        peak = arbiter.peak_bytes()
+        early_flushes = registry.snapshot()["counters"].get(
+            "memory.pressure.early_flush", 0
+        )
+    # Half the static arena must actually squeeze: a scenario where no
+    # early flush fired is not measuring arbitration at all.
+    assert early_flushes > 0, (
+        "memory-budget scenario ran without a single arbitration-"
+        "triggered early flush -- budget too generous for the workload"
+    )
+    total_ops = writers * per_writer
+    flat = sorted(
+        latency for per_writer_samples in latencies for latency in per_writer_samples
+    )
+    return {
+        "memory.ingest.throughput": total_ops / elapsed,
+        "memory.peak.utilization": peak / budget,
+        "memory.ingest.p99": _percentile(flat, 0.99),
+        "memory.stall.max_window": flat[-1],
+    }
+
+
 _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "ingest-throughput": _bench_ingest,
     "flush-latency": _bench_flush,
@@ -603,6 +737,7 @@ _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "wal-replay": _bench_wal_replay,
     "concurrent-ingest": _bench_concurrent_ingest,
     "stability": _bench_stability,
+    "memory-budget": _bench_memory_budget,
 }
 
 
@@ -786,12 +921,13 @@ def compare_reports(
 
 
 def check_budgets(report: dict[str, Any]) -> list[str]:
-    """The absolute stall-budget gate (orthogonal to the relative
-    baseline gate): a budgeted metric fails when its *worst* sample --
-    not the median -- exceeds its documented ceiling, because a single
-    over-budget stall window is exactly the event the stability work
-    promises cannot happen.  Returns violation descriptions (empty =
-    pass); metrics absent from the report are not checked.
+    """The absolute budget gate (orthogonal to the relative baseline
+    gate): a budgeted metric fails when its *worst* sample -- not the
+    median -- exceeds its documented ceiling, because a single
+    over-budget stall window or over-budget memory peak is exactly the
+    event the stability/arbitration work promises cannot happen.
+    Returns violation descriptions (empty = pass); metrics absent from
+    the report are not checked.
     """
     violations = []
     for name, ceiling in _BUDGET_CEILINGS.items():
@@ -801,9 +937,11 @@ def check_budgets(report: dict[str, Any]) -> list[str]:
         samples = entry.get("samples") or [entry["median"]]
         worst = max(float(sample) for sample in samples)
         if worst > ceiling:
+            unit = METRIC_SPECS.get(name, ("", "lower"))[0]
+            suffix = unit if unit != "ratio" else ""
             violations.append(
-                f"{name}: worst sample {worst:.6g}s exceeds the "
-                f"{ceiling:g}s stall budget"
+                f"{name}: worst sample {worst:.6g}{suffix} exceeds the "
+                f"{ceiling:g}{suffix} budget ceiling"
             )
     return violations
 

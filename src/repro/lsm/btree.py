@@ -134,6 +134,14 @@ class DiskBTree:
         """Total pages occupied by the tree."""
         return self._file.num_pages
 
+    def memory_bytes(self) -> int:
+        """Accounted *resident* footprint (docs/MEMORY.md): the handle
+        plus per-page metadata.  Pages themselves live on the simulated
+        disk and are charged as I/O, not memory; what a real engine
+        keeps resident per open component is the file handle and page
+        table, modelled as a fixed 64 bytes plus 16 per page."""
+        return 64 + 16 * self._file.num_pages
+
     @property
     def file_id(self) -> int:
         """Id of the backing file on the simulated disk."""

@@ -107,6 +107,18 @@ class DiskComponent:
         """Total entries, matter plus anti-matter."""
         return self.matter_count + self.antimatter_count
 
+    def memory_bytes(self) -> int:
+        """Accounted resident footprint: bloom filter bits plus the
+        B-tree handle/page metadata plus fixed component bookkeeping
+        (docs/MEMORY.md).  O(1)."""
+        bloom_bytes = self.bloom.memory_bytes() if self.bloom is not None else 0
+        return 48 + bloom_bytes + self.btree.memory_bytes()
+
+    def bloom_bytes(self) -> int:
+        """The bloom filter's share of :meth:`memory_bytes` (the arbiter
+        tracks filters as their own pool)."""
+        return self.bloom.memory_bytes() if self.bloom is not None else 0
+
     @property
     def min_key(self) -> Any:
         """Smallest key stored, or None when empty."""

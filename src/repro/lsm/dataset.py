@@ -28,6 +28,7 @@ from repro.lsm.component import DiskComponent
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.events import EventBus
 from repro.lsm.manifest import Manifest
+from repro.lsm.memory import MemoryArbiter
 from repro.lsm.merge_policy import MergePolicy, NoMergePolicy
 from repro.lsm.pacing import MergePacer
 from repro.lsm.record import Record
@@ -182,6 +183,7 @@ class Dataset:
         max_pending_flushes: int = DEFAULT_MAX_PENDING_FLUSHES,
         maintenance_lane: str | None = None,
         merge_pacer: MergePacer | None = None,
+        memory_arbiter: MemoryArbiter | None = None,
     ) -> None:
         self.name = name
         self.primary_key = primary_key
@@ -221,6 +223,15 @@ class Dataset:
         self.merge_pacer = merge_pacer
         if merge_pacer is not None:
             merge_pacer.set_blocking(self._scheduler.mode == "threads")
+        # Memory arbitration (repro.lsm.memory).  The dataset registers
+        # under its lane name (unique per node/partition) and publishes
+        # pool breakdowns at write/flush/merge boundaries; the arbiter's
+        # early-flush allowance is consulted on the DML thread only, so
+        # arbitration replays identically under every scheduler mode
+        # (docs/MEMORY.md).
+        self._memory_arbiter = memory_arbiter
+        if memory_arbiter is not None:
+            memory_arbiter.register_dataset(self._lane)
         # Per-operation ingest latency (docs/OBSERVABILITY.md): the
         # wall-clock time a writer spends inside one DML call, stalls
         # and inline maintenance included -- the tail of this histogram
@@ -418,6 +429,7 @@ class Dataset:
                 self.flush()
         for tree in self._all_trees():
             tree.run_pending_merges()
+        self._publish_memory()
 
     def live_file_ids(self) -> set[int]:
         """Disk files this dataset still references (components plus
@@ -632,6 +644,7 @@ class Dataset:
         if self._manifest is not None:
             assert txn is not None
             self._manifest.commit_txn(txn)
+        self._publish_memory()
 
     def flush(self) -> list[DiskComponent]:
         """Force-flush all indexes of the dataset together.
@@ -661,6 +674,7 @@ class Dataset:
                 component = tree.flush()
                 if component is not None:
                     flushed.append(component)
+            self._publish_memory()
             return flushed
         if not any(tree.memtable for tree in self._all_trees()):
             return []
@@ -677,6 +691,7 @@ class Dataset:
             self._wal.truncate()
         for tree in self._all_trees():
             tree.run_pending_merges()
+        self._publish_memory()
         return flushed
 
     # -- background maintenance -------------------------------------------
@@ -700,6 +715,16 @@ class Dataset:
         self._scheduler.wait(
             lambda: self.primary.immutable_count < self.max_pending_flushes
         )
+        # Arbiter backpressure: when sealed memtables overflow the
+        # immutable pool, wait for background flushes to drain it.
+        # Timing-only -- the wait changes when rotations proceed, never
+        # what flushes produce -- and progress is guaranteed: queued
+        # flush tasks shrink the pool, and the wait returns as soon as
+        # no background work is pending.
+        arbiter = self._memory_arbiter
+        if arbiter is not None and not arbiter.immutable_within_pool():
+            arbiter.note_pressure_stall()
+            self._scheduler.wait(arbiter.immutable_within_pool)
         with self._dml_lock:
             rotated = False
             for tree in self._all_trees():
@@ -741,6 +766,7 @@ class Dataset:
                 with self._dml_lock:
                     if all(t.fully_flushed for t in trees):
                         self._wal.truncate()
+        self._publish_memory()
         # Merges continue at the *front* of the lane so the merge
         # decisions triggered by this flush happen before the next
         # queued flush installs -- the synchronous decision sequence.
@@ -755,6 +781,7 @@ class Dataset:
         datasets' tasks interleave between merges."""
         for tree in self._all_trees():
             if tree.merge_once() is not None:
+                self._publish_memory()
                 self._scheduler.submit(
                     self._merge_continuation,
                     lane=self._lane,
@@ -783,11 +810,58 @@ class Dataset:
 
     def _after_write(self) -> None:
         self._pending_writes += 1
-        if self._pending_writes >= self.memtable_capacity:
+        arbiter = self._memory_arbiter
+        flush_now = self._pending_writes >= self.memtable_capacity
+        if arbiter is not None:
+            arbiter.note_write()
+            if not flush_now:
+                # The early-flush trigger reads only active-memtable
+                # bytes -- DML-thread state -- so sync, virtual and
+                # threaded runs rotate at the identical record
+                # (docs/MEMORY.md determinism contract).
+                active = sum(
+                    tree.memtable.memory_bytes() for tree in self._all_trees()
+                )
+                if arbiter.should_early_flush(active):
+                    arbiter.note_early_flush()
+                    flush_now = True
+        if flush_now:
             if self._scheduler.inline:
                 self.flush()
             else:
                 self.schedule_flush()
+        if arbiter is not None:
+            self._publish_memory()
+
+    def _publish_memory(self) -> None:
+        """Push this dataset's pool breakdown to the arbiter (called at
+        write/flush/merge/recovery boundaries, from any thread)."""
+        arbiter = self._memory_arbiter
+        if arbiter is None:
+            return
+        active = immutable = bloom = resident = 0
+        for tree in self._all_trees():
+            tree_active, tree_immutable, tree_bloom, tree_resident = (
+                tree.memory_breakdown()
+            )
+            active += tree_active
+            immutable += tree_immutable
+            bloom += tree_bloom
+            resident += tree_resident
+        arbiter.update_usage(self._lane, active, immutable, bloom, resident)
+
+    def memory_breakdown(self) -> tuple[int, int, int, int]:
+        """Accounted bytes as ``(active, immutable, bloom, resident)``
+        summed over every index tree."""
+        totals = [0, 0, 0, 0]
+        for tree in self._all_trees():
+            for i, value in enumerate(tree.memory_breakdown()):
+                totals[i] += value
+        return tuple(totals)  # type: ignore[return-value]
+
+    def memory_bytes(self) -> int:
+        """Total accounted footprint of this dataset."""
+        return sum(self.memory_breakdown())
 
     # -- read path ----------------------------------------------------------
 

@@ -14,6 +14,7 @@ import itertools
 from typing import Any, Iterator
 
 from repro.lsm.columnar import ColumnarChunk
+from repro.lsm.memory import record_footprint
 from repro.lsm.record import Record
 from repro.util.sortedmap import SortedMap
 
@@ -28,6 +29,7 @@ class MemTable:
         self._min_seqnum: int | None = None
         self._max_seqnum: int | None = None
         self._antimatter_count = 0
+        self._memory_bytes = 0
 
     def __len__(self) -> int:
         return len(self._map)
@@ -47,13 +49,26 @@ class MemTable:
             return None
         return self._min_seqnum, self._max_seqnum
 
+    def memory_bytes(self) -> int:
+        """Accounted footprint, maintained incrementally on every write
+        (docs/MEMORY.md size model -- never an O(n) walk)."""
+        return self._memory_bytes
+
+    def recompute_memory_bytes(self) -> int:
+        """Ground-truth O(n) recount (test oracle for the incremental
+        counter; never called on the ingest path)."""
+        return sum(record_footprint(record) for record in self._map.values())
+
     def write(self, record: Record) -> None:
         """Apply a write; the newest entry per key replaces older ones."""
         old = self._map.get(record.key)
-        if old is not None and old.antimatter:
-            self._antimatter_count -= 1
+        if old is not None:
+            if old.antimatter:
+                self._antimatter_count -= 1
+            self._memory_bytes -= record_footprint(old)
         if record.antimatter:
             self._antimatter_count += 1
+        self._memory_bytes += record_footprint(record)
         self._map.put(record.key, record)
         if self._min_seqnum is None:
             self._min_seqnum = record.seqnum
@@ -114,3 +129,4 @@ class MemTable:
         self._min_seqnum = None
         self._max_seqnum = None
         self._antimatter_count = 0
+        self._memory_bytes = 0

@@ -302,6 +302,27 @@ class LSMTree:
         with self._lock:
             return len(self._immutables)
 
+    def memory_breakdown(self) -> tuple[int, int, int, int]:
+        """Accounted bytes as ``(active, immutable, bloom, resident)``
+        (docs/MEMORY.md pools).  Memtable bytes are incremental counters
+        and the component list is policy-bounded, so this is a handful
+        of int reads under the tree lock -- cheap enough for the write
+        path to publish after every operation."""
+        with self._lock:
+            active = self.memtable.memory_bytes()
+            immutable = sum(m.memory_bytes() for m in self._immutables)
+            bloom = 0
+            resident = 0
+            for component in self._components:
+                component_bloom = component.bloom_bytes()
+                bloom += component_bloom
+                resident += component.memory_bytes() - component_bloom
+        return active, immutable, bloom, resident
+
+    def memory_bytes(self) -> int:
+        """Total accounted footprint across every pool."""
+        return sum(self.memory_breakdown())
+
     @property
     def fully_flushed(self) -> bool:
         """True when every acknowledged write is in a disk component

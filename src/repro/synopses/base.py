@@ -251,6 +251,15 @@ class SynopsisBuilder(ABC):
         self._last_value = chunk[-1]
         self._add_many(chunk)
 
+    def memory_bytes(self) -> int:
+        """Accounted transient footprint while the builder rides a
+        flush/merge (docs/MEMORY.md): the budget-element state at 16
+        bytes per element plus a fixed header -- the same like-for-like
+        accounting as :meth:`Synopsis.payload_bytes`.  Builders whose
+        working set exceeds their budget elements (e.g. buffering
+        quantile sketches) override this."""
+        return 64 + 16 * self.budget
+
     def build(self) -> Synopsis:
         """Finalise and return the synopsis (single use)."""
         if self._built:

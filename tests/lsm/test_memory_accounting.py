@@ -1,0 +1,164 @@
+"""Property tests for the memory arbiter's accounting invariant.
+
+docs/MEMORY.md promises that the arbiter's accounted total equals the
+ground-truth sum of component ``memory_bytes()`` at every quiescent
+point, under every scheduler mode.  Hypothesis drives random
+insert/delete/flush/cache interleavings (with a budget tight enough
+that early flushes and immutable-pool backpressure genuinely fire) and
+checks exactly that, plus the memtable's incremental byte counter
+against its O(n) recompute oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.cache import MergedSynopsisCache
+from repro.errors import ConfigurationError
+from repro.lsm.dataset import Dataset, IndexSpec
+from repro.lsm.memory import MemoryArbiter, record_footprint
+from repro.lsm.merge_policy import ConstantMergePolicy
+from repro.lsm.record import Record
+from repro.lsm.scheduler import make_scheduler
+from repro.lsm.storage import SimulatedDisk
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.synopses import SynopsisType, create_builder
+from repro.types import Domain
+
+#: Tight enough that the per-dataset allowance sits below the memtable
+#: capacity (early flushes fire) and two sealed memtables overflow the
+#: immutable pool (backpressure waits fire).
+_BUDGET = 8_192
+_CAPACITY = 32
+
+# An op is a (kind, argument) pair; the argument is reinterpreted per
+# kind (primary key, dataset index, cache slot).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "delete", "flush", "cache_put", "cache_drop", "estimate"]
+        ),
+        st.integers(0, 40),
+    ),
+    max_size=60,
+)
+
+
+def _synopsis():
+    return create_builder(SynopsisType.EQUI_WIDTH, Domain(0, 9), 4, 0).build()
+
+
+def _ground_truth(datasets, cache):
+    return sum(d.memory_bytes() for d in datasets) + cache.memory_bytes()
+
+
+@pytest.mark.parametrize("mode", ["sync", "virtual", "threads"])
+@settings(max_examples=25, deadline=None)
+@given(ops=_OPS)
+def test_accounted_total_equals_component_sum(mode, ops):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        arbiter = MemoryArbiter(_BUDGET)
+        cache = MergedSynopsisCache()
+        arbiter.attach_cache(cache)
+        scheduler = make_scheduler(mode, seed=7)
+        datasets = [
+            Dataset(
+                f"acct{i}",
+                SimulatedDisk(),
+                primary_key="id",
+                primary_domain=Domain(0, 1000),
+                indexes=[IndexSpec("value_idx", "value", Domain(0, 99))],
+                memtable_capacity=_CAPACITY,
+                merge_policy=ConstantMergePolicy(max_components=3),
+                scheduler=scheduler,
+                maintenance_lane=f"acct.{i}",
+                memory_arbiter=arbiter,
+            )
+            for i in range(2)
+        ]
+        try:
+            version = 0
+            live: list[set[int]] = [set(), set()]
+            for kind, arg in ops:
+                target = arg % 2
+                dataset, keys = datasets[target], live[target]
+                if kind == "insert":
+                    if arg in keys:
+                        dataset.update({"id": arg, "value": arg % 100})
+                    else:
+                        dataset.insert({"id": arg, "value": arg % 100})
+                        keys.add(arg)
+                elif kind == "delete":
+                    dataset.delete(arg)
+                    keys.discard(arg)
+                elif kind == "flush":
+                    dataset.flush()
+                elif kind == "cache_put":
+                    version += 1
+                    cache.put(f"idx{arg % 5}", _synopsis(), _synopsis(), version)
+                elif kind == "cache_drop":
+                    cache.invalidate(f"idx{arg % 5}")
+                elif kind == "estimate":
+                    # Estimate traffic re-balances the adaptive split
+                    # mid-run; the invariant must survive the new pools.
+                    arbiter.note_estimate(16)
+            for dataset in datasets:
+                dataset.flush()
+                dataset.drain_maintenance()
+        finally:
+            scheduler.shutdown()
+
+        # Quiescent: the arbiter's incremental view must equal the
+        # ground-truth sum of component footprints...
+        assert arbiter.accounted_bytes() == _ground_truth(datasets, cache)
+        assert arbiter.peak_bytes() >= arbiter.accounted_bytes()
+        # ...and every memtable's running counter must match its O(n)
+        # recompute oracle.
+        for dataset in datasets:
+            trees = [dataset.primary, dataset.secondary_tree("value_idx")]
+            for tree in trees:
+                assert (
+                    tree.memtable.memory_bytes()
+                    == tree.memtable.recompute_memory_bytes()
+                )
+
+
+def test_record_footprint_is_deterministic():
+    assert record_footprint(Record.matter(1, {"id": 1})) == record_footprint(
+        Record.matter(2, {"id": 2})
+    )
+    # Wider documents cost more; tombstones cost less than documents.
+    assert record_footprint(
+        Record.matter(1, {"id": 1, "value": 2})
+    ) > record_footprint(Record.matter(1, {"id": 1}))
+    assert record_footprint(Record.anti(1)) < record_footprint(
+        Record.matter(1, {"id": 1})
+    )
+
+
+def test_arbiter_rejects_non_positive_budget():
+    with pytest.raises(ConfigurationError):
+        MemoryArbiter(0)
+
+
+def test_early_flush_decision_is_a_pure_allowance_comparison():
+    arbiter = MemoryArbiter(_BUDGET, registry=MetricsRegistry())
+    arbiter.register_dataset("a")
+    allowance = arbiter.write_allowance()
+    assert not arbiter.should_early_flush(allowance)
+    assert arbiter.should_early_flush(allowance + 1)
+
+
+def test_rebalance_moves_the_split_toward_the_traffic():
+    registry = MetricsRegistry()
+    arbiter = MemoryArbiter(1 << 20, registry=registry)
+    arbiter.register_dataset("a")
+    for _ in range(2 * MemoryArbiter.REBALANCE_OPS):
+        arbiter.note_write()
+    write_heavy_pool = arbiter.write_pool_bytes()
+    for _ in range(8 * MemoryArbiter.REBALANCE_OPS):
+        arbiter.note_estimate()
+    estimate_heavy_pool = arbiter.write_pool_bytes()
+    assert write_heavy_pool > estimate_heavy_pool
+    assert registry.snapshot()["counters"]["memory.rebalance.count"] >= 2
