@@ -47,6 +47,15 @@ and a sweep of estimates -- to the synchronous baseline::
     python -m repro racecheck --quick --paced  # with merge pacing armed
     python -m repro racecheck --quick --memory  # with a tight memory budget
 
+The ``servecheck`` subcommand exercises the resilient serving layer:
+a seeded changestream feed is killed mid-consumption and must resume
+from its durable cursor bit-identically (with feed faults armed), and
+a bounded concurrent estimate service is saturated and must shed load
+with typed rejections -- no deadlocks, no unbounded queues::
+
+    python -m repro servecheck
+    python -m repro servecheck --seed 7 --records 1024
+
 The ``bench`` subcommand runs the perf suite (ingest-throughput,
 flush-latency, merge-throughput, estimate-latency, network-ship, the
 multi-writer ``stability`` tail-latency scenario, ...), writes a
@@ -94,6 +103,10 @@ from repro.cluster.racecheck import (
     QUICK_SEEDS,
     format_report as format_race_report,
     run_racecheck,
+)
+from repro.cluster.servecheck import (
+    format_report as format_serve_report,
+    run_servecheck,
 )
 from repro.errors import ClusterError
 from repro.eval.experiments.common import ExperimentScale
@@ -308,6 +321,25 @@ def main(argv: list[str] | None = None) -> int:
         "flushes are image-neutral across scheduler modes",
     )
 
+    serve_parser = subparsers.add_parser(
+        "servecheck",
+        help="seeded serving chaos: verify crash-resumable feeds "
+        "converge from their durable cursors and the bounded estimate "
+        "service sheds overload with typed rejections",
+    )
+    serve_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="feed/fault/kill RNG seed (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--records",
+        type=int,
+        default=512,
+        help="changestream records per run (default: 512)",
+    )
+
     bench_parser = subparsers.add_parser(
         "bench",
         help="run the perf suite, write a BENCH_<timestamp>.json report, "
@@ -404,6 +436,17 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(format_crash_report(crash_report))
         return 0 if crash_report.converged else 1
+
+    if args.command == "servecheck":
+        try:
+            serve_report = run_servecheck(
+                seed=args.seed, records=args.records
+            )
+        except (ClusterError, ValueError) as exc:
+            print(f"servecheck failed: {exc}", file=sys.stderr)
+            return 1
+        print(format_serve_report(serve_report))
+        return 0 if serve_report.converged else 1
 
     if args.command == "racecheck":
         if args.seed is not None:

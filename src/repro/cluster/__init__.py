@@ -2,13 +2,23 @@
 
 from repro.cluster.cluster import LSMCluster
 from repro.cluster.faultcheck import FaultCheckReport, format_report, run_faultcheck
-from repro.cluster.faults import FaultPlan, LinkFaults
+from repro.cluster.faults import (
+    FaultPlan,
+    FeedFaultPlan,
+    FeedFaults,
+    LinkFaults,
+)
 from repro.cluster.feeds import (
     ChangeableFeed,
+    ChangestreamFeed,
     DatasetFeedAdapter,
+    FeedConsumerStats,
+    FeedCursorStore,
     FeedOperation,
     FeedRecord,
     FileFeed,
+    ReplayableStreamFeed,
+    ResumableFeedConsumer,
     SocketFeed,
 )
 from repro.cluster.master import ClusterController
@@ -16,6 +26,11 @@ from repro.cluster.network import Network, NetworkStats
 from repro.cluster.node import NetworkStatisticsSink, RetryPolicy, StorageNode
 from repro.cluster.partitioner import HashPartitioner
 from repro.cluster.query import DistributedQueryExecutor, DistributedQueryResult
+from repro.cluster.servecheck import (
+    ServeCheckReport,
+    run_servecheck,
+)
+from repro.cluster.serving import EstimateService
 
 __all__ = [
     "LSMCluster",
@@ -26,17 +41,27 @@ __all__ = [
     "NetworkStats",
     "FaultPlan",
     "LinkFaults",
+    "FeedFaults",
+    "FeedFaultPlan",
     "RetryPolicy",
     "FaultCheckReport",
     "run_faultcheck",
     "format_report",
+    "ServeCheckReport",
+    "run_servecheck",
     "HashPartitioner",
     "DistributedQueryExecutor",
     "DistributedQueryResult",
     "SocketFeed",
     "FileFeed",
     "ChangeableFeed",
+    "ChangestreamFeed",
+    "ReplayableStreamFeed",
     "DatasetFeedAdapter",
     "FeedOperation",
     "FeedRecord",
+    "FeedCursorStore",
+    "FeedConsumerStats",
+    "ResumableFeedConsumer",
+    "EstimateService",
 ]

@@ -291,6 +291,24 @@ class LSMCluster:
             self._refresh_cache_capacity()
         return self.master.estimate_detailed(full_name, lo, hi)
 
+    def estimate_degraded(
+        self, name: str, index_name: str, lo: int, hi: int
+    ) -> EstimateResult | None:
+        """A degraded (possibly-stale) estimate served under overload.
+
+        Answers from the master's cached merged synopsis regardless of
+        staleness (``None`` when nothing is cached).  Deliberately does
+        *not* feed the memory arbiters' estimate-traffic signal: shed
+        load must not grow the cache share.
+        """
+        self._check_dataset(name)
+        full_name = (
+            secondary_index_name(name, "primary")
+            if index_name == "primary"
+            else secondary_index_name(name, index_name)
+        )
+        return self.master.estimate_degraded(full_name, lo, hi)
+
     def index_specs(self, name: str) -> list:
         """The index declarations of a dataset (as created)."""
         self._check_dataset(name)

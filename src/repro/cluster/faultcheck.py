@@ -15,6 +15,16 @@ failures (the sink never blocks ingestion), both runs build identical
 components; any divergence therefore indicts the transport -- a lost,
 duplicated, reordered or resurrected statistics message that the
 retry/idempotency machinery failed to absorb.
+
+The chaos run's ingest travels the *feed path*: a
+:class:`~repro.cluster.feeds.ResumableFeedConsumer` drains a
+changestream source with a seeded
+:class:`~repro.cluster.faults.FeedFaultPlan` armed (injected
+disconnects, partial batches, duplicate deliveries), so feed faults and
+wire faults compose in one seeded run.  The consumer's dedup and
+reconnect machinery must absorb the feed chaos exactly as the sink
+absorbs the wire chaos -- the applied operation sequence, and therefore
+every component, stays identical to the baseline's.
 """
 
 from __future__ import annotations
@@ -22,7 +32,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import LSMCluster
-from repro.cluster.faults import FaultPlan, LinkFaults
+from repro.cluster.faults import FaultPlan, FeedFaultPlan, FeedFaults, LinkFaults
+from repro.cluster.feeds import (
+    ChangestreamFeed,
+    DatasetFeedAdapter,
+    FeedCursorStore,
+    FeedOperation,
+    FeedRecord,
+    ResumableFeedConsumer,
+)
 from repro.cluster.node import RetryPolicy
 from repro.core.config import StatisticsConfig
 from repro.lsm.dataset import IndexSpec
@@ -49,6 +67,8 @@ class FaultCheckReport:
     delayed: int
     retries: int
     duplicates_skipped: int
+    feed_disconnects: int
+    feed_deduplicated: int
     problems: tuple[str, ...]
 
 
@@ -71,14 +91,31 @@ def _build_cluster(fault_plan: FaultPlan | None) -> LSMCluster:
     return cluster
 
 
-def _ingest(cluster: LSMCluster, records: int) -> None:
-    """Deterministic ingest: inserts, deletes (anti-matter), flushes --
-    enough flush/merge traffic to exercise publishes and retracts."""
-    for pk in range(records):
-        cluster.insert("chaos", {"id": pk, "value": (pk * 13) % 1024})
-    for pk in range(0, records, 17):
-        cluster.delete("chaos", pk)
-    cluster.flush_all("chaos")
+def _ingest(
+    cluster: LSMCluster, records: int, feed_plan: FeedFaultPlan | None = None
+) -> None:
+    """Deterministic ingest through the feed path: inserts, deletes
+    (anti-matter) and a final flush -- enough flush/merge traffic to
+    exercise publishes and retracts.  With a ``feed_plan`` the
+    changestream transport injects disconnects, partial batches and
+    duplicate deliveries, which the consumer must absorb without
+    changing the applied operation sequence."""
+    ops = [
+        FeedRecord(
+            FeedOperation.INSERT, {"id": pk, "value": (pk * 13) % 1024}
+        )
+        for pk in range(records)
+    ] + [
+        FeedRecord(FeedOperation.DELETE, {"id": pk})
+        for pk in range(0, records, 17)
+    ]
+    consumer = ResumableFeedConsumer(
+        ChangestreamFeed("chaos_ingest", ops, fault_plan=feed_plan),
+        DatasetFeedAdapter(cluster, "chaos"),
+        FeedCursorStore(cluster.nodes[0].disk),
+        retry_policy=RetryPolicy.immediate(max_attempts=5),
+    )
+    consumer.run()
 
 
 def _catalog_image(cluster: LSMCluster) -> dict:
@@ -122,6 +159,8 @@ def run_faultcheck(
     duplicate: float = 0.10,
     reorder: float = 0.10,
     delay: float = 0.05,
+    feed_disconnect: float = 0.03,
+    feed_duplicate: float = 0.05,
 ) -> FaultCheckReport:
     """Run the chaos ingest and verify convergence to the baseline."""
     # Each run gets its own registry so the chaos run's fault metrics
@@ -140,10 +179,14 @@ def run_faultcheck(
         # sinks must degrade gracefully and flush the backlog after.
         unavailable={"cc": [(40, 80)]},
     )
+    feed_plan = FeedFaultPlan(
+        seed=seed,
+        faults=FeedFaults(disconnect=feed_disconnect, duplicate=feed_duplicate),
+    )
     chaos_registry = MetricsRegistry()
     with use_registry(chaos_registry):
         chaotic = _build_cluster(fault_plan=plan)
-        _ingest(chaotic, records)
+        _ingest(chaotic, records, feed_plan=feed_plan)
         recovery_rounds = chaotic.recover_statistics()
 
     problems: list[str] = []
@@ -192,6 +235,8 @@ def run_faultcheck(
         delayed=counters.get("network.delayed", 0),
         retries=counters.get("sink.retries", 0),
         duplicates_skipped=counters.get("cluster.stats.duplicates", 0),
+        feed_disconnects=counters.get("feed.source.disconnects", 0),
+        feed_deduplicated=counters.get("feed.records.deduplicated", 0),
         problems=tuple(problems),
     )
 
@@ -204,6 +249,8 @@ def format_report(report: FaultCheckReport) -> str:
         f"  absorbed: retries={report.retries}"
         f" duplicates_skipped={report.duplicates_skipped}"
         f" recovery_rounds={report.recovery_rounds}",
+        f"  feed chaos: disconnects={report.feed_disconnects}"
+        f" deduplicated={report.feed_deduplicated}",
         f"  catalog entries: {report.catalog_entries}",
     ]
     if report.converged:

@@ -32,7 +32,14 @@ import random
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["LinkFaults", "FaultDecision", "FaultPlan"]
+__all__ = [
+    "LinkFaults",
+    "FaultDecision",
+    "FaultPlan",
+    "FeedFaults",
+    "FeedFaultDecision",
+    "FeedFaultPlan",
+]
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -163,3 +170,76 @@ class FaultPlan:
                 FaultDecision.HOLD, duplicate, tick + 1, reason="reordered"
             )
         return FaultDecision(FaultDecision.DELIVER, duplicate)
+
+
+@dataclass(frozen=True)
+class FeedFaults:
+    """Fault probabilities of one upstream data feed.
+
+    The feed transport misbehaves differently from the statistics wire:
+    it does not reorder (a feed is a log, delivered in sequence), but it
+    disconnects mid-batch and re-delivers records after a reconnect.
+
+    Attributes:
+        disconnect: Chance, per delivered record, that the transport
+            drops *after* this record -- the rest of the batch is lost
+            (a partial batch) and the next read raises
+            :class:`~repro.errors.FeedDisconnectedError` until the
+            consumer reconnects.
+        duplicate: Chance a delivered record is immediately delivered
+            a second time (at-least-once transport re-send).
+    """
+
+    disconnect: float = 0.0
+    duplicate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("disconnect", "duplicate"):
+            _check_probability(name, getattr(self, name))
+
+    @property
+    def faulty(self) -> bool:
+        """Whether any fault has a non-zero probability."""
+        return bool(self.disconnect or self.duplicate)
+
+
+@dataclass(frozen=True)
+class FeedFaultDecision:
+    """What the plan decided for one delivered feed record."""
+
+    duplicate: bool = False
+    disconnect_after: bool = False
+
+
+@dataclass
+class FeedFaultPlan:
+    """A seeded description of how a feed transport misbehaves.
+
+    Mirrors :class:`FaultPlan`'s discipline: one seeded
+    :class:`random.Random` drives all sampling, consumed once per
+    delivered record, so a chaos run is bit-reproducible from its seed.
+    The RNG stream is namespaced (``feed:<seed>``) so composing feed
+    faults with a wire :class:`FaultPlan` of the same seed in one run
+    does not correlate their choices.
+    """
+
+    seed: int = 0
+    faults: FeedFaults = field(default_factory=FeedFaults)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(f"feed:{self.seed}")
+
+    def decide(self) -> FeedFaultDecision:
+        """Sample the fate of one delivered record.
+
+        Consumes RNG state; feed sources call this exactly once per
+        record they hand out (replays after a reconnect included), which
+        is the reproducibility contract.
+        """
+        faults = self.faults
+        if not faults.faulty:
+            return FeedFaultDecision()
+        rng = self._rng
+        duplicate = bool(faults.duplicate) and rng.random() < faults.duplicate
+        disconnect = bool(faults.disconnect) and rng.random() < faults.disconnect
+        return FeedFaultDecision(duplicate=duplicate, disconnect_after=disconnect)

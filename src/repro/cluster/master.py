@@ -91,6 +91,32 @@ class ClusterController:
         with self._lock:
             return self.estimator.estimate_detailed(index_name, lo, hi)
 
+    def estimate_degraded(
+        self, index_name: str, lo: int, hi: int
+    ) -> EstimateResult | None:
+        """A degraded (possibly-stale) estimate from the cached merge.
+
+        The overload fallback of the estimate service: answers from
+        whatever merged synopsis is cached for the index, *ignoring*
+        staleness, and flags the result ``degraded=True``.  Returns
+        ``None`` when nothing is cached (the caller then surfaces the
+        overload rejection instead).  Never touches the catalog or the
+        cache's LRU/metrics state, so degraded traffic cannot perturb
+        the primary path.
+        """
+        with self._lock:
+            if self.cache is None:
+                return None
+            cached = self.cache.peek(index_name)
+            if cached is None:
+                return None
+            estimate = max(
+                cached.synopsis.estimate(lo, hi)
+                - cached.anti_synopsis.estimate(lo, hi),
+                0.0,
+            )
+            return EstimateResult(estimate, 0, True, 0.0, degraded=True)
+
     # -- message handling ---------------------------------------------------
 
     def _on_message(self, source: str, message: dict[str, Any]) -> None:

@@ -12,9 +12,7 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.core.collector import StatisticsCollector
@@ -32,61 +30,13 @@ from repro.lsm.tree import DEFAULT_MEMTABLE_CAPACITY
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.synopses.base import Synopsis
 from repro.types import Domain
+from repro.util.retry import RetryPolicy
 
 __all__ = ["RetryPolicy", "NetworkStatisticsSink", "StorageNode"]
 
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Retry/backoff behaviour of a :class:`NetworkStatisticsSink`.
-
-    One delivery attempt plus up to ``max_attempts - 1`` retries, with
-    exponential backoff (``base_backoff * 2^retry``, capped at
-    ``max_backoff``) and proportional jitter.  ``timeout`` is the
-    per-message send budget: once the cumulative backoff would exceed
-    it, the sink gives up for now and parks the message in its outbox
-    (to be retried by later traffic or an explicit
-    :meth:`NetworkStatisticsSink.flush_outbox`).
-
-    ``sleep`` is the wall-clock hook; tests and the chaos harness
-    install a no-op to keep backoff purely simulated.
-    """
-
-    max_attempts: int = 4
-    base_backoff: float = 0.001
-    max_backoff: float = 0.05
-    jitter: float = 0.5
-    timeout: float = 0.25
-    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
-        if self.base_backoff < 0 or self.max_backoff < self.base_backoff:
-            raise ValueError(
-                "need 0 <= base_backoff <= max_backoff, got "
-                f"{self.base_backoff}/{self.max_backoff}"
-            )
-        if not 0.0 <= self.jitter <= 1.0:
-            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
-
-    def backoff_for(self, retry: int, rng: random.Random) -> float:
-        """The jittered pause before retry number ``retry`` (0-based)."""
-        base = min(self.base_backoff * (2.0 ** retry), self.max_backoff)
-        if not self.jitter:
-            return base
-        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
-
-    @classmethod
-    def immediate(cls, max_attempts: int = 4) -> "RetryPolicy":
-        """A policy that retries without sleeping (tests, chaos runs)."""
-        return cls(
-            max_attempts=max_attempts,
-            base_backoff=0.0,
-            max_backoff=0.0,
-            jitter=0.0,
-            sleep=lambda _s: None,
-        )
+# RetryPolicy moved to repro.util.retry so the feed consumers and the
+# statistics sink share one seeded backoff implementation; it is
+# re-exported here because this was its historical home.
 
 
 DEFAULT_OUTBOX_LIMIT = 1024

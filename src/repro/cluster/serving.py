@@ -1,0 +1,331 @@
+"""The concurrent estimate service: an overload-safe serving front.
+
+The paper evaluates estimation accuracy and overhead with a single
+closed-loop client.  A serving deployment is different: many optimizer
+threads ask for estimates concurrently while feeds keep publishing new
+statistics, and an unbounded queue in front of the estimator turns a
+load spike into unbounded latency.  This module puts the standard
+serving armour around :class:`~repro.core.estimator.CardinalityEstimator`
+(via the :class:`~repro.cluster.cluster.LSMCluster` facade):
+
+* a **bounded admission queue** -- at most ``max_queue_depth`` requests
+  waiting; admission past the bound retries with the shared
+  :class:`~repro.util.retry.RetryPolicy` backoff and then sheds the
+  request with a typed :class:`~repro.errors.OverloadedError`;
+* **per-client fair scheduling** -- workers drain clients round-robin,
+  so one chatty client cannot starve the rest (its requests queue
+  behind its own backlog, not everyone else's);
+* **timeouts** -- a caller waits at most its deadline; an expired
+  request is abandoned (the worker skips it) and surfaces either the
+  typed rejection or a degraded answer;
+* **graceful degradation** -- with ``degraded_mode`` on, a shed or
+  timed-out request falls back to
+  :meth:`~repro.cluster.cluster.LSMCluster.estimate_degraded`: the
+  possibly-stale cached merged synopsis, flagged
+  ``EstimateResult.degraded`` so the optimizer knows what it got.
+
+Everything observable is a ``serve.*`` metric (docs/OBSERVABILITY.md);
+the ``repro servecheck`` harness drives this service to saturation and
+asserts sheds are typed, depth stays bounded and nothing deadlocks.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.core.estimator import EstimateResult
+from repro.errors import OverloadedError
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.util.retry import RetryPolicy
+
+__all__ = ["EstimateService"]
+
+DEFAULT_QUEUE_DEPTH = 64
+DEFAULT_WORKERS = 2
+DEFAULT_TIMEOUT_SECONDS = 1.0
+
+
+class _Request:
+    """One queued estimate request and its completion rendezvous."""
+
+    __slots__ = (
+        "client_id",
+        "dataset",
+        "index_name",
+        "lo",
+        "hi",
+        "enqueued_at",
+        "done",
+        "result",
+        "error",
+        "abandoned",
+    )
+
+    def __init__(
+        self, client_id: str, dataset: str, index_name: str, lo: int, hi: int
+    ) -> None:
+        self.client_id = client_id
+        self.dataset = dataset
+        self.index_name = index_name
+        self.lo = lo
+        self.hi = hi
+        self.enqueued_at = time.perf_counter()
+        self.done = threading.Event()
+        self.result: EstimateResult | None = None
+        self.error: BaseException | None = None
+        self.abandoned = False
+
+
+class EstimateService:
+    """Thread-safe serving front over a cluster's estimate path.
+
+    Args:
+        cluster: The :class:`~repro.cluster.cluster.LSMCluster` (or any
+            object with ``estimate_detailed`` / ``estimate_degraded``).
+        max_queue_depth: Bound on requests waiting across all clients.
+        workers: Number of serving threads.
+        default_timeout: Per-request wait deadline when the caller does
+            not pass one.
+        retry_policy: Admission retry/backoff against a full queue;
+            defaults to the shared :class:`RetryPolicy` defaults.
+        degraded_mode: Serve possibly-stale cached answers (flagged
+            ``degraded=True``) instead of shedding, when one exists.
+        autostart: Start the worker threads immediately.  Tests and the
+            deterministic overload benchmark pass ``False`` to stage a
+            saturated queue before any worker drains it.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        workers: int = DEFAULT_WORKERS,
+        default_timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        retry_policy: RetryPolicy | None = None,
+        degraded_mode: bool = False,
+        autostart: bool = True,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise OverloadedError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if workers < 1:
+            raise OverloadedError(f"workers must be >= 1, got {workers}")
+        self._cluster = cluster
+        self.max_queue_depth = max_queue_depth
+        self.num_workers = workers
+        self.default_timeout = default_timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.degraded_mode = degraded_mode
+        # One lock guards the per-client queues, the round-robin order
+        # and the depth accounting; the condition wakes idle workers.
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[_Request]] = {}
+        self._rotation: deque[str] = deque()
+        self._depth = 0
+        self.peak_queue_depth = 0
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
+        obs = registry if registry is not None else get_registry()
+        self._m_requests = obs.counter("serve.requests")
+        self._m_rejected = obs.counter("serve.rejected")
+        self._m_degraded = obs.counter("serve.degraded")
+        self._m_timeouts = obs.counter("serve.timeouts")
+        self._m_retries = obs.counter("serve.retries")
+        self._g_depth = obs.gauge("serve.queue.depth")
+        self._h_latency = obs.histogram("serve.latency.seconds")
+        if autostart:
+            self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        with self._cond:
+            if self._threads or self._stopping:
+                return
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"estimate-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.num_workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers; pending requests fail with ``OverloadedError``."""
+        with self._cond:
+            self._stopping = True
+            pending: list[_Request] = []
+            for queue in self._queues.values():
+                pending.extend(queue)
+                queue.clear()
+            self._rotation.clear()
+            self._depth = 0
+            self._g_depth.set(0)
+            self._cond.notify_all()
+        for request in pending:
+            request.error = OverloadedError("estimate service shut down")
+            request.done.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    def __enter__(self) -> "EstimateService":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.shutdown()
+
+    @property
+    def queue_depth(self) -> int:
+        """Current number of queued requests across all clients."""
+        with self._cond:
+            return self._depth
+
+    # -- client API ---------------------------------------------------------
+
+    def estimate(
+        self,
+        client_id: str,
+        dataset: str,
+        index_name: str,
+        lo: int,
+        hi: int,
+        timeout: float | None = None,
+    ) -> EstimateResult:
+        """Submit one estimate request and wait for its answer.
+
+        Raises :class:`~repro.errors.OverloadedError` when the request
+        is shed (queue full after the admission retry budget, or the
+        wait deadline expired) and no degraded answer is available.
+        """
+        self._m_requests.inc()
+        request = _Request(client_id, dataset, index_name, lo, hi)
+        if not self._admit(request):
+            return self._degrade_or_raise(
+                request, "admission queue full"
+            )
+        deadline = timeout if timeout is not None else self.default_timeout
+        if not request.done.wait(deadline):
+            request.abandoned = True
+            self._m_timeouts.inc()
+            return self._degrade_or_raise(
+                request, f"no answer within {deadline}s"
+            )
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def offer(
+        self, client_id: str, dataset: str, index_name: str, lo: int, hi: int
+    ) -> bool:
+        """Enqueue without waiting for the answer (no admission retry).
+
+        The deterministic staging hook of the overload harness and
+        benchmark: returns whether the request was admitted, counting a
+        typed rejection when it was not.  The eventual result is
+        discarded.
+        """
+        self._m_requests.inc()
+        request = _Request(client_id, dataset, index_name, lo, hi)
+        if self._try_enqueue(request):
+            return True
+        self._m_rejected.inc()
+        return False
+
+    # -- internals ----------------------------------------------------------
+
+    def _try_enqueue(self, request: _Request) -> bool:
+        with self._cond:
+            if self._stopping or self._depth >= self.max_queue_depth:
+                return False
+            queue = self._queues.setdefault(request.client_id, deque())
+            queue.append(request)
+            if len(queue) == 1:
+                self._rotation.append(request.client_id)
+            self._depth += 1
+            self.peak_queue_depth = max(self.peak_queue_depth, self._depth)
+            self._g_depth.set(self._depth)
+            self._cond.notify()
+            return True
+
+    def _admit(self, request: _Request) -> bool:
+        policy = self.retry_policy
+        rng = None
+        for retry in range(policy.max_attempts):
+            if self._try_enqueue(request):
+                return True
+            if retry + 1 >= policy.max_attempts:
+                break
+            self._m_retries.inc()
+            if rng is None:
+                rng = random.Random(f"serve:{request.client_id}")
+            policy.sleep(policy.backoff_for(retry, rng))
+        self._m_rejected.inc()
+        return False
+
+    def _degrade_or_raise(
+        self, request: _Request, reason: str
+    ) -> EstimateResult:
+        if self.degraded_mode:
+            degraded = self._cluster.estimate_degraded(
+                request.dataset, request.index_name, request.lo, request.hi
+            )
+            if degraded is not None:
+                self._m_degraded.inc()
+                return degraded
+        raise OverloadedError(
+            f"estimate request from {request.client_id!r} shed: {reason}"
+        )
+
+    def _next_request(self) -> _Request | None:
+        """Round-robin dequeue: the oldest request of the next client in
+        rotation; the client re-enters the rotation tail while it still
+        has a backlog.  Called under the condition."""
+        while self._rotation:
+            client_id = self._rotation.popleft()
+            queue = self._queues.get(client_id)
+            if not queue:
+                continue
+            request = queue.popleft()
+            if queue:
+                self._rotation.append(client_id)
+            self._depth -= 1
+            self._g_depth.set(self._depth)
+            return request
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and self._depth == 0:
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                request = self._next_request()
+            if request is None:
+                continue
+            if request.abandoned:
+                continue
+            try:
+                result = self._cluster.estimate_detailed(
+                    request.dataset, request.index_name, request.lo, request.hi
+                )
+                request.result = result
+            except BaseException as exc:  # surfaced to the waiting caller
+                request.error = exc
+            if not request.abandoned:
+                self._h_latency.observe(
+                    time.perf_counter() - request.enqueued_at
+                )
+            request.done.set()

@@ -139,6 +139,17 @@ class MergedSynopsisCache:
         self._m_hit.inc()
         return cached
 
+    def peek(self, index_name: str) -> CachedMergedSynopsis | None:
+        """The cached merge for an index *regardless of staleness*.
+
+        The degraded-answer path of the estimate service: under
+        overload a possibly-stale merged synopsis beats a shed request.
+        Deliberately side-effect free -- no staleness invalidation, no
+        LRU refresh, no hit/miss accounting -- so degraded reads cannot
+        perturb the primary path's behaviour or metrics.
+        """
+        return self._cache.get(index_name)
+
     def put(
         self,
         index_name: str,

@@ -33,12 +33,16 @@ class EstimateResult:
         from_cache: Whether the merged-synopsis fast path answered.
         overhead_seconds: Wall-clock time spent inside the estimator --
             the "query time overhead" of Figures 6b and 8.
+        degraded: Whether this answer came from the degraded path (a
+            possibly-stale cached synopsis served under overload);
+            always ``False`` on the primary estimate path.
     """
 
     estimate: float
     synopses_consulted: int
     from_cache: bool
     overhead_seconds: float
+    degraded: bool = False
 
 
 class CardinalityEstimator:

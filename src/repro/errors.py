@@ -64,6 +64,26 @@ class ClusterError(ReproError):
     """A simulated cluster operation failed."""
 
 
+class FeedError(ClusterError):
+    """A data feed misbehaved: missing source, a malformed record the
+    caller asked to be strict about, or a consumer that exhausted its
+    reconnect budget."""
+
+
+class FeedDisconnectedError(FeedError):
+    """The feed's transport dropped mid-stream (an injected or genuine
+    disconnect).  The consumer reconnects with backoff and resumes from
+    its in-memory position; only a crash falls back to the durable
+    cursor."""
+
+
+class OverloadedError(ClusterError):
+    """The estimate service shed this request (admission queue full
+    after the retry budget, or the caller's wait timed out).  The typed
+    rejection of graceful degradation: callers back off or accept a
+    degraded (possibly-stale) answer instead of queueing unboundedly."""
+
+
 class NetworkUnavailableError(ClusterError):
     """A send was lost in flight or refused by an unavailable node.
 

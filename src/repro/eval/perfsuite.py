@@ -27,6 +27,11 @@ machine-checkable artifacts.  This module provides:
                           the memory their memtables would statically
                           claim (the constrained-budget gate,
                           docs/MEMORY.md)
+      serving             N feed-writer threads streaming into the
+                          cluster while M estimate clients hammer the
+                          bounded EstimateService (the serving-layer
+                          tail-latency scenario behind the
+                          serve.latency.p99 budget)
 
 * a schema-versioned JSON report (``BENCH_<timestamp>.json``) with
   median/p95 over N repetitions plus environment, seed and scale, so
@@ -52,10 +57,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.cluster.cluster import LSMCluster
+from repro.cluster.feeds import (
+    DatasetFeedAdapter,
+    FeedCursorStore,
+    ReplayableStreamFeed,
+    ResumableFeedConsumer,
+)
 from repro.cluster.network import Network
+from repro.cluster.serving import EstimateService
 from repro.core.config import StatisticsConfig
 from repro.core.manager import StatisticsManager
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, OverloadedError
 from repro.lsm.dataset import Dataset, IndexSpec
 from repro.lsm.events import EventBus
 from repro.lsm.memory import MemoryArbiter, record_footprint
@@ -69,6 +82,7 @@ from repro.obs.registry import MetricsRegistry, use_registry
 from repro.synopses.base import SynopsisType
 from repro.synopses.factory import create_builder
 from repro.types import Domain
+from repro.util.retry import RetryPolicy
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -79,6 +93,8 @@ __all__ = [
     "SUITES",
     "STABILITY_STALL_BUDGET_SECONDS",
     "MEMORY_BUDGET_UTILIZATION_CEILING",
+    "SERVE_P99_BUDGET_SECONDS",
+    "SERVE_STALL_BUDGET_SECONDS",
     "run_suite",
     "write_report",
     "report_filename",
@@ -110,6 +126,10 @@ class PerfScale:
     stability_records: int
     memory_writers: int
     memory_records: int
+    serving_writers: int
+    serving_records: int
+    serving_clients: int
+    serving_requests: int
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -126,6 +146,10 @@ class PerfScale:
             "stability_records": self.stability_records,
             "memory_writers": self.memory_writers,
             "memory_records": self.memory_records,
+            "serving_writers": self.serving_writers,
+            "serving_records": self.serving_records,
+            "serving_clients": self.serving_clients,
+            "serving_requests": self.serving_requests,
         }
 
 
@@ -143,6 +167,10 @@ QUICK_SCALE = PerfScale(
     stability_records=2_500,
     memory_writers=3,
     memory_records=2_500,
+    serving_writers=2,
+    serving_records=1_500,
+    serving_clients=3,
+    serving_requests=60,
 )
 """The CI-friendly preset behind ``repro bench --quick`` (seconds)."""
 
@@ -160,6 +188,10 @@ FULL_SCALE = PerfScale(
     stability_records=8_000,
     memory_writers=4,
     memory_records=8_000,
+    serving_writers=3,
+    serving_records=4_000,
+    serving_clients=4,
+    serving_requests=200,
 )
 """The default preset (a minute or two)."""
 
@@ -190,6 +222,12 @@ METRIC_SPECS: dict[str, tuple[str, str]] = {
     "memory.peak.utilization": ("ratio", "lower"),
     "memory.ingest.p99": ("s", "lower"),
     "memory.stall.max_window": ("s", "lower"),
+    "serving.estimate.throughput": ("requests/s", "higher"),
+    "serving.feed.throughput": ("records/s", "higher"),
+    "serve.latency.p99": ("s", "lower"),
+    "serve.stall.max_window": ("s", "lower"),
+    "serve.rejected": ("requests", "lower"),
+    "feed.resume.replayed": ("records", "higher"),
 }
 
 BENCHMARK_NAMES = (
@@ -202,6 +240,7 @@ BENCHMARK_NAMES = (
     "concurrent-ingest",
     "stability",
     "memory-budget",
+    "serving",
 )
 """The named microbenchmarks, in execution order."""
 
@@ -231,12 +270,19 @@ METRIC_SOURCES: dict[str, str] = {
     "memory.peak.utilization": "memory-budget",
     "memory.ingest.p99": "memory-budget",
     "memory.stall.max_window": "memory-budget",
+    "serving.estimate.throughput": "serving",
+    "serving.feed.throughput": "serving",
+    "serve.latency.p99": "serving",
+    "serve.stall.max_window": "serving",
+    "serve.rejected": "serving",
+    "feed.resume.replayed": "serving",
 }
 
 SUITES: dict[str, tuple[str, ...]] = {
     "all": BENCHMARK_NAMES,
     "stability": ("stability",),
     "memory-budget": ("memory-budget",),
+    "serving": ("serving",),
 }
 """Named benchmark subsets for ``repro bench --suite``."""
 
@@ -250,10 +296,22 @@ MEMORY_BUDGET_UTILIZATION_CEILING = 1.0
 scenario: the arbiter's accounted peak must never exceed the configured
 budget (docs/MEMORY.md)."""
 
+SERVE_P99_BUDGET_SECONDS = 0.5
+"""Hard ceiling on ``serve.latency.p99`` in the serving scenario: the
+client-visible p99 (queue wait included) of estimate requests served
+while feed writers stream in the background (docs/BENCHMARKING.md)."""
+
+SERVE_STALL_BUDGET_SECONDS = 2.0
+"""Hard ceiling on the single worst client-visible estimate latency:
+one request may wait out a full queue drain, but a multi-second freeze
+means the service deadlocked or stopped shedding."""
+
 _BUDGET_CEILINGS: dict[str, float] = {
     "ingest.stall.max_window": STABILITY_STALL_BUDGET_SECONDS,
     "memory.peak.utilization": MEMORY_BUDGET_UTILIZATION_CEILING,
     "memory.stall.max_window": STABILITY_STALL_BUDGET_SECONDS,
+    "serve.latency.p99": SERVE_P99_BUDGET_SECONDS,
+    "serve.stall.max_window": SERVE_STALL_BUDGET_SECONDS,
 }
 
 
@@ -728,6 +786,218 @@ def _bench_memory_budget(
     }
 
 
+#: Serving scenario fixtures.  The resume segment is sized so the kill
+#: lands past one cursor checkpoint but before the next (checkpoint at
+#: 64, applied mark at 100), making ``feed.resume.replayed`` a constant
+#: of the scenario (36) rather than a timing artefact; the staged
+#: shadow-service saturation likewise pins ``serve.rejected``.
+_SERVING_PRELOAD = 512
+_SERVING_RESUME_RECORDS = 100
+_SERVING_RESUME_CHECKPOINT = 64
+_SERVING_SHADOW_DEPTH = 8
+_SERVING_SHADOW_OFFERS = 12
+_SERVING_QUEUE_DEPTH = 64
+_SERVING_WORKERS = 2
+
+
+def _bench_serving(
+    scale: PerfScale, seed: int, timer: Callable[[], float]
+) -> dict[str, float]:
+    """``serving_writers`` feed-consumer threads streaming into the
+    cluster while ``serving_clients`` threads hammer the bounded
+    :class:`~repro.cluster.serving.EstimateService` -- the serving
+    layer's tail-latency scenario (docs/BENCHMARKING.md).
+
+    Two deterministic, untimed preambles pin the robustness metrics so
+    the compare gate's 25% tolerance never sees timing noise in them:
+
+    * ``feed.resume.replayed`` -- a consumer is killed off a cursor
+      checkpoint boundary and a fresh consumer resumes from the durable
+      cursor; the replayed gap (applied mark minus last checkpoint) is
+      a constant of the scenario.
+    * ``serve.rejected`` -- a worker-less twin service is saturated via
+      staged :meth:`~repro.cluster.serving.EstimateService.offer`
+      calls past its queue bound; the shed count is exact.
+
+    The timed phase measures the mixed load:
+
+    * ``serving.estimate.throughput`` / ``serving.feed.throughput`` --
+      answered requests and streamed records per second of wall clock;
+    * ``serve.latency.p99`` -- the client-visible p99, queue wait
+      included; :func:`check_budgets` fails the run above
+      :data:`SERVE_P99_BUDGET_SECONDS`;
+    * ``serve.stall.max_window`` -- the single worst request, gated by
+      :data:`SERVE_STALL_BUDGET_SECONDS` (one request may wait out a
+      full queue drain, but a multi-second freeze means the service
+      deadlocked or stopped shedding).
+    """
+    writers = scale.serving_writers
+    per_writer = scale.serving_records
+    clients = scale.serving_clients
+    per_client = scale.serving_requests
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cluster = LSMCluster(
+            num_nodes=2,
+            partitions_per_node=2,
+            stats_config=StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=_BUDGET),
+            retry_policy=RetryPolicy.immediate(max_attempts=3),
+            scheduler="threads",
+        )
+        for writer in range(writers):
+            cluster.create_dataset(
+                f"serve{writer}",
+                primary_key="id",
+                primary_domain=_DOMAIN,
+                indexes=[IndexSpec("value_idx", "value", _VALUE_DOMAIN)],
+                memtable_capacity=256,
+                merge_policy_factory=lambda: ConstantMergePolicy(max_components=4),
+            )
+        queried = "serve0"
+        for pk in range(_SERVING_PRELOAD):
+            cluster.insert(
+                queried, {"id": pk, "value": (pk * 13) % _VALUE_DOMAIN.length}
+            )
+        cluster.flush_all(queried)
+        cluster.drain_maintenance()
+        cluster.recover_statistics()
+        # Warm the merged-synopsis cache so clients measure serving, not
+        # the first-touch merge.
+        cluster.estimate_detailed(queried, "value_idx", 0, 255)
+
+        # Untimed preamble 1: the deterministic crash-resume segment.
+        cursor_store = FeedCursorStore(cluster.nodes[0].disk)
+
+        def resume_consumer() -> ResumableFeedConsumer:
+            return ResumableFeedConsumer(
+                ReplayableStreamFeed(
+                    "bench_resume",
+                    (
+                        {
+                            "id": _SERVING_PRELOAD + i,
+                            "value": (i * 29) % _VALUE_DOMAIN.length,
+                        }
+                        for i in range(_SERVING_RESUME_RECORDS)
+                    ),
+                ),
+                DatasetFeedAdapter(cluster, queried),
+                cursor_store,
+                checkpoint_every=_SERVING_RESUME_CHECKPOINT,
+                retry_policy=RetryPolicy.immediate(),
+            )
+
+        resume_consumer().run(stop_after=_SERVING_RESUME_RECORDS)
+        replayed = resume_consumer().run().replayed
+        expected_replay = _SERVING_RESUME_RECORDS - _SERVING_RESUME_CHECKPOINT
+        assert replayed == expected_replay, (
+            f"resume segment replayed {replayed} records, "
+            f"expected {expected_replay}"
+        )
+
+        # Untimed preamble 2: exact shed count on a staged, worker-less
+        # twin -- offers past the bound are rejections by construction.
+        shadow = EstimateService(
+            cluster,
+            max_queue_depth=_SERVING_SHADOW_DEPTH,
+            workers=1,
+            retry_policy=RetryPolicy.immediate(max_attempts=1),
+            autostart=False,
+        )
+        staged_rejects = 0
+        for i in range(_SERVING_SHADOW_OFFERS):
+            if not shadow.offer("stager", queried, "value_idx", 0, 255 + i):
+                staged_rejects += 1
+        shadow.shutdown()
+        assert staged_rejects == _SERVING_SHADOW_OFFERS - _SERVING_SHADOW_DEPTH, (
+            f"staged saturation shed {staged_rejects} offers, expected "
+            f"{_SERVING_SHADOW_OFFERS - _SERVING_SHADOW_DEPTH}"
+        )
+
+        # Timed phase: writers stream, clients estimate, concurrently.
+        service = EstimateService(
+            cluster,
+            max_queue_depth=_SERVING_QUEUE_DEPTH,
+            workers=_SERVING_WORKERS,
+            default_timeout=10.0,
+            retry_policy=RetryPolicy.immediate(max_attempts=3),
+        )
+        consumers = [
+            ResumableFeedConsumer(
+                ReplayableStreamFeed(
+                    f"bench_feed_{writer}",
+                    (
+                        {
+                            "id": 2**19 + writer * per_writer + i,
+                            "value": (i * 13) % _VALUE_DOMAIN.length,
+                        }
+                        for i in range(per_writer)
+                    ),
+                ),
+                DatasetFeedAdapter(cluster, f"serve{writer}"),
+                cursor_store,
+                checkpoint_every=256,
+                retry_policy=RetryPolicy.immediate(),
+            )
+            for writer in range(writers)
+        ]
+        applied = [0] * writers
+
+        def run_writer(writer: int) -> None:
+            applied[writer] = consumers[writer].run().applied
+
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        shed = [0] * clients
+
+        def run_client(client: int) -> None:
+            observed = latencies[client].append
+            for i in range(per_client):
+                lo = ((seed + client) * 97 + i * 131) % (
+                    _VALUE_DOMAIN.length - 256
+                )
+                op_started = timer()
+                try:
+                    service.estimate(
+                        f"client{client}", queried, "value_idx", lo, lo + 255
+                    )
+                except OverloadedError:
+                    shed[client] += 1
+                observed(timer() - op_started)
+
+        threads = [
+            threading.Thread(target=run_writer, args=(writer,))
+            for writer in range(writers)
+        ] + [
+            threading.Thread(target=run_client, args=(client,))
+            for client in range(clients)
+        ]
+        started = timer()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = max(timer() - started, 1e-9)
+        service.shutdown()
+        cluster.drain_maintenance()
+        cluster.shutdown()
+    assert applied == [per_writer] * writers, (
+        f"feed writers applied {applied}, expected {per_writer} each"
+    )
+    total_requests = clients * per_client
+    answered = total_requests - sum(shed)
+    assert answered > 0, "serving scenario shed every request"
+    flat = sorted(
+        latency for per_client_samples in latencies for latency in per_client_samples
+    )
+    return {
+        "serving.estimate.throughput": answered / elapsed,
+        "serving.feed.throughput": writers * per_writer / elapsed,
+        "serve.latency.p99": _percentile(flat, 0.99),
+        "serve.stall.max_window": flat[-1],
+        "serve.rejected": float(staged_rejects),
+        "feed.resume.replayed": float(replayed),
+    }
+
+
 _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "ingest-throughput": _bench_ingest,
     "flush-latency": _bench_flush,
@@ -738,6 +1008,7 @@ _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "concurrent-ingest": _bench_concurrent_ingest,
     "stability": _bench_stability,
     "memory-budget": _bench_memory_budget,
+    "serving": _bench_serving,
 }
 
 

@@ -147,8 +147,25 @@ class SimulatedDisk:
         # filesystems reserve for boot-strapping metadata.  Recovery
         # reads the current WAL/manifest file ids and the node epoch
         # from here; like file pages, its contents survive a simulated
-        # crash (only in-memory objects are lost).
+        # crash (only in-memory objects are lost).  Feed consumers also
+        # checkpoint their durable cursors here (see cluster/feeds.py);
+        # prefer the superblock_get/superblock_put accessors for
+        # cross-thread traffic -- a feed thread checkpoints while
+        # maintenance workers run against the same disk.
         self.superblock: dict[str, Any] = {}
+
+    def superblock_get(self, key: str, default: Any = None) -> Any:
+        """Read one superblock entry under the disk mutex."""
+        with self._mutex:
+            return self.superblock.get(key, default)
+
+    def superblock_put(self, key: str, value: Any) -> None:
+        """Write one superblock entry under the disk mutex.  Each write
+        models an atomic in-place update of the fixed-location area (a
+        single-sector write on a real disk), so a simulated crash sees
+        either the old or the new value, never a torn one."""
+        with self._mutex:
+            self.superblock[key] = value
 
     def create_file(self) -> FileHandle:
         """Create a new empty file."""

@@ -82,6 +82,22 @@ def test_faultcheck_invalid_probability_exits_nonzero(capsys):
     assert "faultcheck failed" in capsys.readouterr().err
 
 
+def test_servecheck_converges_and_exits_zero(capsys):
+    """The CI invocation: crash-resume must be bit-identical and
+    overload must shed typed rejections without deadlock."""
+    assert main(["servecheck", "--records", "192"]) == 0
+    out = capsys.readouterr().out
+    assert "converged" in out
+    assert "replayed" in out
+
+
+def test_servecheck_vacuous_resume_exits_nonzero(capsys):
+    # An empty feed replays nothing, which the harness must flag as a
+    # vacuous (failed) resume leg rather than a silent pass.
+    assert main(["servecheck", "--records", "0"]) == 1
+    assert "vacuous resume" in capsys.readouterr().out
+
+
 def test_racecheck_quick_converges_and_exits_zero(capsys):
     """The CI invocation: concurrent maintenance must end bit-identical
     to the synchronous baseline for every quick-sweep seed."""
