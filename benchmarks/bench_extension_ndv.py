@@ -1,0 +1,44 @@
+"""Extension bench: NDV sketch accuracy vs precision and wire size.
+
+The paper's Section 5 defers sketches for distinct-value counting to
+future work.  The driver lives in ``repro.eval.experiments.ndv``; this
+bench runs the precision/cardinality sweep under timing and asserts
+the shape: measured relative error stays inside the 3-sigma band of
+the HLL theory bound at the precisions the cluster actually uses, the
+error shrinks as precision grows, and the HBS wire form is smaller
+than the dense registers once the register file is large enough to be
+worth compressing.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.experiments.ndv import format_ndv_results, run_ndv
+
+
+def bench_extension_ndv(benchmark, bench_scale, results_dir):
+    cells = run_once(benchmark, lambda: run_ndv(bench_scale))
+
+    def mean_error(precision):
+        errors = [
+            c.mean_rel_error for c in cells if c.precision == precision
+        ]
+        return sum(errors) / len(errors)
+
+    # The theory bound holds (with the standard 3-sigma allowance) at
+    # every precision the cluster lanes default to.
+    for cell in cells:
+        if cell.precision >= 8:
+            assert cell.mean_rel_error <= 3 * cell.theory_sigma
+    # More registers, less error.
+    assert mean_error(12) < mean_error(4)
+    # HBS beats the dense form once the register file is non-trivial;
+    # sparse-ish register files compress hardest.
+    for cell in cells:
+        if cell.precision >= 8:
+            assert cell.compression_ratio > 1.0
+
+    (results_dir / "extension_ndv.txt").write_text(
+        format_ndv_results(cells)
+    )

@@ -92,7 +92,7 @@ from repro.eval.experiments import (
     fig8,
     fig9,
 )
-from repro.eval.experiments import extensions
+from repro.eval.experiments import extensions, ndv
 from repro.cluster.crashcheck import (
     format_report as format_crash_report,
     run_crashcheck,
@@ -169,6 +169,12 @@ EXPERIMENTS: dict[str, _Descriptor] = {
         "[extension] LSM-ified R-tree: MBR pruning + piggybacked 2-D stats",
         lambda scale: extensions.run_rtree(scale),
         extensions.format_rtree_results,
+    ),
+    "ndv-accuracy": (
+        "[extension] NDV sketch error vs HLL precision p and HBS wire "
+        "size (docs/SKETCHES.md)",
+        lambda scale: ndv.run_ndv(scale),
+        ndv.format_ndv_results,
     ),
 }
 

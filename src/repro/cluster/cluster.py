@@ -18,7 +18,7 @@ from repro.cluster.master import ClusterController
 from repro.cluster.network import Network
 from repro.cluster.node import DEFAULT_OUTBOX_LIMIT, RetryPolicy, StorageNode
 from repro.cluster.partitioner import HashPartitioner
-from repro.core.estimator import EstimateResult
+from repro.core.estimator import EstimateResult, NDVEstimate
 from repro.errors import ClusterError
 from repro.lsm.crashpoints import CrashInjector
 from repro.lsm.dataset import IndexSpec, secondary_index_name
@@ -290,6 +290,25 @@ class LSMCluster:
                 arbiter.note_estimate()
             self._refresh_cache_capacity()
         return self.master.estimate_detailed(full_name, lo, hi)
+
+    def estimate_ndv(self, name: str, index_name: str = "primary") -> float:
+        """Cluster-wide distinct-value estimate, answered by the master
+        alone from the lazily unioned ``#ndv`` sketches."""
+        return self.estimate_ndv_detailed(name, index_name).ndv
+
+    def estimate_ndv_detailed(
+        self, name: str, index_name: str = "primary"
+    ) -> NDVEstimate:
+        """NDV estimate with the anti-matter interval and diagnostics."""
+        self._check_dataset(name)
+        full_name = secondary_index_name(name, index_name)
+        # NDV queries are estimate traffic too: feed the same adaptive
+        # cache-share signal as range estimates.
+        if self.memory_arbiters:
+            for arbiter in self.memory_arbiters:
+                arbiter.note_estimate()
+            self._refresh_cache_capacity()
+        return self.master.estimate_ndv_detailed(full_name)
 
     def estimate_degraded(
         self, name: str, index_name: str, lo: int, hi: int

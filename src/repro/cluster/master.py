@@ -23,7 +23,11 @@ from typing import Any
 
 from repro.core.cache import MergedSynopsisCache
 from repro.core.catalog import StatisticsCatalog
-from repro.core.estimator import CardinalityEstimator, EstimateResult
+from repro.core.estimator import (
+    CardinalityEstimator,
+    EstimateResult,
+    NDVEstimate,
+)
 from repro.cluster.network import Network
 from repro.errors import ClusterError
 from repro.obs.registry import MetricsRegistry, get_registry
@@ -90,6 +94,16 @@ class ClusterController:
         """Estimate with overhead/caching diagnostics."""
         with self._lock:
             return self.estimator.estimate_detailed(index_name, lo, hi)
+
+    def estimate_ndv(self, index_name: str) -> float:
+        """Cluster-wide distinct-value estimate for ``index_name``."""
+        with self._lock:
+            return self.estimator.estimate_ndv(index_name)
+
+    def estimate_ndv_detailed(self, index_name: str) -> NDVEstimate:
+        """NDV estimate with the anti-matter interval and diagnostics."""
+        with self._lock:
+            return self.estimator.estimate_ndv_detailed(index_name)
 
     def estimate_degraded(
         self, index_name: str, lo: int, hi: int

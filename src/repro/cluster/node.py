@@ -370,10 +370,6 @@ class StorageNode:
                 epoch=self.epoch,
             )
             self._sinks.append(sink)
-            if reset_stats:
-                sink.reset(dataset.primary.name)
-                for spec in schema["indexes"]:
-                    sink.reset(dataset.secondary_tree(spec.name).name)
             collector = StatisticsCollector(self.stats_config, sink)
             collector.register_index(
                 dataset.primary.name, schema["primary_domain"]
@@ -382,6 +378,12 @@ class StorageNode:
                 collector.register_index(
                     dataset.secondary_tree(spec.name).name, spec.domain
                 )
+            if reset_stats:
+                # One reset per registered statistics key -- including
+                # the NDV sketch lane's ``#ndv`` twins -- enqueued
+                # before recovery republishes anything (FIFO outbox).
+                for key in collector.registered_keys():
+                    sink.reset(key)
             dataset.event_bus.subscribe(collector)
         if recover:
             dataset.complete_recovery()

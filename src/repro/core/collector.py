@@ -45,9 +45,16 @@ from repro.lsm.columnar import ColumnarChunk, split_matter_anti
 from repro.lsm.component import DiskComponent
 from repro.lsm.events import ComponentWriteContext, RecordSink
 from repro.lsm.record import Record
-from repro.obs.registry import Counter, Histogram, MetricsRegistry, get_registry
-from repro.synopses.base import Synopsis, SynopsisBuilder
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
 from repro.synopses.factory import create_builder
+from repro.synopses.hll import HyperLogLogSynopsis, ndv_statistics_key
 from repro.types import Domain
 
 __all__ = [
@@ -55,6 +62,7 @@ __all__ = [
     "StatisticsCollector",
     "CollectorMetrics",
     "attribute_statistics_key",
+    "ndv_statistics_key",
 ]
 
 
@@ -73,6 +81,8 @@ class CollectorMetrics:
     antimatter_records_observed: int = 0
     values_skipped: int = 0
     finalize_seconds: float = 0.0
+    sketch_register_bytes: int = 0
+    sketch_wire_bytes: int = 0
     writes_by_event: dict[str, int] = field(default_factory=dict)
 
     def record_event(self, event_name: str) -> None:
@@ -120,6 +130,9 @@ class _Instruments:
     antimatter_records: Counter
     values_skipped: Counter
     build_seconds: Histogram
+    sketch_register_bytes: Counter
+    sketch_wire_bytes: Counter
+    sketch_compression_ratio: Gauge
 
     @classmethod
     def bind(cls, registry: MetricsRegistry) -> "_Instruments":
@@ -131,17 +144,48 @@ class _Instruments:
             antimatter_records=registry.counter("collector.records.antimatter"),
             values_skipped=registry.counter("collector.values.skipped"),
             build_seconds=registry.histogram("synopsis.build.seconds"),
+            sketch_register_bytes=registry.counter("sketch.registers.bytes"),
+            sketch_wire_bytes=registry.counter("sketch.wire.bytes"),
+            sketch_compression_ratio=registry.gauge("sketch.compression.ratio"),
         )
 
 
 @dataclass(frozen=True)
 class _Registration:
-    """One statistics target riding on an index's component stream."""
+    """One statistics target riding on an index's component stream.
+
+    ``synopsis_type``/``budget`` of ``None`` mean "use the configured
+    family"; the NDV sketch lane pins them to ``HLL_SKETCH`` and its
+    register count so it can ride *any* primary family.
+    """
 
     statistics_key: str
     index_name: str
     domain: Domain
     value_extractor: Callable[[Record], Any] | None  # None -> index key
+    synopsis_type: SynopsisType | None = None
+    budget: int | None = None
+
+
+def _note_sketch_shipment(
+    metrics: CollectorMetrics,
+    instruments: _Instruments,
+    synopsis: Synopsis,
+    anti_synopsis: Synopsis,
+) -> None:
+    """Account a published HLL twin's dense vs wire (HBS) bytes."""
+    if not isinstance(synopsis, HyperLogLogSynopsis):
+        return
+    assert isinstance(anti_synopsis, HyperLogLogSynopsis)
+    dense = synopsis.register_bytes() + anti_synopsis.register_bytes()
+    wire = synopsis.encoded_bytes() + anti_synopsis.encoded_bytes()
+    metrics.sketch_register_bytes += dense
+    metrics.sketch_wire_bytes += wire
+    instruments.sketch_register_bytes.inc(dense)
+    instruments.sketch_wire_bytes.inc(wire)
+    instruments.sketch_compression_ratio.set(
+        metrics.sketch_register_bytes / metrics.sketch_wire_bytes
+    )
 
 
 class _RegistrationSink:
@@ -249,6 +293,9 @@ class _RegistrationSink:
         elapsed = time.perf_counter() - started
         self._metrics.finalize_seconds += elapsed
         self._instruments.build_seconds.observe(elapsed)
+        _note_sketch_shipment(
+            self._metrics, self._instruments, synopsis, anti_synopsis
+        )
         self._sink.publish(
             self._registration.statistics_key,
             component.uid,
@@ -357,6 +404,44 @@ class StatisticsCollector:
             if existing.statistics_key != registration.statistics_key
         ]
         bucket.append(registration)
+        # The NDV lane: every configured-family target gets an HLL twin
+        # registration under its ``#ndv`` key, sharing the extractor
+        # and the component stream (docs/SKETCHES.md lifecycle).
+        if self.config.ndv_enabled and registration.synopsis_type is None:
+            self._register(
+                _Registration(
+                    ndv_statistics_key(registration.statistics_key),
+                    registration.index_name,
+                    registration.domain,
+                    registration.value_extractor,
+                    synopsis_type=SynopsisType.HLL_SKETCH,
+                    budget=1 << self.config.ndv_precision,
+                )
+            )
+
+    def _builder_pair(
+        self, registration: _Registration, expected_records: int
+    ) -> tuple[SynopsisBuilder, SynopsisBuilder]:
+        """The matter/anti builder twins for one registration."""
+        synopsis_type = (
+            registration.synopsis_type
+            if registration.synopsis_type is not None
+            else self.config.synopsis_type
+        )
+        assert synopsis_type is not None
+        budget = (
+            registration.budget
+            if registration.budget is not None
+            else self.config.budget
+        )
+        return (
+            create_builder(
+                synopsis_type, registration.domain, budget, expected_records
+            ),
+            create_builder(
+                synopsis_type, registration.domain, budget, expected_records
+            ),
+        )
 
     def registered_keys(self) -> list[str]:
         """All statistics keys with collection enabled."""
@@ -379,26 +464,13 @@ class StatisticsCollector:
         registrations = self._registrations.get(context.index_name)
         if not registrations:
             return None
-        synopsis_type = self.config.synopsis_type
-        assert synopsis_type is not None
         self.metrics.record_event(context.event_type.value)
         self._instruments.component_writes.inc()
         sinks = [
             _RegistrationSink(
                 registration,
                 context,
-                create_builder(
-                    synopsis_type,
-                    registration.domain,
-                    self.config.budget,
-                    context.expected_records,
-                ),
-                create_builder(
-                    synopsis_type,
-                    registration.domain,
-                    self.config.budget,
-                    context.expected_records,
-                ),
+                *self._builder_pair(registration, context.expected_records),
                 self.sink,
                 self.metrics,
                 self._instruments,
@@ -440,8 +512,6 @@ class StatisticsCollector:
         registrations = self._registrations.get(index_name)
         if not registrations:
             return
-        synopsis_type = self.config.synopsis_type
-        assert synopsis_type is not None
         for component in components:
             for registration in registrations:
                 extractor = (
@@ -449,17 +519,8 @@ class StatisticsCollector:
                     if registration.value_extractor is not None
                     else key_extractor
                 )
-                builder = create_builder(
-                    synopsis_type,
-                    registration.domain,
-                    self.config.budget,
-                    component.expected_records,
-                )
-                anti_builder = create_builder(
-                    synopsis_type,
-                    registration.domain,
-                    self.config.budget,
-                    component.expected_records,
+                builder, anti_builder = self._builder_pair(
+                    registration, component.expected_records
                 )
                 matter_values: list[Any] = []
                 anti_values: list[Any] = []
@@ -485,6 +546,9 @@ class StatisticsCollector:
                 elapsed = time.perf_counter() - started
                 self.metrics.finalize_seconds += elapsed
                 self._instruments.build_seconds.observe(elapsed)
+                _note_sketch_shipment(
+                    self.metrics, self._instruments, synopsis, anti_synopsis
+                )
                 self.sink.publish(
                     registration.statistics_key,
                     component.uid,

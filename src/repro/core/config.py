@@ -15,11 +15,19 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.synopses.base import SynopsisType
 
-__all__ = ["StatisticsConfig", "DEFAULT_BUDGET"]
+__all__ = [
+    "StatisticsConfig",
+    "DEFAULT_BUDGET",
+    "DEFAULT_NDV_PRECISION",
+]
 
 DEFAULT_BUDGET = 256
 """The budget the paper fixes after Section 4.3.1 ("the synopsis with
 256 elements provides excellent accuracy")."""
+
+DEFAULT_NDV_PRECISION = 10
+"""Default HLL precision ``p`` for the NDV sketch lane: 1024 one-byte
+registers per sketch, ~3.3% standard error (docs/SKETCHES.md)."""
 
 
 @dataclass(frozen=True)
@@ -32,15 +40,26 @@ class StatisticsConfig:
         budget: Elements (buckets or coefficients) per synopsis.
         cache_merged: Whether the cluster controller caches merged
             synopses for mergeable types (Algorithm 2's fast path).
+        ndv_enabled: Whether every registered statistics target also
+            builds a matter/anti HyperLogLog twin per component (the
+            ``#ndv`` sketch lane feeding ``estimate_ndv``).
+        ndv_precision: HLL precision ``p`` of the NDV lane -- each
+            sketch holds ``2**p`` one-byte registers.
     """
 
     synopsis_type: SynopsisType | None = SynopsisType.EQUI_WIDTH
     budget: int = DEFAULT_BUDGET
     cache_merged: bool = True
+    ndv_enabled: bool = False
+    ndv_precision: int = DEFAULT_NDV_PRECISION
 
     def __post_init__(self) -> None:
         if self.budget < 1:
             raise ConfigurationError(f"budget must be >= 1, got {self.budget}")
+        if not 2 <= self.ndv_precision <= 18:
+            raise ConfigurationError(
+                f"ndv_precision must be in [2, 18], got {self.ndv_precision}"
+            )
 
     @property
     def enabled(self) -> bool:

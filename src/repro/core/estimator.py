@@ -16,11 +16,12 @@ from dataclasses import dataclass
 
 from repro.core.cache import MergedSynopsisCache
 from repro.core.catalog import StatisticsCatalog
-from repro.errors import MergeabilityError
+from repro.errors import MergeabilityError, SynopsisError
 from repro.obs.registry import MetricsRegistry, get_registry, sanitize_segment
 from repro.synopses.base import Synopsis
+from repro.synopses.hll import HyperLogLogSynopsis, ndv_statistics_key
 
-__all__ = ["EstimateResult", "CardinalityEstimator"]
+__all__ = ["EstimateResult", "NDVEstimate", "CardinalityEstimator"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,39 @@ class EstimateResult:
     degraded: bool = False
 
 
+@dataclass(frozen=True)
+class NDVEstimate:
+    """A distinct-value estimate with its anti-matter interval.
+
+    Deletes make the true NDV uncertain: a key counted by the matter
+    sketch may have been fully erased by tombstones, but register
+    unions cannot subtract.  The framework therefore reports the
+    interval ``[max(0, matter - anti), matter]`` and takes the
+    conservative lower end as the point estimate (docs/SKETCHES.md).
+
+    Attributes:
+        ndv: The point estimate (the interval's conservative low end).
+        lower: Interval low end, ``max(0, matter_ndv - anti_ndv)``.
+        upper: Interval high end, ``matter_ndv`` (no key can be
+            distinct in the dataset without appearing as matter).
+        matter_ndv: The unioned matter sketch's cardinality.
+        anti_ndv: The unioned anti-matter sketch's cardinality.
+        synopses_consulted: Per-component sketches read (0 on a cache
+            hit).
+        from_cache: Whether the cached unioned pair answered.
+        overhead_seconds: Wall-clock time inside the estimator.
+    """
+
+    ndv: float
+    lower: float
+    upper: float
+    matter_ndv: float
+    anti_ndv: float
+    synopses_consulted: int
+    from_cache: bool
+    overhead_seconds: float
+
+
 class CardinalityEstimator:
     """Implements the paper's Algorithm 2."""
 
@@ -62,6 +96,7 @@ class CardinalityEstimator:
         self._m_lazy_merges = self._obs.counter("estimator.lazy_merge.count")
         self._h_estimate = self._obs.histogram("estimator.estimate.seconds")
         self._h_lazy_merge = self._obs.histogram("estimator.lazy_merge.seconds")
+        self._m_unions = self._obs.counter("sketch.union.count")
 
     def _observe(self, elapsed: float, synopsis: Synopsis | None) -> None:
         """Record one estimate's latency, overall and per synopsis type."""
@@ -153,4 +188,90 @@ class CardinalityEstimator:
             len(entries),
             False,
             elapsed,
+        )
+
+    def estimate_ndv(self, index_name: str) -> float:
+        """Point NDV estimate for ``index_name``'s sketch lane."""
+        return self.estimate_ndv_detailed(index_name).ndv
+
+    def estimate_ndv_detailed(self, index_name: str) -> NDVEstimate:
+        """Distinct-value estimate from the ``#ndv`` sketch lane.
+
+        Unions every catalogued per-component HLL pair register-wise
+        (exact -- no accuracy is lost relative to one sketch built over
+        the union of the streams), caches the unioned pair under the
+        sketch lane's own key, and reports the anti-matter interval.
+        ``index_name`` is the *target* key; the sketch lane key is
+        derived from it, so callers query the same name they would pass
+        to :meth:`estimate`.
+        """
+        started = time.perf_counter()
+        key = ndv_statistics_key(index_name)
+        version = self.catalog.version_for(key)
+
+        if self.cache is not None:
+            cached = self.cache.get(key, version)
+            if cached is not None:
+                result = self._ndv_from_pair(
+                    cached.synopsis, cached.anti_synopsis, 0, True, started
+                )
+                self._m_cache_hits.inc()
+                self._observe(result.overhead_seconds, cached.synopsis)
+                return result
+
+        entries = self.catalog.entries_for(key)
+        if not entries:
+            raise SynopsisError(
+                f"no NDV sketches catalogued under {key!r}; is the "
+                "collector configured with ndv_enabled?"
+            )
+        merged = entries[0].synopsis
+        merged_anti = entries[0].anti_synopsis
+        merge_seconds = 0.0
+        merges_ran = 0
+        for entry in entries[1:]:
+            merge_started = time.perf_counter()
+            merged = merged.merge_with(entry.synopsis)
+            merged_anti = merged_anti.merge_with(entry.anti_synopsis)
+            merge_seconds += time.perf_counter() - merge_started
+            merges_ran += 1
+            self._m_unions.inc(2)  # one matter + one anti register union
+        if merges_ran and self.cache is not None:
+            self.cache.put(key, merged, merged_anti, version)
+            self._m_lazy_merges.inc()
+            self._h_lazy_merge.observe(merge_seconds)
+
+        result = self._ndv_from_pair(
+            merged, merged_anti, len(entries), False, started
+        )
+        self._observe(result.overhead_seconds, merged)
+        return result
+
+    def _ndv_from_pair(
+        self,
+        synopsis: Synopsis,
+        anti_synopsis: Synopsis,
+        consulted: int,
+        from_cache: bool,
+        started: float,
+    ) -> NDVEstimate:
+        if not isinstance(synopsis, HyperLogLogSynopsis) or not isinstance(
+            anti_synopsis, HyperLogLogSynopsis
+        ):
+            raise SynopsisError(
+                "NDV estimation requires hll_sketch synopses, found "
+                f"{synopsis.synopsis_type.value}"
+            )
+        matter_ndv = synopsis.cardinality()
+        anti_ndv = anti_synopsis.cardinality()
+        lower = max(0.0, matter_ndv - anti_ndv)
+        return NDVEstimate(
+            ndv=lower,
+            lower=lower,
+            upper=matter_ndv,
+            matter_ndv=matter_ndv,
+            anti_ndv=anti_ndv,
+            synopses_consulted=consulted,
+            from_cache=from_cache,
+            overhead_seconds=time.perf_counter() - started,
         )

@@ -13,7 +13,11 @@ from repro.core.cache import MergedSynopsisCache
 from repro.core.catalog import StatisticsCatalog
 from repro.core.collector import StatisticsCollector
 from repro.core.config import StatisticsConfig
-from repro.core.estimator import CardinalityEstimator, EstimateResult
+from repro.core.estimator import (
+    CardinalityEstimator,
+    EstimateResult,
+    NDVEstimate,
+)
 from repro.lsm.dataset import Dataset
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.synopses.base import Synopsis
@@ -135,8 +139,26 @@ class StatisticsManager:
         self, dataset: Dataset, index_name: str, lo: int, hi: int
     ) -> EstimateResult:
         """Like :meth:`estimate`, with overhead/caching diagnostics."""
+        return self.estimator.estimate_detailed(
+            self._full_name(dataset, index_name), lo, hi
+        )
+
+    def estimate_ndv(self, dataset: Dataset, index_name: str = "primary") -> float:
+        """Distinct-value estimate for one of the dataset's indexes
+        (requires ``ndv_enabled`` in the configuration)."""
+        return self.estimate_ndv_detailed(dataset, index_name).ndv
+
+    def estimate_ndv_detailed(
+        self, dataset: Dataset, index_name: str = "primary"
+    ) -> NDVEstimate:
+        """Like :meth:`estimate_ndv`, with the anti-matter interval and
+        caching diagnostics."""
+        return self.estimator.estimate_ndv_detailed(
+            self._full_name(dataset, index_name)
+        )
+
+    @staticmethod
+    def _full_name(dataset: Dataset, index_name: str) -> str:
         if index_name == "primary":
-            full_name = dataset.primary.name
-        else:
-            full_name = dataset.secondary_tree(index_name).name
-        return self.estimator.estimate_detailed(full_name, lo, hi)
+            return dataset.primary.name
+        return dataset.secondary_tree(index_name).name

@@ -10,6 +10,7 @@ from repro.eval.experiments import (
     fig7,
     fig8,
     fig9,
+    ndv,
 )
 from repro.eval.experiments.common import (
     MEDIUM_SCALE,
@@ -29,6 +30,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "ndv",
     "extensions",
     "ExperimentScale",
     "SMALL_SCALE",

@@ -5,7 +5,7 @@ ingestion time (Fig. 2), so the speed of the ingestion/flush/merge hot
 path is a *correctness property* of this repo -- and properties need
 machine-checkable artifacts.  This module provides:
 
-* nine named microbenchmarks covering the hot paths the batched
+* eleven named microbenchmarks covering the hot paths the batched
   ingestion work targets::
 
       ingest-throughput   bulkload stream -> component, stats attached
@@ -32,6 +32,9 @@ machine-checkable artifacts.  This module provides:
                           bounded EstimateService (the serving-layer
                           tail-latency scenario behind the
                           serve.latency.p99 budget)
+      ndv                 HLL sketch build (columnar add_many), the
+                          master's register-union fold, and the HBS
+                          wire compression ratio (docs/SKETCHES.md)
 
 * a schema-versioned JSON report (``BENCH_<timestamp>.json``) with
   median/p95 over N repetitions plus environment, seed and scale, so
@@ -66,7 +69,7 @@ from repro.cluster.feeds import (
 )
 from repro.cluster.network import Network
 from repro.cluster.serving import EstimateService
-from repro.core.config import StatisticsConfig
+from repro.core.config import DEFAULT_NDV_PRECISION, StatisticsConfig
 from repro.core.manager import StatisticsManager
 from repro.errors import BenchmarkError, OverloadedError
 from repro.lsm.dataset import Dataset, IndexSpec
@@ -81,6 +84,7 @@ from repro.lsm.tree import DEFAULT_WRITE_BATCH_SIZE, LSMTree
 from repro.obs.registry import MetricsRegistry, use_registry
 from repro.synopses.base import SynopsisType
 from repro.synopses.factory import create_builder
+from repro.synopses.hll import HyperLogLogBuilder
 from repro.types import Domain
 from repro.util.retry import RetryPolicy
 
@@ -130,6 +134,8 @@ class PerfScale:
     serving_records: int
     serving_clients: int
     serving_requests: int
+    ndv_records: int
+    ndv_union_sketches: int
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -150,6 +156,8 @@ class PerfScale:
             "serving_records": self.serving_records,
             "serving_clients": self.serving_clients,
             "serving_requests": self.serving_requests,
+            "ndv_records": self.ndv_records,
+            "ndv_union_sketches": self.ndv_union_sketches,
         }
 
 
@@ -171,6 +179,8 @@ QUICK_SCALE = PerfScale(
     serving_records=1_500,
     serving_clients=3,
     serving_requests=60,
+    ndv_records=30_000,
+    ndv_union_sketches=64,
 )
 """The CI-friendly preset behind ``repro bench --quick`` (seconds)."""
 
@@ -192,6 +202,8 @@ FULL_SCALE = PerfScale(
     serving_records=4_000,
     serving_clients=4,
     serving_requests=200,
+    ndv_records=120_000,
+    ndv_union_sketches=256,
 )
 """The default preset (a minute or two)."""
 
@@ -228,6 +240,9 @@ METRIC_SPECS: dict[str, tuple[str, str]] = {
     "serve.stall.max_window": ("s", "lower"),
     "serve.rejected": ("requests", "lower"),
     "feed.resume.replayed": ("records", "higher"),
+    "ndv.build.throughput": ("records/s", "higher"),
+    "ndv.union.latency": ("s", "lower"),
+    "ndv.wire.compression_ratio": ("ratio", "higher"),
 }
 
 BENCHMARK_NAMES = (
@@ -241,6 +256,7 @@ BENCHMARK_NAMES = (
     "stability",
     "memory-budget",
     "serving",
+    "ndv",
 )
 """The named microbenchmarks, in execution order."""
 
@@ -276,6 +292,9 @@ METRIC_SOURCES: dict[str, str] = {
     "serve.stall.max_window": "serving",
     "serve.rejected": "serving",
     "feed.resume.replayed": "serving",
+    "ndv.build.throughput": "ndv",
+    "ndv.union.latency": "ndv",
+    "ndv.wire.compression_ratio": "ndv",
 }
 
 SUITES: dict[str, tuple[str, ...]] = {
@@ -283,6 +302,7 @@ SUITES: dict[str, tuple[str, ...]] = {
     "stability": ("stability",),
     "memory-budget": ("memory-budget",),
     "serving": ("serving",),
+    "ndv": ("ndv",),
 }
 """Named benchmark subsets for ``repro bench --suite``."""
 
@@ -998,6 +1018,55 @@ def _bench_serving(
     }
 
 
+def _bench_ndv(
+    scale: PerfScale, seed: int, timer: Callable[[], float]
+) -> dict[str, float]:
+    """The NDV sketch lane's three costs (docs/SKETCHES.md): building
+    a sketch over a value stream on the columnar ``add_many`` path,
+    the master's lazy register-union fold across per-component
+    sketches, and the HBS wire form's size against the dense registers.
+
+    ``ndv.wire.compression_ratio`` is hardware-independent -- dense
+    register bytes over HBS-encoded bytes of the same deterministic
+    sketch -- so like ``ingest.columnar_speedup`` it gates
+    meaningfully across heterogeneous runners.
+    """
+    n = scale.ndv_records
+    registers = 1 << DEFAULT_NDV_PRECISION
+    step = 514_229  # coprime with any power of two
+    values = [(seed + i * step) % _DOMAIN.length for i in range(n)]
+
+    builder = HyperLogLogBuilder(_DOMAIN, registers)
+    started = timer()
+    builder.add_many(values)
+    sketch = builder.build()
+    build_elapsed = max(timer() - started, 1e-9)
+
+    # One sketch per simulated component, then the fold the master's
+    # estimator runs on a cache miss (exact by register-max algebra).
+    parts = scale.ndv_union_sketches
+    component_sketches = []
+    for part in range(parts):
+        part_builder = HyperLogLogBuilder(_DOMAIN, registers)
+        part_builder.add_many(values[part::parts])
+        component_sketches.append(part_builder.build())
+    started = timer()
+    merged = component_sketches[0]
+    for other in component_sketches[1:]:
+        merged = merged.merge_with(other)
+    union_elapsed = max(timer() - started, 1e-9)
+    assert merged.to_payload() == sketch.to_payload(), (
+        "unioned per-component sketches diverged from the whole-stream "
+        "sketch -- the union algebra is broken"
+    )
+
+    return {
+        "ndv.build.throughput": n / build_elapsed,
+        "ndv.union.latency": union_elapsed / (parts - 1),
+        "ndv.wire.compression_ratio": registers / max(merged.encoded_bytes(), 1),
+    }
+
+
 _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "ingest-throughput": _bench_ingest,
     "flush-latency": _bench_flush,
@@ -1009,6 +1078,7 @@ _BENCHMARKS: dict[str, Callable[..., dict[str, float]]] = {
     "stability": _bench_stability,
     "memory-budget": _bench_memory_budget,
     "serving": _bench_serving,
+    "ndv": _bench_ndv,
 }
 
 

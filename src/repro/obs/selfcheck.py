@@ -50,6 +50,9 @@ EXPECTED_COUNTERS = (
     "collector.synopses.published",
     "estimator.estimate.count",
     "estimator.cache_hit.count",
+    "sketch.registers.bytes",
+    "sketch.wire.bytes",
+    "sketch.union.count",
 )
 """Counters the scripted ingest must produce with value > 0."""
 
@@ -87,7 +90,13 @@ def run_scripted_ingest(
             merge_policy=ConstantMergePolicy(max_components=3),
         )
         stats = StatisticsManager(
-            StatisticsConfig(SynopsisType.EQUI_WIDTH, budget=64), reg
+            StatisticsConfig(
+                SynopsisType.EQUI_WIDTH,
+                budget=64,
+                ndv_enabled=True,
+                ndv_precision=6,
+            ),
+            reg,
         )
         stats.attach(dataset)
 
@@ -106,6 +115,10 @@ def run_scripted_ingest(
         # the lazily merged pair; the rest hit the cache.
         for _ in range(16):
             stats.estimate(dataset, "value_idx", 128, 383)
+        # NDV estimates exercise the sketch lane the same way: one lazy
+        # register union, then cache hits.
+        for _ in range(4):
+            stats.estimate_ndv(dataset, "value_idx")
 
     snapshot = reg.snapshot()
     counters = snapshot.get("counters", {})

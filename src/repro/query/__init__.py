@@ -4,6 +4,7 @@ from repro.query.executor import AccessMethod, ExecutionResult, QueryExecutor
 from repro.query.optimizer import (
     AccessPlan,
     CostModel,
+    JoinCardinalityPlan,
     JoinMethod,
     JoinPlan,
     QueryOptimizer,
@@ -20,4 +21,5 @@ __all__ = [
     "AccessPlan",
     "JoinMethod",
     "JoinPlan",
+    "JoinCardinalityPlan",
 ]

@@ -27,7 +27,14 @@ from repro.lsm.dataset import Dataset
 from repro.query.executor import AccessMethod
 from repro.query.predicate import RangePredicate
 
-__all__ = ["JoinMethod", "CostModel", "AccessPlan", "JoinPlan", "QueryOptimizer"]
+__all__ = [
+    "JoinMethod",
+    "CostModel",
+    "AccessPlan",
+    "JoinPlan",
+    "JoinCardinalityPlan",
+    "QueryOptimizer",
+]
 
 
 class JoinMethod(enum.Enum):
@@ -89,6 +96,32 @@ class JoinPlan:
     hash_join_cost: float
 
 
+@dataclass(frozen=True)
+class JoinCardinalityPlan:
+    """An equi-join plan sized with the NDV sketch lane.
+
+    The textbook equi-join cardinality formula
+    ``|R ⋈ S| = |R| * |S| / max(ndv(R.a), ndv(S.b))`` needs distinct
+    counts, which histograms do not provide -- this is what the HLL
+    lane (docs/SKETCHES.md) feeds the optimizer.
+
+    Attributes:
+        method: The chosen physical join operator.
+        estimated_join_cardinality: The formula's output-size estimate.
+        outer_ndv: NDV estimate of the outer join key.
+        inner_ndv: NDV estimate of the inner join key.
+        inlj_cost: Cost of the indexed nested-loop alternative.
+        hash_join_cost: Cost of the hash-join alternative.
+    """
+
+    method: JoinMethod
+    estimated_join_cardinality: float
+    outer_ndv: float
+    inner_ndv: float
+    inlj_cost: float
+    hash_join_cost: float
+
+
 class QueryOptimizer:
     """Plans queries using catalogued statistics."""
 
@@ -137,12 +170,55 @@ class QueryOptimizer:
         )
         return JoinPlan(method, outer_estimate, inlj, hash_cost)
 
+    def estimate_ndv(self, dataset: Dataset, field: str) -> float:
+        """Distinct-value estimate for an indexed field (sketch lane)."""
+        return self.estimator.estimate_ndv(self._index_for_field(dataset, field))
+
+    def plan_join_on(
+        self,
+        outer_dataset: Dataset,
+        outer_field: str,
+        outer_total: int,
+        inner_dataset: Dataset,
+        inner_total: int,
+        inner_field: str | None = None,
+    ) -> JoinCardinalityPlan:
+        """Plan an equi-join sized by the NDV sketches of its keys.
+
+        Estimates the join's output cardinality as
+        ``outer_total * inner_total / max(outer_ndv, inner_ndv)`` (the
+        containment assumption) and picks INLJ when probing the inner
+        index once per outer record beats scanning both sides.
+        """
+        if inner_field is None:
+            inner_field = outer_field
+        outer_ndv = self.estimate_ndv(outer_dataset, outer_field)
+        inner_ndv = self.estimate_ndv(inner_dataset, inner_field)
+        join_cardinality = (
+            outer_total * inner_total / max(outer_ndv, inner_ndv, 1.0)
+        )
+        inlj = self.cost_model.inlj_cost(outer_total)
+        hash_cost = self.cost_model.hash_join_cost(outer_total, inner_total)
+        method = (
+            JoinMethod.INDEXED_NESTED_LOOP
+            if inlj <= hash_cost
+            else JoinMethod.HASH_JOIN
+        )
+        return JoinCardinalityPlan(
+            method, join_cardinality, outer_ndv, inner_ndv, inlj, hash_cost
+        )
+
     @staticmethod
     def _index_for(dataset: Dataset, predicate: RangePredicate) -> str:
+        return QueryOptimizer._index_for_field(dataset, predicate.field)
+
+    @staticmethod
+    def _index_for_field(dataset: Dataset, field: str) -> str:
+        if field == dataset.primary_key:
+            return dataset.primary.name
         for spec in dataset.indexes.values():
-            if spec.field == predicate.field:
+            if spec.field == field:
                 return dataset.secondary_tree(spec.name).name
         raise QueryError(
-            f"no secondary index on field {predicate.field!r} in dataset "
-            f"{dataset.name!r}"
+            f"no index on field {field!r} in dataset {dataset.name!r}"
         )

@@ -12,6 +12,12 @@ from repro.synopses.equi_width import EquiWidthBuilder, EquiWidthHistogram
 from repro.synopses.factory import create_builder, synopsis_from_payload
 from repro.synopses.gk import GKSketch, GKSketchBuilder
 from repro.synopses.ground_truth import GroundTruthBuilder, GroundTruthSynopsis
+from repro.synopses.hll import (
+    HBSCodec,
+    HyperLogLogBuilder,
+    HyperLogLogSynopsis,
+    ndv_statistics_key,
+)
 from repro.synopses.maxdiff import MaxDiffBuilder, MaxDiffHistogram
 from repro.synopses.sampling import ReservoirSample, ReservoirSampleBuilder
 from repro.synopses.voptimal import VOptimalBuilder, VOptimalHistogram
@@ -49,6 +55,10 @@ __all__ = [
     "MaxDiffBuilder",
     "GKSketch",
     "GKSketchBuilder",
+    "HBSCodec",
+    "HyperLogLogSynopsis",
+    "HyperLogLogBuilder",
+    "ndv_statistics_key",
     "ReservoirSample",
     "ReservoirSampleBuilder",
     "create_builder",

@@ -42,7 +42,9 @@ class SynopsisType(enum.Enum):
     trade-off can be measured.  ``GK_SKETCH`` and ``RESERVOIR_SAMPLE``
     are the paper's named future-work directions (Section 5): both
     tolerate *unsorted* input, so they extend statistics to
-    non-indexed attributes.
+    non-indexed attributes.  ``HLL_SKETCH`` is the distinct-value
+    family (docs/SKETCHES.md): order-insensitive, exactly mergeable by
+    register union, and answering NDV instead of record counts.
     """
 
     EQUI_WIDTH = "equi_width"
@@ -53,6 +55,7 @@ class SynopsisType(enum.Enum):
     MAX_DIFF = "max_diff"
     GK_SKETCH = "gk_sketch"
     RESERVOIR_SAMPLE = "reservoir_sample"
+    HLL_SKETCH = "hll_sketch"
 
     @property
     def mergeable(self) -> bool:
@@ -62,6 +65,7 @@ class SynopsisType(enum.Enum):
             SynopsisType.WAVELET,
             SynopsisType.GROUND_TRUTH,
             SynopsisType.GK_SKETCH,
+            SynopsisType.HLL_SKETCH,
         )
 
     @property
@@ -74,6 +78,7 @@ class SynopsisType(enum.Enum):
         return self not in (
             SynopsisType.GK_SKETCH,
             SynopsisType.RESERVOIR_SAMPLE,
+            SynopsisType.HLL_SKETCH,
         )
 
 

@@ -9,6 +9,7 @@ from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
 from repro.synopses.equi_height import EquiHeightBuilder, EquiHeightHistogram
 from repro.synopses.equi_width import EquiWidthBuilder, EquiWidthHistogram
 from repro.synopses.gk import GKSketch, GKSketchBuilder
+from repro.synopses.hll import HyperLogLogBuilder, HyperLogLogSynopsis
 from repro.synopses.ground_truth import GroundTruthBuilder, GroundTruthSynopsis
 from repro.synopses.maxdiff import MaxDiffBuilder, MaxDiffHistogram
 from repro.synopses.sampling import ReservoirSample, ReservoirSampleBuilder
@@ -27,6 +28,7 @@ _SYNOPSIS_CLASSES: dict[SynopsisType, type[Synopsis]] = {
     SynopsisType.MAX_DIFF: MaxDiffHistogram,
     SynopsisType.GK_SKETCH: GKSketch,
     SynopsisType.RESERVOIR_SAMPLE: ReservoirSample,
+    SynopsisType.HLL_SKETCH: HyperLogLogSynopsis,
 }
 
 
@@ -57,6 +59,9 @@ def create_builder(
         return GKSketchBuilder(domain, budget)
     if synopsis_type is SynopsisType.RESERVOIR_SAMPLE:
         return ReservoirSampleBuilder(domain, budget)
+    if synopsis_type is SynopsisType.HLL_SKETCH:
+        # The budget is the register count 2**p (one byte each).
+        return HyperLogLogBuilder(domain, budget)
     raise SynopsisError(f"unknown synopsis type {synopsis_type!r}")
 
 

@@ -1,0 +1,472 @@
+"""HyperLogLog distinct-value sketches with Huffman-Bucket compression.
+
+The paper's synopsis families answer *range cardinality* only; the
+number-of-distinct-values (NDV) statistic that join-cardinality and
+``DISTINCT`` planning need is the ROADMAP's "mergeable distinct-value
+sketches" item.  This module implements it as a new synopsis family:
+
+* :class:`HyperLogLogSynopsis` -- a dense HyperLogLog: ``m = 2**p``
+  one-byte registers (``array('B')``), a seeded 64-bit hash, and the
+  standard bias-corrected estimator with small-range (linear counting)
+  and large-range corrections [Flajolet et al., AOFA 2007].  Register
+  union (element-wise max) is *exact*: unlike histogram or wavelet
+  merges it loses nothing, so the master's lazy merge path can fold
+  per-component sketches without recomputation.
+* :class:`HBSCodec` -- the Huffman-Bucket register coding (after
+  Karppa's *Huffman-Bucket Sketch*, PAPERS.md): registers concentrate
+  sharply around ``log2(n/m)``, so a canonical Huffman code over the
+  observed register values compresses the dense array losslessly for
+  the wire/persisted form.  ``decode(encode(x))`` is bit-identical to
+  ``x`` by construction and by property test.
+
+The family plugs into the standard synopsis protocol.  Two deliberate
+deviations from the histogram families, both documented in
+docs/SKETCHES.md:
+
+* ``budget`` counts *registers* (one byte each), not 16-byte elements,
+  and must be a power of two (``budget = 2**precision``);
+  :meth:`payload_bytes` is overridden accordingly.
+* :meth:`estimate` answers *distinct* values in a range (the NDV
+  estimate scaled by the range's share of the domain, a uniformity
+  assumption) -- the family's real API is :meth:`cardinality`, consumed
+  by the estimator's ``estimate_ndv``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import struct
+from array import array
+from typing import Any, Sequence
+
+from repro.errors import MergeabilityError, SynopsisError
+from repro.synopses.base import Synopsis, SynopsisBuilder, SynopsisType
+from repro.types import Domain
+from repro.util.npbackend import (
+    INT64_TYPECODE,
+    int64_view,
+    numpy_backend_enabled,
+)
+
+__all__ = [
+    "DEFAULT_HASH_SEED",
+    "HBSCodec",
+    "HyperLogLogSynopsis",
+    "HyperLogLogBuilder",
+    "hash64",
+    "ndv_statistics_key",
+]
+
+_MASK64 = (1 << 64) - 1
+_TWO64 = float(1 << 64)
+
+DEFAULT_HASH_SEED = 0x9E3779B97F4A7C15
+"""Default hash seed (the 64-bit golden-ratio constant)."""
+
+
+def ndv_statistics_key(statistics_key: str) -> str:
+    """Catalog key of the NDV sketch lane riding a statistics target."""
+    return f"{statistics_key}#ndv"
+
+
+def hash64(value: int, seed: int = DEFAULT_HASH_SEED) -> int:
+    """Seeded 64-bit mix (splitmix64 finaliser) of an integer value.
+
+    Deterministic across platforms and processes -- crash recovery
+    re-derives sketches by rescanning components, and the rebuilt
+    registers must be bit-identical to the pre-crash ones.
+    """
+    x = (int(value) + seed) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _alpha(m: int) -> float:
+    """The bias-correction constant of the raw HLL estimator."""
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    # The asymptotic formula; also used below 16 registers, where the
+    # sketch is degenerate anyway (supported only for the tiny-budget
+    # contract tests).
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HBSCodec:
+    """Lossless Huffman-Bucket coding of an HLL register array.
+
+    Register values follow a sharply peaked (geometric-tailed)
+    distribution, so a Huffman code built from the *actual* register
+    histogram gets close to the empirical entropy -- typically 3-4x
+    smaller than the dense byte array -- while staying trivially
+    decodable.  The code is *canonical* (codewords assigned in
+    (length, symbol) order), so encoding is a pure function of the
+    register contents: identical registers always produce identical
+    bytes, which the catalog's payload-equality dedup relies on.
+
+    Wire format (big-endian):
+
+    * uniform frame (0 or 1 distinct register values):
+      ``B:0  I:register_count  B:value``
+    * Huffman frame:
+      ``B:1  I:register_count  B:symbol_count``
+      then ``symbol_count`` pairs of ``B:value  B:code_length``,
+      then the concatenated codewords, zero-padded to a byte boundary.
+    """
+
+    _HEADER = struct.Struct(">BIB")
+    _UNIFORM = 0
+    _HUFFMAN = 1
+
+    @classmethod
+    def encode(cls, registers: "array[int]") -> bytes:
+        frequencies: dict[int, int] = {}
+        for value in registers:
+            frequencies[value] = frequencies.get(value, 0) + 1
+        if len(frequencies) <= 1:
+            value = registers[0] if len(registers) else 0
+            return cls._HEADER.pack(cls._UNIFORM, len(registers), value)
+        lengths = cls._code_lengths(frequencies)
+        codes = cls._canonical_codes(lengths)
+        out = bytearray(
+            cls._HEADER.pack(cls._HUFFMAN, len(registers), len(lengths))
+        )
+        for symbol in sorted(lengths):
+            out += struct.pack(">BB", symbol, lengths[symbol])
+        buffer = 0
+        pending = 0
+        for value in registers:
+            code, length = codes[value]
+            buffer = (buffer << length) | code
+            pending += length
+            while pending >= 8:
+                pending -= 8
+                out.append((buffer >> pending) & 0xFF)
+        if pending:
+            out.append((buffer << (8 - pending)) & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "array[int]":
+        try:
+            frame, count, arg = cls._HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise SynopsisError(f"truncated HBS frame: {exc}") from exc
+        offset = cls._HEADER.size
+        if frame == cls._UNIFORM:
+            return array("B", bytes([arg]) * count)
+        if frame != cls._HUFFMAN:
+            raise SynopsisError(f"unknown HBS frame type {frame}")
+        lengths: dict[int, int] = {}
+        for _ in range(arg):
+            symbol, length = struct.unpack_from(">BB", data, offset)
+            offset += 2
+            lengths[symbol] = length
+        codes = cls._canonical_codes(lengths)
+        # (length, code) -> symbol, walked bit by bit below.
+        table = {
+            (length, code): symbol
+            for symbol, (code, length) in codes.items()
+        }
+        registers = array("B", bytes(count))
+        position = 0
+        code = 0
+        length = 0
+        payload = memoryview(data)[offset:]
+        for byte in payload:
+            for shift in range(7, -1, -1):
+                code = (code << 1) | ((byte >> shift) & 1)
+                length += 1
+                symbol = table.get((length, code))
+                if symbol is not None:
+                    registers[position] = symbol
+                    position += 1
+                    code = 0
+                    length = 0
+                    if position == count:
+                        return registers
+        raise SynopsisError(
+            f"HBS frame exhausted after {position}/{count} registers"
+        )
+
+    @staticmethod
+    def _code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+        """Huffman code lengths with deterministic tie-breaking.
+
+        The heap orders by (frequency, smallest contained symbol); the
+        resulting *lengths* feed the canonical assignment, so any
+        residual tree ambiguity cannot reach the wire.
+        """
+        heap: list[tuple[int, int, list[int]]] = [
+            (frequency, symbol, [symbol])
+            for symbol, frequency in frequencies.items()
+        ]
+        heapq.heapify(heap)
+        lengths = dict.fromkeys(frequencies, 0)
+        while len(heap) > 1:
+            freq_a, tie_a, symbols_a = heapq.heappop(heap)
+            freq_b, tie_b, symbols_b = heapq.heappop(heap)
+            for symbol in symbols_a + symbols_b:
+                lengths[symbol] += 1
+            heapq.heappush(
+                heap,
+                (freq_a + freq_b, min(tie_a, tie_b), symbols_a + symbols_b),
+            )
+        return lengths
+
+    @staticmethod
+    def _canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+        """Canonical codewords: assigned in (length, symbol) order."""
+        code = 0
+        previous_length = 0
+        codes: dict[int, tuple[int, int]] = {}
+        for symbol in sorted(lengths, key=lambda s: (lengths[s], s)):
+            length = lengths[symbol]
+            code <<= length - previous_length
+            codes[symbol] = (code, length)
+            code += 1
+            previous_length = length
+        return codes
+
+
+def _check_register_budget(budget: int) -> int:
+    """Validate a register-count budget; returns the precision ``p``."""
+    if budget < 2 or budget & (budget - 1):
+        raise SynopsisError(
+            f"hll budget is the register count 2**p and must be a power "
+            f"of two >= 2, got {budget}"
+        )
+    return budget.bit_length() - 1
+
+
+class HyperLogLogSynopsis(Synopsis):
+    """An immutable HyperLogLog sketch of one value stream's NDV."""
+
+    synopsis_type = SynopsisType.HLL_SKETCH
+
+    def __init__(
+        self,
+        domain: Domain,
+        budget: int,
+        registers: "array[int]",
+        total_count: int,
+        hash_seed: int = DEFAULT_HASH_SEED,
+    ) -> None:
+        precision = _check_register_budget(budget)
+        if len(registers) != budget:
+            raise SynopsisError(
+                f"{len(registers)} registers do not match budget {budget}"
+            )
+        super().__init__(domain, budget, total_count)
+        self.precision = precision
+        self.hash_seed = hash_seed
+        self.registers = registers
+        self._encoded: bytes | None = None
+
+    @property
+    def element_count(self) -> int:
+        return self.budget
+
+    def register_bytes(self) -> int:
+        """Dense (resident) register size: one byte per register."""
+        return self.budget
+
+    def encoded_bytes(self) -> int:
+        """Size of the HBS-compressed wire form."""
+        return len(self._encode())
+
+    def payload_bytes(self) -> int:
+        """Resident size: one byte per register plus the fixed header
+        (catalog/cache accounting uses the dense form it holds)."""
+        return 32 + self.budget
+
+    def cardinality(self) -> float:
+        """The bias-corrected NDV estimate over the observed stream."""
+        m = self.budget
+        harmonic = 0.0
+        zeros = 0
+        for register in self.registers:
+            harmonic += 2.0 ** -register
+            if register == 0:
+                zeros += 1
+        raw = _alpha(m) * m * m / harmonic
+        if raw <= 2.5 * m and zeros:
+            return m * math.log(m / zeros)  # small-range linear counting
+        if raw > _TWO64 / 30.0:
+            return -_TWO64 * math.log1p(-raw / _TWO64)  # large-range
+        return raw
+
+    def estimate(self, lo: int, hi: int) -> float:
+        """Distinct values expected in ``[lo, hi]`` under uniformity.
+
+        The sketch has no positional information, so the range answer
+        scales the NDV estimate by the range's share of the domain --
+        an explicitly weaker contract than the histogram families'
+        record counts (docs/SKETCHES.md).
+        """
+        clipped = self.domain.intersect(lo, hi)
+        if clipped is None:
+            return 0.0
+        lo, hi = clipped
+        span = self.domain.hi - self.domain.lo + 1
+        return self.cardinality() * ((hi - lo + 1) / span)
+
+    def _merge(self, other: Synopsis) -> "HyperLogLogSynopsis":
+        assert isinstance(other, HyperLogLogSynopsis)
+        if other.hash_seed != self.hash_seed:
+            raise MergeabilityError(
+                "cannot union hll sketches built with different hash seeds"
+            )
+        merged = array(
+            "B",
+            map(max, self.registers, other.registers),
+        )
+        return HyperLogLogSynopsis(
+            self.domain,
+            self.budget,
+            merged,
+            self.total_count + other.total_count,
+            self.hash_seed,
+        )
+
+    def _encode(self) -> bytes:
+        # Registers are immutable once built, so the wire form is
+        # memoised: to_payload runs once per network publish *and* per
+        # catalog dedup comparison.
+        if self._encoded is None:
+            self._encoded = HBSCodec.encode(self.registers)
+        return self._encoded
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "type": self.synopsis_type.value,
+            "domain": [self.domain.lo, self.domain.hi],
+            "budget": self.budget,
+            "total_count": self.total_count,
+            "seed": self.hash_seed,
+            "hbs": self._encode().hex(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "HyperLogLogSynopsis":
+        """Inverse of :meth:`to_payload` (decodes the HBS frame)."""
+        registers = HBSCodec.decode(bytes.fromhex(payload["hbs"]))
+        return cls(
+            Domain(*payload["domain"]),
+            payload["budget"],
+            registers,
+            payload["total_count"],
+            payload["seed"],
+        )
+
+
+class HyperLogLogBuilder(SynopsisBuilder):
+    """Streaming HLL construction; tolerates arbitrary input order."""
+
+    requires_sorted_input = False
+
+    def __init__(
+        self,
+        domain: Domain,
+        budget: int,
+        hash_seed: int = DEFAULT_HASH_SEED,
+    ) -> None:
+        precision = _check_register_budget(budget)
+        super().__init__(domain, budget)
+        self.precision = precision
+        self.hash_seed = hash_seed
+        self._registers = array("B", bytes(budget))
+        self._value_bits = 64 - precision
+        self._value_mask = (1 << self._value_bits) - 1
+
+    def memory_bytes(self) -> int:
+        """One byte per register plus a fixed header -- the dense
+        array *is* the whole working set."""
+        return 64 + self.budget
+
+    def _observe_hash(self, hashed: int) -> None:
+        index = hashed >> self._value_bits
+        w = hashed & self._value_mask
+        rank = self._value_bits - w.bit_length() + 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def _add(self, value: int) -> None:
+        self._observe_hash(hash64(value, self.hash_seed))
+
+    def _add_many(self, values: Sequence[int]) -> None:
+        """Batched register update (the columnar ingest lane).
+
+        A typed ``array('q')`` chunk with the numpy backend enabled is
+        hashed and ranked vectorised; otherwise a tight scalar loop
+        runs.  Both paths perform the identical 64-bit integer
+        arithmetic (numpy ``uint64`` wraps exactly like the masked
+        Python ints) and registers update through an order-insensitive
+        max, so every chunking and both backends are register-identical
+        to per-record ``add`` -- the oracle property the test battery
+        asserts.
+        """
+        if (
+            numpy_backend_enabled()
+            and isinstance(values, array)
+            and values.typecode == INT64_TYPECODE
+        ):
+            view = int64_view(values)
+            if view is not None:
+                self._add_many_numpy(view)
+                self._count += len(values)
+                return
+        seed = self.hash_seed
+        registers = self._registers
+        value_bits = self._value_bits
+        value_mask = self._value_mask
+        for value in values:
+            x = (value + seed) & _MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            x ^= x >> 31
+            index = x >> value_bits
+            w = x & value_mask
+            rank = value_bits - w.bit_length() + 1
+            if rank > registers[index]:
+                registers[index] = rank
+        self._count += len(values)
+
+    def _add_many_numpy(self, view: Any) -> None:
+        """Vectorised splitmix64 + rank over an ``int64`` view."""
+        import numpy as np
+
+        u64 = np.uint64
+        x = view.astype(np.uint64)  # two's-complement wrap == & _MASK64
+        x += u64(self.hash_seed & _MASK64)
+        x = (x ^ (x >> u64(30))) * u64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> u64(27))) * u64(0x94D049BB133111EB)
+        x ^= x >> u64(31)
+        index = (x >> u64(self._value_bits)).astype(np.int64)
+        w = x & u64(self._value_mask)
+        # Exact bit_length via binary reduction (float log2 would round
+        # wrong near 2**53); bit_length(0) == 0 gives the max rank.
+        bits = np.zeros(len(w), dtype=np.uint8)
+        for shift in (32, 16, 8, 4, 2, 1):
+            high = w >> u64(shift)
+            has_high = high > 0
+            bits[has_high] += shift
+            w = np.where(has_high, high, w)
+        bits += (w > 0).astype(np.uint8)
+        rank = (self._value_bits + 1 - bits).astype(np.uint8)
+        registers = np.frombuffer(self._registers, dtype=np.uint8)
+        np.maximum.at(registers, index, rank)
+
+    def _build(self) -> HyperLogLogSynopsis:
+        return HyperLogLogSynopsis(
+            self.domain,
+            self.budget,
+            self._registers,
+            self._count,
+            self.hash_seed,
+        )

@@ -75,6 +75,18 @@ class TestRunSuite:
     def test_every_benchmark_name_registered(self):
         assert set(BENCHMARK_NAMES) == set(perfsuite._BENCHMARKS)
 
+    def test_ndv_benchmark_metrics(self):
+        report = run_suite(quick=True, seed=5, repetitions=1, only=("ndv",))
+        metrics = report["metrics"]
+        assert metrics["ndv.build.throughput"]["median"] > 0
+        assert metrics["ndv.union.latency"]["median"] > 0
+        # The HBS wire form is deterministic for a given register file,
+        # so the ratio is exact, hardware-free, and >1 at the default
+        # precision on this workload (docs/SKETCHES.md).
+        ratio = metrics["ndv.wire.compression_ratio"]
+        assert ratio["direction"] == "higher"
+        assert ratio["median"] > 1.0
+
 
 class TestReportFiles:
     def test_write_and_load_roundtrip(self, tmp_path):

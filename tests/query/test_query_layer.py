@@ -173,3 +173,100 @@ class TestOptimizer:
                 else AccessMethod.FULL_SCAN
             )
             assert plan.method is cheaper
+
+
+class TestJoinCardinality:
+    """The NDV sketch lane's optimizer consumer (docs/SKETCHES.md)."""
+
+    @staticmethod
+    def _ndv_setup(num_records, distinct_values, name="orders"):
+        dataset = Dataset(
+            name,
+            SimulatedDisk(),
+            primary_key="id",
+            primary_domain=Domain(0, 10**6),
+            indexes=[IndexSpec("value_idx", "value", VALUE_DOMAIN)],
+            memtable_capacity=256,
+        )
+        manager = StatisticsManager(
+            StatisticsConfig(
+                SynopsisType.EQUI_WIDTH,
+                budget=128,
+                ndv_enabled=True,
+                ndv_precision=9,
+            )
+        )
+        manager.attach(dataset)
+        dataset.bulkload(
+            {"id": pk, "value": pk % distinct_values}
+            for pk in range(num_records)
+        )
+        return dataset, manager
+
+    def test_estimate_ndv_on_join_key(self):
+        dataset, manager = self._ndv_setup(8_000, distinct_values=250)
+        optimizer = QueryOptimizer(manager.estimator)
+        sigma = 1.04 / 512**0.5
+        assert optimizer.estimate_ndv(dataset, "value") == pytest.approx(
+            250, rel=3 * sigma
+        )
+        assert optimizer.estimate_ndv(dataset, "id") == pytest.approx(
+            8_000, rel=3 * sigma
+        )
+
+    @staticmethod
+    def _two_dataset_setup():
+        """Both join sides registered with ONE manager (one catalog)."""
+        manager = StatisticsManager(
+            StatisticsConfig(
+                SynopsisType.EQUI_WIDTH,
+                budget=128,
+                ndv_enabled=True,
+                ndv_precision=9,
+            )
+        )
+        datasets = {}
+        for name, records, distinct in (
+            ("orders", 6_000, 100),
+            ("items", 9_000, 400),
+        ):
+            dataset = Dataset(
+                name,
+                SimulatedDisk(),
+                primary_key="id",
+                primary_domain=Domain(0, 10**6),
+                indexes=[IndexSpec("value_idx", "value", VALUE_DOMAIN)],
+                memtable_capacity=256,
+            )
+            manager.attach(dataset)
+            dataset.bulkload(
+                {"id": pk, "value": pk % distinct} for pk in range(records)
+            )
+            datasets[name] = dataset
+        return datasets["orders"], datasets["items"], manager
+
+    def test_join_cardinality_uses_max_ndv(self):
+        outer, inner, manager = self._two_dataset_setup()
+        optimizer = QueryOptimizer(manager.estimator)
+        plan = optimizer.plan_join_on(
+            outer, "value", 6_000, inner, 9_000, inner_field="value"
+        )
+        formula = 6_000 * 9_000 / max(plan.outer_ndv, plan.inner_ndv)
+        assert plan.estimated_join_cardinality == pytest.approx(formula)
+        assert plan.outer_ndv == pytest.approx(100, rel=0.2)
+        assert plan.inner_ndv == pytest.approx(400, rel=0.2)
+        # max(100, 400) in the denominator: ~135k joined rows.
+        assert plan.estimated_join_cardinality == pytest.approx(
+            135_000, rel=0.25
+        )
+
+    def test_join_method_crossover(self):
+        dataset, manager = self._ndv_setup(4_000, 200)
+        optimizer = QueryOptimizer(manager.estimator)
+        # One probe costs 30 sequential-page equivalents vs ~63 pages
+        # to scan both sides: INLJ only wins for a tiny outer.
+        small = optimizer.plan_join_on(dataset, "value", 2, dataset, 4_000)
+        assert small.method is JoinMethod.INDEXED_NESTED_LOOP
+        large = optimizer.plan_join_on(dataset, "value", 50_000, dataset, 4_000)
+        assert large.method is JoinMethod.HASH_JOIN
+        assert large.hash_join_cost < large.inlj_cost

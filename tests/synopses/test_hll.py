@@ -1,0 +1,230 @@
+"""The HLL sketch battery (docs/SKETCHES.md).
+
+Four contracts, property-tested:
+
+1. **Union algebra** -- register union is commutative, associative and
+   idempotent, and ``merge(build(A), build(B))`` is *bit-identical* to
+   ``build(A ∪ B)``: the lazy master-side union loses nothing.
+2. **HBS codec** -- ``decode(encode(registers))`` round-trips
+   bit-identically for arbitrary register vectors, including the
+   all-zero and saturated uniform frames.
+3. **Accuracy** -- relative NDV error stays within three standard
+   errors (``3 * 1.04 / sqrt(2**p)``) over seeded random cardinalities
+   from 10 up to 10**6 (the full sweep runs in the nightly lane via
+   ``REPRO_HLL_FULL=1``; the quick lane subsamples).
+4. **Columnar oracle** -- batched ``add_many`` over typed key columns
+   is register-identical to the per-record ``add`` oracle across chunk
+   sizes and both ``REPRO_COLUMNAR_NUMPY`` states.
+"""
+
+import os
+import random
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MergeabilityError, SynopsisError
+from repro.synopses.hll import (
+    HBSCodec,
+    HyperLogLogBuilder,
+    HyperLogLogSynopsis,
+    hash64,
+)
+from repro.types import Domain
+
+DOMAIN = Domain(0, 2**20 - 1)
+BUDGET = 256  # p = 8
+
+FULL_SCALE = os.environ.get("REPRO_HLL_FULL") == "1"
+
+values_lists = st.lists(
+    st.integers(DOMAIN.lo, DOMAIN.hi), min_size=0, max_size=300
+)
+
+
+def _build(values, budget=BUDGET, domain=DOMAIN):
+    builder = HyperLogLogBuilder(domain, budget)
+    for value in values:
+        builder.add(value)
+    return builder.build()
+
+
+def _registers(sketch: HyperLogLogSynopsis) -> bytes:
+    return bytes(sketch.registers)
+
+
+class TestUnionAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(values_lists, values_lists)
+    def test_union_equals_build_of_union(self, a, b):
+        """The load-bearing property: lazily unioned per-component
+        sketches are bit-identical to one sketch over all the data."""
+        merged = _build(a).merge_with(_build(b))
+        combined = _build(a + b)
+        assert _registers(merged) == _registers(combined)
+        assert merged.to_payload()["hbs"] == combined.to_payload()["hbs"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(values_lists, values_lists)
+    def test_commutative(self, a, b):
+        x, y = _build(a), _build(b)
+        assert _registers(x.merge_with(y)) == _registers(y.merge_with(x))
+
+    @settings(max_examples=40, deadline=None)
+    @given(values_lists, values_lists, values_lists)
+    def test_associative(self, a, b, c):
+        x, y, z = _build(a), _build(b), _build(c)
+        left = x.merge_with(y).merge_with(z)
+        right = x.merge_with(y.merge_with(z))
+        assert _registers(left) == _registers(right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values_lists)
+    def test_idempotent(self, a):
+        x = _build(a)
+        assert _registers(x.merge_with(x)) == _registers(x)
+
+    def test_merge_rejects_seed_mismatch(self):
+        x = _build(range(10))
+        other = HyperLogLogSynopsis(
+            DOMAIN, BUDGET, x.registers, 10, hash_seed=x.hash_seed + 1
+        )
+        with pytest.raises(MergeabilityError):
+            x.merge_with(other)
+
+    def test_merge_rejects_budget_mismatch(self):
+        with pytest.raises(MergeabilityError):
+            _build(range(10), budget=128).merge_with(_build(range(10)))
+
+
+class TestHBSCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(1, 9).flatmap(
+            lambda p: st.lists(
+                st.integers(0, 57), min_size=2**p, max_size=2**p
+            )
+        )
+    )
+    def test_round_trip(self, regs):
+        registers = array("B", regs)
+        encoded = HBSCodec.encode(registers)
+        assert HBSCodec.decode(encoded) == registers
+
+    def test_all_zero_uses_uniform_frame(self):
+        registers = array("B", bytes(1024))
+        encoded = HBSCodec.encode(registers)
+        assert len(encoded) == 6  # >BIB header only
+        assert HBSCodec.decode(encoded) == registers
+
+    def test_saturated_uniform(self):
+        registers = array("B", [57] * 256)
+        encoded = HBSCodec.encode(registers)
+        assert len(encoded) == 6
+        assert HBSCodec.decode(encoded) == registers
+
+    def test_payload_round_trip_bit_identical(self):
+        sketch = _build(random.Random(3).sample(range(2**20), 5000))
+        clone = HyperLogLogSynopsis.from_payload(sketch.to_payload())
+        assert _registers(clone) == _registers(sketch)
+        assert clone.to_payload() == sketch.to_payload()
+
+    def test_encoding_is_deterministic(self):
+        """Equal registers -> equal bytes (catalog dedup relies on it)."""
+        a = _build(range(0, 4000, 3))
+        b = _build(list(range(0, 4000, 3))[::-1])
+        assert a.to_payload()["hbs"] == b.to_payload()["hbs"]
+
+    def test_compresses_realistic_registers(self):
+        sketch = _build(random.Random(9).sample(range(2**20), 20_000), 1024)
+        assert sketch.encoded_bytes() < sketch.register_bytes()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("precision", [8, 10, 12])
+    def test_relative_error_within_three_sigma(self, precision):
+        m = 1 << precision
+        allowance = 3 * 1.04 / m**0.5
+        rng = random.Random(precision)
+        ceiling = 6 if FULL_SCALE else 5
+        cardinalities = [10] + [
+            rng.randint(10**e, 10 ** (e + 1)) for e in range(1, ceiling)
+        ]
+        domain = Domain(0, 2**62 - 1)
+        for n in cardinalities:
+            builder = HyperLogLogBuilder(domain, m)
+            builder.add_many(
+                array("q", rng.sample(range(2**62 - 1), n))
+            )
+            estimate = builder.build().cardinality()
+            assert abs(estimate - n) / n <= allowance, (
+                f"p={precision} n={n} est={estimate}"
+            )
+
+    def test_empty_is_zero(self):
+        sketch = _build([])
+        assert sketch.cardinality() == 0.0
+        assert sketch.estimate(DOMAIN.lo, DOMAIN.hi) == 0.0
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = _build([42] * 10_000 + [7] * 5_000)
+        assert sketch.cardinality() == pytest.approx(2, abs=1)
+
+    def test_range_estimate_scales_with_overlap(self):
+        sketch = _build(range(0, 1000))
+        full = sketch.estimate(DOMAIN.lo, DOMAIN.hi)
+        assert sketch.estimate(5, 4) == 0.0
+        assert 0.0 <= sketch.estimate(0, DOMAIN.hi // 2) <= full
+
+    def test_rejects_bad_budgets(self):
+        for bad in (3, 6, 100):
+            with pytest.raises(SynopsisError):
+                HyperLogLogBuilder(DOMAIN, bad)
+
+    def test_hash_is_seeded(self):
+        assert hash64(12345, 1) != hash64(12345, 2)
+
+
+class TestColumnarOracle:
+    @pytest.mark.parametrize("numpy_on", [False, True], ids=["py", "np"])
+    @pytest.mark.parametrize("chunk_sizes", [[1], [7], [64], [1, 33, 256]])
+    def test_add_many_matches_per_record_oracle(self, numpy_on, chunk_sizes):
+        from repro.util.npbackend import numpy_backend
+
+        rng = random.Random(11)
+        values = [rng.randrange(DOMAIN.lo, DOMAIN.hi + 1) for _ in range(900)]
+
+        oracle = HyperLogLogBuilder(DOMAIN, BUDGET)
+        for value in values:
+            oracle.add(value)
+
+        with numpy_backend(numpy_on):
+            batched = HyperLogLogBuilder(DOMAIN, BUDGET)
+            position = 0
+            index = 0
+            while position < len(values):
+                size = chunk_sizes[index % len(chunk_sizes)]
+                index += 1
+                chunk = array("q", values[position : position + size])
+                position += len(chunk)
+                batched.add_many(chunk)
+            batched_sketch = batched.build()
+
+        oracle_sketch = oracle.build()
+        assert _registers(batched_sketch) == _registers(oracle_sketch)
+        assert batched_sketch.to_payload() == oracle_sketch.to_payload()
+        assert batched_sketch.total_count == oracle_sketch.total_count
+
+    @pytest.mark.parametrize("numpy_on", [False, True], ids=["py", "np"])
+    def test_list_and_typed_column_agree(self, numpy_on):
+        from repro.util.npbackend import numpy_backend
+
+        values = list(range(0, 5000, 7))
+        with numpy_backend(numpy_on):
+            from_list = HyperLogLogBuilder(DOMAIN, BUDGET)
+            from_list.add_many(values)
+            from_column = HyperLogLogBuilder(DOMAIN, BUDGET)
+            from_column.add_many(array("q", values))
+        assert _registers(from_list.build()) == _registers(from_column.build())
